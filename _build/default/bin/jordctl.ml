@@ -1,0 +1,285 @@
+(* jordctl — command-line driver for the Jord reproduction.
+
+     jordctl list                      show workloads, variants, experiments
+     jordctl run [options]            one simulation, summarized
+     jordctl exp table4 fig9 ...      regenerate paper tables/figures *)
+
+open Cmdliner
+
+let workloads =
+  [
+    ("hipster", Jord_workloads.Hipster.app);
+    ("hotel", Jord_workloads.Hotel.app);
+    ("media", Jord_workloads.Media.app);
+    ("social", Jord_workloads.Social.app);
+  ]
+
+let variants =
+  [
+    ("jord", Jord_faas.Variant.Jord);
+    ("ni", Jord_faas.Variant.Jord_ni);
+    ("bt", Jord_faas.Variant.Jord_bt);
+    ("nightcore", Jord_faas.Variant.Nightcore);
+  ]
+
+let policies =
+  [
+    ("jbsq", Jord_faas.Policy.Jbsq);
+    ("random", Jord_faas.Policy.Random);
+    ("rr", Jord_faas.Policy.Round_robin);
+  ]
+
+let experiments =
+  [ "table4"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "background"; "motivation"; "claims"; "ablation" ]
+
+(* --- run --- *)
+
+let run_cmd =
+  let app_t =
+    Arg.(value & opt (enum workloads) Jord_workloads.Hipster.app
+         & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload: hipster, hotel, media or social.")
+  in
+  let variant =
+    Arg.(value & opt (enum variants) Jord_faas.Variant.Jord
+         & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"System variant: jord, ni, bt or nightcore.")
+  in
+  let rate =
+    Arg.(value & opt float 1.0
+         & info [ "r"; "rate" ] ~docv:"MRPS" ~doc:"Offered load in million requests per second.")
+  in
+  let duration =
+    Arg.(value & opt float 4000.0
+         & info [ "d"; "duration" ] ~docv:"US" ~doc:"Arrival window in microseconds.")
+  in
+  let cores =
+    Arg.(value & opt int 32 & info [ "cores" ] ~docv:"N" ~doc:"Total cores of the machine.")
+  in
+  let sockets =
+    Arg.(value & opt int 1 & info [ "sockets" ] ~docv:"N" ~doc:"Socket count.")
+  in
+  let orchestrators =
+    Arg.(value & opt int 4 & info [ "orchestrators" ] ~docv:"N" ~doc:"Orchestrator cores.")
+  in
+  let policy =
+    Arg.(value & opt (enum policies) Jord_faas.Policy.Jbsq
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Dispatch policy: jbsq, random or rr.")
+  in
+  let ivlb = Arg.(value & opt int 16 & info [ "ivlb" ] ~docv:"N" ~doc:"I-VLB entries.") in
+  let dvlb = Arg.(value & opt int 16 & info [ "dvlb" ] ~docv:"N" ~doc:"D-VLB entries.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let warmup =
+    Arg.(value & opt int 500 & info [ "warmup" ] ~docv:"N" ~doc:"Requests discarded before measuring.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto).")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file =
+    let machine =
+      Jord_arch.Config.with_cores
+        (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
+        cores
+    in
+    let config =
+      {
+        Jord_faas.Server.default_config with
+        variant;
+        machine;
+        orchestrators;
+        policy;
+        i_vlb_entries = ivlb;
+        d_vlb_entries = dvlb;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let tracer =
+      Option.map (fun _ -> Jord_faas.Trace.create ()) trace_file
+    in
+    let server, recorder =
+      Jord_workloads.Loadgen.run ?tracer ~warmup ~app ~config ~rate_mrps:rate
+        ~duration_us:duration ~seed ()
+    in
+    (match (trace_file, tracer) with
+    | Some path, Some tr ->
+        let oc = open_out path in
+        output_string oc (Jord_faas.Trace.to_chrome_json tr);
+        close_out oc;
+        Printf.printf "trace: %d events (%d retained) -> %s\n"
+          (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path
+    | _ -> ());
+    let open Jord_metrics.Recorder in
+    Printf.printf "workload=%s system=%s machine=%d cores / %d sockets\n"
+      app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) cores sockets;
+    Printf.printf "offered=%.2f MRPS  measured=%.2f MRPS  completed=%d  dropped=%d\n" rate
+      (throughput_mrps recorder) (count recorder)
+      (Jord_faas.Server.dropped_requests server);
+    Printf.printf "latency: mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus\n" (mean_us recorder)
+      (p50_us recorder) (percentile_us recorder 90.0) (p99_us recorder);
+    let b = mean_breakdown recorder in
+    Printf.printf
+      "per-request: exec=%.0fns isolation=%.0fns dispatch=%.0fns data=%.0fns (%.2f invocations)\n"
+      b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations recorder);
+    let orch_util, exec_util = Jord_faas.Server.utilization server in
+    Printf.printf "utilization: orchestrators=%.0f%% executors=%.0f%%\n"
+      (100.0 *. orch_util) (100.0 *. exec_util);
+    let hw = Jord_faas.Server.hw server in
+    let vlb_hits, vlb_misses = Jord_vm.Hw.vlb_totals hw in
+    Printf.printf "VLB: %.2f%% hit rate (%d hits, %d misses)\n"
+      (100.0 *. float_of_int vlb_hits /. float_of_int (Int.max 1 (vlb_hits + vlb_misses)))
+      vlb_hits vlb_misses;
+    Printf.printf "hardware: %d VTW walks (%.1fns avg), %d shootdowns (%.1fns avg)\n"
+      (Jord_vm.Hw.walk_count hw)
+      (Jord_vm.Hw.walk_ns_total hw /. float_of_int (Int.max 1 (Jord_vm.Hw.walk_count hw)))
+      (Jord_vm.Hw.shootdown_count hw)
+      (Jord_vm.Hw.shootdown_ns_total hw
+      /. float_of_int (Int.max 1 (Jord_vm.Hw.shootdown_count hw)));
+    Printf.printf "[simulated %d events in %.1fs wall]\n"
+      (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one simulation and print a summary")
+    Term.(
+      const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
+      $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file)
+
+(* --- exp --- *)
+
+let exp_cmd =
+  let names =
+    Arg.(value & pos_all (enum (List.map (fun e -> (e, e)) experiments)) experiments
+         & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to regenerate (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shorter simulations (coarser results).")
+  in
+  let run names quick =
+    List.iter
+      (fun name ->
+        Printf.printf "\n== %s ==\n%!" name;
+        let report =
+          match name with
+          | "table4" -> Jord_exp.Table4.report ~iters:(if quick then 1500 else 4000) ()
+          | "fig9" -> Jord_exp.Fig9.report ~quick ()
+          | "fig10" -> Jord_exp.Fig10.report ~quick ()
+          | "fig11" -> Jord_exp.Fig11.report ~quick ()
+          | "fig12" -> Jord_exp.Fig12.report ~quick ()
+          | "fig13" -> Jord_exp.Fig13.report ~quick ()
+          | "fig14" -> Jord_exp.Fig14.report ~quick ()
+          | "background" -> Jord_exp.Background.report ()
+          | "motivation" -> Jord_exp.Motivation.report ~iters:(if quick then 100 else 300) ()
+          | "claims" -> Jord_exp.Claims.report ~quick ()
+          | "ablation" -> Jord_exp.Ablations.report ~quick ()
+          | other -> Printf.sprintf "unknown experiment %S\n" other
+        in
+        print_string report)
+      names
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures") Term.(const run $ names $ quick)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let app_t =
+    Arg.(value & opt (enum workloads) Jord_workloads.Hipster.app
+         & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload to sweep.")
+  in
+  let variant =
+    Arg.(value & opt (enum variants) Jord_faas.Variant.Jord
+         & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"System variant.")
+  in
+  let rates =
+    Arg.(value & opt (list float) [ 1.0; 2.0; 4.0; 6.0; 8.0; 10.0; 12.0 ]
+         & info [ "r"; "rates" ] ~docv:"R1,R2,..." ~doc:"Loads to sweep (MRPS).")
+  in
+  let duration =
+    Arg.(value & opt float 3000.0 & info [ "d"; "duration" ] ~docv:"US" ~doc:"Arrival window per point.")
+  in
+  let slo =
+    Arg.(value & opt (some float) None
+         & info [ "slo" ] ~docv:"US" ~doc:"p99 SLO in us (default: 10x the min-load mean of this system).")
+  in
+  let run app variant rates duration slo =
+    let config = { Jord_faas.Server.default_config with variant } in
+    let measure rate =
+      snd
+        (Jord_workloads.Loadgen.run ~warmup:300 ~app ~config ~rate_mrps:rate
+           ~duration_us:duration ())
+    in
+    let slo_us =
+      match slo with
+      | Some v -> v
+      | None ->
+          let r = measure (List.hd rates /. 4.0) in
+          10.0 *. Jord_metrics.Recorder.mean_us r
+    in
+    Printf.printf "%s on %s  (SLO = %.1f us p99)
+
+" app.Jord_faas.Model.app_name
+      (Jord_faas.Variant.name variant) slo_us;
+    Printf.printf "%10s  %12s  %10s  %10s   %s
+" "load(MRPS)" "tput(MRPS)" "mean(us)"
+      "p99(us)" "SLO";
+    let best = ref 0.0 in
+    List.iter
+      (fun rate ->
+        let r = measure rate in
+        let p99 = Jord_metrics.Recorder.p99_us r in
+        let tput = Jord_metrics.Recorder.throughput_mrps r in
+        let ok = p99 <= slo_us in
+        if ok && tput > !best then best := tput;
+        Printf.printf "%10.2f  %12.2f  %10.2f  %10.2f   %s
+" rate tput
+          (Jord_metrics.Recorder.mean_us r)
+          p99
+          (if ok then "meets" else "VIOLATED"))
+      rates;
+    Printf.printf "
+throughput under SLO: %.2f MRPS
+" !best
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep offered load and report throughput under SLO")
+    Term.(const run $ app_t $ variant $ rates $ duration $ slo)
+
+(* --- export --- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "results"
+         & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory for the CSV files.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shorter simulations.")
+  in
+  let run dir quick =
+    let files = Jord_exp.Export.all ~dir ~quick () in
+    List.iter (fun p -> Printf.printf "wrote %s\n" p) files
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write every experiment's data as CSV files")
+    Term.(const run $ dir $ quick)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "workloads:   %s\n" (String.concat ", " (List.map fst workloads));
+    Printf.printf "systems:     %s\n" (String.concat ", " (List.map fst variants));
+    Printf.printf "policies:    %s\n" (String.concat ", " (List.map fst policies));
+    Printf.printf "experiments: %s\n" (String.concat ", " experiments);
+    List.iter
+      (fun (name, app) ->
+        Printf.printf "\n%s:\n" name;
+        List.iter
+          (fun fn -> Printf.printf "  %s\n" fn.Jord_faas.Model.name)
+          app.Jord_faas.Model.fns)
+      workloads
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, systems and experiments") Term.(const run $ const ())
+
+let () =
+  let doc = "Jord: single-address-space FaaS (ISCA'25) — reproduction driver" in
+  let info = Cmd.info "jordctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; exp_cmd; export_cmd; list_cmd ]))

@@ -1,0 +1,39 @@
+(* Quick end-to-end smoke run used during development. *)
+let () =
+  let rate = try float_of_string Sys.argv.(1) with _ -> 2.0 in
+  let variant =
+    match (try Sys.argv.(2) with _ -> "jord") with
+    | "ni" -> Jord_faas.Variant.Jord_ni
+    | "bt" -> Jord_faas.Variant.Jord_bt
+    | "nc" -> Jord_faas.Variant.Nightcore
+    | _ -> Jord_faas.Variant.Jord
+  in
+  let app =
+    match (try Sys.argv.(3) with _ -> "hipster") with
+    | "hotel" -> Jord_workloads.Hotel.app
+    | "media" -> Jord_workloads.Media.app
+    | "social" -> Jord_workloads.Social.app
+    | _ -> Jord_workloads.Hipster.app
+  in
+  let config = { Jord_faas.Server.default_config with variant } in
+  let t0 = Unix.gettimeofday () in
+  let server, rec_ =
+    Jord_workloads.Loadgen.run ~warmup:1000 ~app ~config
+      ~rate_mrps:rate ~duration_us:4000.0 ()
+  in
+  let t1 = Unix.gettimeofday () in
+  let open Jord_metrics.Recorder in
+  Printf.printf "variant=%s rate=%.1f MRPS\n" (Jord_faas.Variant.name variant) rate;
+  Printf.printf "completed=%d tput=%.2f MRPS mean=%.2fus p50=%.2fus p99=%.2fus\n"
+    (count rec_) (throughput_mrps rec_) (mean_us rec_) (p50_us rec_) (p99_us rec_);
+  let b = mean_breakdown rec_ in
+  Printf.printf "breakdown: exec=%.0fns iso=%.0fns disp=%.0fns comm=%.0fns invocations=%.2f\n"
+    b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations rec_);
+  Printf.printf "live_conts=%d events=%d wall=%.1fs\n"
+    (Jord_faas.Server.live_continuations server)
+    (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
+    (t1 -. t0);
+  Printf.printf "dispatches=%d avg_dispatch=%.0fns\n"
+    (Jord_faas.Server.dispatch_count server)
+    (Jord_faas.Server.dispatch_ns_total server
+    /. float_of_int (max 1 (Jord_faas.Server.dispatch_count server)))

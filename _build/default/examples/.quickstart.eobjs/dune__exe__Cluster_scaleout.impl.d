@@ -1,0 +1,1 @@
+examples/cluster_scaleout.ml: Array Jord_arch Jord_faas Jord_sim Jord_util Jord_workloads List Printf

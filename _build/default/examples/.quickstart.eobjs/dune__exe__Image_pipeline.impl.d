@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Jord_faas Jord_metrics Jord_workloads Printf

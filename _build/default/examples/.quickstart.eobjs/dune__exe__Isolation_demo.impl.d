@@ -1,0 +1,1 @@
+examples/isolation_demo.ml: Jord_arch Jord_privlib Jord_vm Printf

@@ -1,0 +1,1 @@
+examples/isolation_demo.mli:

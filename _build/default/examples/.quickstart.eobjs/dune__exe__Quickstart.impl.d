@@ -1,0 +1,1 @@
+examples/quickstart.ml: Jord_faas Jord_metrics Jord_sim Printf

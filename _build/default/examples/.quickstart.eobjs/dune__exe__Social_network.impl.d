@@ -1,0 +1,1 @@
+examples/social_network.ml: Float Jord_faas Jord_metrics Jord_workloads List Printf

@@ -1,0 +1,1 @@
+examples/social_network.mli:

@@ -1,0 +1,80 @@
+(* The threat model in action (paper §3.1-3.2): what happens when untrusted
+   code misbehaves inside a protection domain.
+
+     dune exec examples/isolation_demo.exe
+
+   We assemble the hardware extension and PrivLib directly (no server) and
+   play attacker: forge pointers into another domain's memory, call PrivLib
+   to escalate rights, jump into privileged code without a gate, and write
+   protected CSRs. Every attempt must end in a hardware fault. *)
+
+module Vm = Jord_vm
+module Pl = Jord_privlib.Privlib
+
+let attempt name f =
+  match f () with
+  | _ -> Printf.printf "  %-52s !! NOT CAUGHT (bug)\n" name
+  | exception Vm.Fault.Fault fault ->
+      Printf.printf "  %-52s -> fault: %s\n" name (Vm.Fault.to_string fault)
+
+let () =
+  let topo = Jord_arch.Topology.create Jord_arch.Config.default in
+  let memsys = Jord_arch.Memsys.create topo in
+  let hw =
+    Vm.Hw.create ~memsys ~store:(Vm.Vma_store.plain Vm.Va.default_config)
+      ~va_cfg:Vm.Va.default_config ()
+  in
+  let priv = Pl.create ~hw ~os:(Jord_privlib.Os_facade.create ()) in
+  let core = 0 in
+
+  (* The executor (PD 0) sets up a victim and an attacker domain. *)
+  let victim_pd, _ = Pl.cget priv ~core in
+  let attacker_pd, _ = Pl.cget priv ~core in
+  let secret_va, _ = Pl.mmap priv ~core ~bytes:4096 ~perm:Vm.Perm.rw () in
+  ignore (Pl.pmove priv ~core ~va:secret_va ~dst_pd:victim_pd ~perm:Vm.Perm.rw ());
+  let own_va, _ = Pl.mmap priv ~core ~bytes:4096 ~perm:Vm.Perm.rw () in
+  ignore (Pl.pmove priv ~core ~va:own_va ~dst_pd:attacker_pd ~perm:Vm.Perm.rw ());
+
+  Printf.printf "Executor created victim PD %d (holds a secret VMA) and attacker PD %d.\n"
+    victim_pd attacker_pd;
+  ignore (Pl.ccall priv ~core ~pd:attacker_pd);
+  Printf.printf "Entered attacker PD. Its own buffer works fine:\n";
+  let ns = Vm.Hw.access hw ~core ~va:own_va ~access:Vm.Perm.Write ~kind:`Data ~bytes:64 in
+  Printf.printf "  legitimate store to own ArgBuf                       -> ok (%.1f ns)\n\n" ns;
+
+  Printf.printf "Attacks from inside the PD:\n";
+  attempt "load from the victim's secret VMA (forged pointer)" (fun () ->
+      Vm.Hw.access hw ~core ~va:secret_va ~access:Vm.Perm.Read ~kind:`Data ~bytes:64);
+  attempt "store to the victim's secret VMA" (fun () ->
+      Vm.Hw.access hw ~core ~va:secret_va ~access:Vm.Perm.Write ~kind:`Data ~bytes:64);
+  attempt "execute out of the data buffer (no X permission)" (fun () ->
+      Vm.Hw.access hw ~core ~va:own_va ~access:Vm.Perm.Exec ~kind:`Instr ~bytes:64);
+  attempt "load from an unmapped forged address" (fun () ->
+      Vm.Hw.access hw ~core ~va:0x123456 ~access:Vm.Perm.Read ~kind:`Data ~bytes:64);
+  attempt "pcopy the secret into the attacker PD" (fun () ->
+      Pl.pcopy priv ~core ~va:secret_va ~dst_pd:attacker_pd ~perm:Vm.Perm.r);
+  attempt "grant itself execute on its own buffer via pcopy" (fun () ->
+      Pl.pcopy priv ~core ~va:own_va ~dst_pd:attacker_pd ~perm:Vm.Perm.rwx);
+  attempt "munmap the victim's VMA" (fun () -> Pl.munmap priv ~core ~va:secret_va);
+  attempt "create a PD from untrusted code (cget)" (fun () -> Pl.cget priv ~core);
+  attempt "write the ucid CSR without the P bit" (fun () ->
+      Vm.Mmu.write_ucid (Vm.Hw.mmu hw ~core) 0);
+  attempt "jump into privileged code not at a uatg gate" (fun () ->
+      Vm.Mmu.enter_privileged (Vm.Hw.mmu hw ~core) ~at_gate:false);
+  (match Pl.code_vma priv with
+  | Some privlib_code ->
+      attempt "read PrivLib's code VMA directly" (fun () ->
+          Vm.Hw.access hw ~core ~va:privlib_code ~access:Vm.Perm.Read ~kind:`Data ~bytes:64)
+  | None -> ());
+
+  ignore (Pl.creturn priv ~core);
+  Printf.printf "\nBack in the executor (PD 0); every attack faulted as required.\n";
+  Printf.printf "Cleanup: PrivLib refuses to destroy a PD that still holds VMAs\n";
+  Printf.printf "(a recycled PD id would inherit them):\n";
+  attempt "cput the attacker PD with its buffer still granted" (fun () ->
+      Pl.cput priv ~core ~pd:attacker_pd);
+  Printf.printf "Revoking both VMAs, then destroying the PDs cleanly.\n";
+  ignore (Pl.munmap priv ~core ~va:own_va);
+  ignore (Pl.munmap priv ~core ~va:secret_va);
+  ignore (Pl.cput priv ~core ~pd:attacker_pd);
+  ignore (Pl.cput priv ~core ~pd:victim_pd)

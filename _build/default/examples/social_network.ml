@@ -1,0 +1,45 @@
+(* Capacity planning on the Social Network workload (DeathStarBench).
+
+     dune exec examples/social_network.exe
+
+   Sweeps offered load on the paper's 32-core worker server, prints the
+   p99-vs-load curve, and reports the highest load that still meets a
+   latency SLO — the paper's headline metric (throughput under SLO). *)
+
+module Server = Jord_faas.Server
+module R = Jord_metrics.Recorder
+
+let app = Jord_workloads.Social.app
+
+let measure rate =
+  let _, recorder =
+    Jord_workloads.Loadgen.run ~warmup:300 ~app ~config:Server.default_config
+      ~rate_mrps:rate ~duration_us:12000.0 ()
+  in
+  recorder
+
+let () =
+  (* SLO: 10x the minimal-load mean service time (paper §5). *)
+  let min_load = measure 0.1 in
+  let slo_us = 10.0 *. R.mean_us min_load in
+  Printf.printf "Social Network on a 32-core Jord worker server\n";
+  Printf.printf "min-load service time: %.1f us  =>  SLO = %.0f us (p99)\n\n" (R.mean_us min_load) slo_us;
+  Printf.printf "%10s  %12s  %10s  %10s   %s\n" "load(MRPS)" "tput(MRPS)" "mean(us)" "p99(us)" "SLO";
+  let best = ref 0.0 in
+  List.iter
+    (fun rate ->
+      let r = measure rate in
+      let p99 = R.p99_us r in
+      let ok = p99 <= slo_us in
+      if ok then best := Float.max !best (R.throughput_mrps r);
+      Printf.printf "%10.2f  %12.2f  %10.1f  %10.1f   %s\n" rate (R.throughput_mrps r)
+        (R.mean_us r) p99
+        (if ok then "meets" else "VIOLATED"))
+    [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1; 1.2 ];
+  Printf.printf "\nthroughput under SLO: %.2f MRPS (paper reports ~0.9 for Social)\n" !best;
+  (* Where the tail comes from: the service-time CDF. *)
+  let r = measure 0.4 in
+  Printf.printf "\nservice-time CDF at 0.4 MRPS:\n";
+  List.iter
+    (fun q -> Printf.printf "  p%-4.1f %8.1f us\n" q (R.percentile_us r q))
+    [ 50.0; 75.0; 90.0; 99.0; 99.9 ]

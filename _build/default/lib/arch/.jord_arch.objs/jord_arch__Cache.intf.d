@@ -1,0 +1,1 @@
+lib/arch/cache.mli: Mesi

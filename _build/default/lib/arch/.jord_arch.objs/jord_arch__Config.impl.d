@@ -1,0 +1,1 @@
+lib/arch/config.ml: Int Jord_util

@@ -1,0 +1,1 @@
+lib/arch/config.mli:

@@ -1,0 +1,1 @@
+lib/arch/directory.ml: Hashtbl Jord_util

@@ -1,0 +1,1 @@
+lib/arch/directory.mli: Jord_util

@@ -1,0 +1,1 @@
+lib/arch/memsys.ml: Array Cache Config Directory Jord_util List Mesi Topology

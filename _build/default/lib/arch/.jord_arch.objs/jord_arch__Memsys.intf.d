@@ -1,0 +1,1 @@
+lib/arch/memsys.mli: Config Topology

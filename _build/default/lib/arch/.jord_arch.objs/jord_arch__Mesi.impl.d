@@ -1,0 +1,1 @@
+lib/arch/mesi.ml: Format

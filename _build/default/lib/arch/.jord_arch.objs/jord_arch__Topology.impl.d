@@ -1,0 +1,1 @@
+lib/arch/topology.ml: Config Int Jord_util

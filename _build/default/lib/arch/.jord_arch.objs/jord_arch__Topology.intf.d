@@ -1,0 +1,1 @@
+lib/arch/topology.mli: Config

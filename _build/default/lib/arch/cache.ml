@@ -1,0 +1,111 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* line index, or -1 when the way is empty *)
+  states : Mesi.t array;
+  lru : int array; (* bigger = more recently used *)
+  mutable tick : int;
+  mutable valid : int;
+}
+
+let create ~size ~ways ~line =
+  if size <= 0 || ways <= 0 || line <= 0 then invalid_arg "Cache.create";
+  let lines = size / line in
+  if lines mod ways <> 0 then invalid_arg "Cache.create: lines not divisible by ways";
+  let sets = lines / ways in
+  {
+    sets;
+    ways;
+    tags = Array.make lines (-1);
+    states = Array.make lines Mesi.Invalid;
+    lru = Array.make lines 0;
+    tick = 0;
+    valid = 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+let set_of t line = (abs line) mod t.sets
+let slot t set way = (set * t.ways) + way
+
+let find_way t line =
+  let set = set_of t line in
+  let rec go w =
+    if w = t.ways then None
+    else
+      let i = slot t set w in
+      if t.tags.(i) = line && t.states.(i) <> Mesi.Invalid then Some i else go (w + 1)
+  in
+  go 0
+
+let touch t i =
+  t.tick <- t.tick + 1;
+  t.lru.(i) <- t.tick
+
+let lookup t line =
+  match find_way t line with
+  | Some i ->
+      touch t i;
+      Some t.states.(i)
+  | None -> None
+
+let peek t line =
+  match find_way t line with Some i -> Some t.states.(i) | None -> None
+
+let set_state t line state =
+  match find_way t line with
+  | Some i ->
+      if state = Mesi.Invalid then begin
+        t.tags.(i) <- -1;
+        t.valid <- t.valid - 1
+      end;
+      t.states.(i) <- state
+  | None -> ()
+
+let victim_way t set =
+  (* Prefer an empty way; otherwise evict the least recently used. *)
+  let best = ref (-1) and best_lru = ref max_int and empty = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    let i = slot t set w in
+    if t.states.(i) = Mesi.Invalid then (if !empty < 0 then empty := i)
+    else if t.lru.(i) < !best_lru then begin
+      best := i;
+      best_lru := t.lru.(i)
+    end
+  done;
+  if !empty >= 0 then (!empty, None)
+  else (!best, Some (t.tags.(!best), t.states.(!best)))
+
+let insert t line state =
+  if state = Mesi.Invalid then invalid_arg "Cache.insert: Invalid";
+  match find_way t line with
+  | Some i ->
+      t.states.(i) <- state;
+      touch t i;
+      None
+  | None ->
+      let set = set_of t line in
+      let i, evicted = victim_way t set in
+      (match evicted with Some _ -> () | None -> t.valid <- t.valid + 1);
+      t.tags.(i) <- line;
+      t.states.(i) <- state;
+      touch t i;
+      evicted
+
+let invalidate t line =
+  match find_way t line with
+  | Some i ->
+      t.tags.(i) <- -1;
+      t.states.(i) <- Mesi.Invalid;
+      t.valid <- t.valid - 1;
+      true
+  | None -> false
+
+let count_valid t = t.valid
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.states 0 (Array.length t.states) Mesi.Invalid;
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.tick <- 0;
+  t.valid <- 0

@@ -1,0 +1,36 @@
+type entry = {
+  sharers : Jord_util.Bitset.t;
+  mutable owner : int;
+  mutable in_llc : bool;
+  home : int; (* LLC slice homing the line (first-touch NUMA placement) *)
+}
+
+type t = { cores : int; table : (int, entry) Hashtbl.t }
+
+let create ~cores = { cores; table = Hashtbl.create 4096 }
+let find t line = Hashtbl.find_opt t.table line
+
+let find_or_add t line ~home =
+  match Hashtbl.find_opt t.table line with
+  | Some e -> e
+  | None ->
+      let e =
+        { sharers = Jord_util.Bitset.create t.cores; owner = -1; in_llc = false; home }
+      in
+      Hashtbl.add t.table line e;
+      e
+
+let sharers t line =
+  match find t line with
+  | None -> []
+  | Some e -> Jord_util.Bitset.to_list e.sharers
+
+let drop_core t line core =
+  match find t line with
+  | None -> ()
+  | Some e ->
+      Jord_util.Bitset.remove e.sharers core;
+      if e.owner = core then e.owner <- -1
+
+let entries t = Hashtbl.length t.table
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,30 @@
+(** Coherence directory: per-line owner and sharer tracking.
+
+    One logical directory is distributed across LLC slices; homing is decided
+    by {!Topology.slice_of_line}, so this module only stores the global
+    line -> sharers map. It also records LLC presence ([in_llc]) so the
+    memory system can distinguish LLC hits from cold DRAM fetches. *)
+
+type entry = {
+  sharers : Jord_util.Bitset.t;  (** Cores whose L1 may hold the line. *)
+  mutable owner : int;  (** Core holding M/E, or -1. *)
+  mutable in_llc : bool;
+  home : int;  (** LLC slice homing the line (fixed at first touch). *)
+}
+
+type t
+
+val create : cores:int -> t
+val find : t -> int -> entry option
+val find_or_add : t -> int -> home:int -> entry
+(** [home] is recorded on creation only (first-touch NUMA placement). *)
+
+val sharers : t -> int -> int list
+(** All cores whose L1 may hold the line (owner included). *)
+
+val drop_core : t -> int -> int -> unit
+(** [drop_core t line core] removes a core from the line's sharers (L1
+    eviction/invalidation notification). *)
+
+val entries : t -> int
+val clear : t -> unit

@@ -1,0 +1,189 @@
+type stats = {
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable llc_hits : int;
+  mutable dram_fills : int;
+  mutable forwards : int;
+  mutable upgrades : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  topo : Topology.t;
+  cfg : Config.t;
+  l1 : Cache.t array;
+  dir : Directory.t;
+  stats : stats;
+}
+
+let create topo =
+  let cfg = Topology.config topo in
+  let mk_l1 _ =
+    Cache.create ~size:cfg.Config.l1_size ~ways:cfg.Config.l1_ways ~line:cfg.Config.line
+  in
+  {
+    topo;
+    cfg;
+    l1 = Array.init (Topology.cores topo) mk_l1;
+    dir = Directory.create ~cores:(Topology.cores topo);
+    stats =
+      {
+        l1_hits = 0;
+        l1_misses = 0;
+        llc_hits = 0;
+        dram_fills = 0;
+        forwards = 0;
+        upgrades = 0;
+        invalidations = 0;
+      };
+  }
+
+let topology t = t.topo
+let config t = t.cfg
+let stats t = t.stats
+let line_of t addr = addr / t.cfg.Config.line
+let l1_ns t = Config.cycles_ns t.cfg t.cfg.Config.l1_latency
+let llc_ns t = Config.cycles_ns t.cfg t.cfg.Config.llc_latency
+let lat t a b = Topology.latency_ns t.topo ~src:a ~dst:b
+
+(* Invalidate the line in every sharer's L1 except [keep]. Invalidations are
+   sent in parallel from the home slice; the cost is the round trip to the
+   farthest sharer. *)
+let invalidate_sharers t entry line ~home ~keep =
+  let worst = ref 0.0 in
+  let victims = Jord_util.Bitset.to_list entry.Directory.sharers in
+  List.iter
+    (fun core ->
+      if core <> keep then begin
+        ignore (Cache.invalidate t.l1.(core) line);
+        Jord_util.Bitset.remove entry.Directory.sharers core;
+        if entry.Directory.owner = core then entry.Directory.owner <- -1;
+        t.stats.invalidations <- t.stats.invalidations + 1;
+        let d = 2.0 *. lat t home core in
+        if d > !worst then worst := d
+      end)
+    victims;
+  !worst
+
+(* Handle an L1 eviction: tell the directory the core no longer holds it. *)
+let note_eviction t core = function
+  | None -> ()
+  | Some (line, _state) -> Directory.drop_core t.dir line core
+
+(* Fetch a line into [core]'s L1 with the desired state, accounting for the
+   directory lookup at the home slice, remote-owner forwarding, LLC presence
+   and DRAM cold fills. Returns latency. *)
+let fill t ~core ~line ~addr ~exclusive =
+  t.stats.l1_misses <- t.stats.l1_misses + 1;
+  let entry =
+    Directory.find_or_add t.dir line
+      ~home:(Topology.slice_of_line t.topo ~requester:core addr)
+  in
+  let home = entry.Directory.home in
+  let base = l1_ns t +. (2.0 *. lat t core home) +. llc_ns t in
+  let owner = entry.Directory.owner in
+  let extra =
+    if owner >= 0 && owner <> core then begin
+      (* Cache-to-cache transfer: home forwards the request to the owner,
+         which replies directly to the requester. *)
+      t.stats.forwards <- t.stats.forwards + 1;
+      let fwd = lat t home owner +. lat t owner core in
+      if exclusive then begin
+        ignore (Cache.invalidate t.l1.(owner) line);
+        Jord_util.Bitset.remove entry.Directory.sharers owner;
+        entry.Directory.owner <- -1;
+        t.stats.invalidations <- t.stats.invalidations + 1
+      end
+      else begin
+        Cache.set_state t.l1.(owner) line Mesi.Shared;
+        entry.Directory.owner <- -1
+      end;
+      entry.Directory.in_llc <- true;
+      fwd
+    end
+    else if entry.Directory.in_llc then begin
+      t.stats.llc_hits <- t.stats.llc_hits + 1;
+      0.0
+    end
+    else begin
+      t.stats.dram_fills <- t.stats.dram_fills + 1;
+      entry.Directory.in_llc <- true;
+      t.cfg.Config.dram_ns
+    end
+  in
+  let inval_cost =
+    if exclusive then invalidate_sharers t entry line ~home ~keep:core else 0.0
+  in
+  let state =
+    if exclusive then Mesi.Modified
+    else if Jord_util.Bitset.is_empty entry.Directory.sharers then Mesi.Exclusive
+    else Mesi.Shared
+  in
+  note_eviction t core (Cache.insert t.l1.(core) line state);
+  Jord_util.Bitset.add entry.Directory.sharers core;
+  if exclusive then entry.Directory.owner <- core
+  else if state = Mesi.Exclusive then entry.Directory.owner <- core;
+  base +. extra +. inval_cost
+
+let read t ~core ~addr =
+  let line = line_of t addr in
+  match Cache.lookup t.l1.(core) line with
+  | Some state when Mesi.can_read state ->
+      t.stats.l1_hits <- t.stats.l1_hits + 1;
+      l1_ns t
+  | Some _ | None -> fill t ~core ~line ~addr ~exclusive:false
+
+let write t ~core ~addr =
+  let line = line_of t addr in
+  match Cache.lookup t.l1.(core) line with
+  | Some state when Mesi.can_write state ->
+      t.stats.l1_hits <- t.stats.l1_hits + 1;
+      Cache.set_state t.l1.(core) line Mesi.Modified;
+      (match Directory.find t.dir line with
+      | Some e -> e.Directory.owner <- core
+      | None -> ());
+      l1_ns t
+  | Some Mesi.Shared ->
+      (* Upgrade: request ownership from home, invalidate other sharers. *)
+      t.stats.upgrades <- t.stats.upgrades + 1;
+      let entry =
+        Directory.find_or_add t.dir line
+          ~home:(Topology.slice_of_line t.topo ~requester:core addr)
+      in
+      let home = entry.Directory.home in
+      let inval = invalidate_sharers t entry line ~home ~keep:core in
+      Cache.set_state t.l1.(core) line Mesi.Modified;
+      entry.Directory.owner <- core;
+      Jord_util.Bitset.add entry.Directory.sharers core;
+      l1_ns t +. (2.0 *. lat t core home) +. inval
+  | Some (Mesi.Modified | Mesi.Exclusive | Mesi.Invalid) | None ->
+      fill t ~core ~line ~addr ~exclusive:true
+
+let atomic t ~core ~addr =
+  (* Locked RMW: ownership acquisition plus pipeline serialization. *)
+  write t ~core ~addr +. Config.cycles_ns t.cfg 4
+
+let read_block t ~core ~addr ~bytes =
+  if bytes <= 0 then 0.0
+  else begin
+    let line_bytes = t.cfg.Config.line in
+    let nlines = Jord_util.Bits.ceil_div bytes line_bytes in
+    (* The first line pays full latency; subsequent misses overlap thanks to
+       memory-level parallelism and pay a quarter of their latency each. *)
+    let total = ref 0.0 in
+    for i = 0 to nlines - 1 do
+      let l = read t ~core ~addr:(addr + (i * line_bytes)) in
+      total := !total +. (if i = 0 then l else l *. 0.25)
+    done;
+    !total
+  end
+
+let sharers t ~addr = Directory.sharers t.dir (line_of t addr)
+
+let home_of t ~addr ~requester =
+  let line = line_of t addr in
+  let entry =
+    Directory.find_or_add t.dir line
+      ~home:(Topology.slice_of_line t.topo ~requester addr)
+  in
+  entry.Directory.home

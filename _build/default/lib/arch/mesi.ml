@@ -1,0 +1,12 @@
+type t = Modified | Exclusive | Shared | Invalid
+
+let can_read = function Modified | Exclusive | Shared -> true | Invalid -> false
+let can_write = function Modified | Exclusive -> true | Shared | Invalid -> false
+
+let to_string = function
+  | Modified -> "M"
+  | Exclusive -> "E"
+  | Shared -> "S"
+  | Invalid -> "I"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,8 @@
+(** MESI coherence states. *)
+
+type t = Modified | Exclusive | Shared | Invalid
+
+val can_read : t -> bool
+val can_write : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type t = { cfg : Config.t; per_socket : int }
+
+let create cfg =
+  let per_socket = Jord_util.Bits.ceil_div cfg.Config.cores cfg.Config.sockets in
+  { cfg; per_socket }
+
+let config t = t.cfg
+let cores t = t.cfg.Config.cores
+let socket_of t core = core / t.per_socket
+
+let tile_of t core =
+  let local = core mod t.per_socket in
+  (local mod t.cfg.Config.mesh_cols, local / t.cfg.Config.mesh_cols)
+
+let hops t a b =
+  let xa, ya = tile_of t a and xb, yb = tile_of t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let hop_ns t n =
+  Config.cycles_ns t.cfg (n * t.cfg.Config.link_cycles)
+
+let latency_ns t ~src ~dst =
+  let intra = hop_ns t (hops t src dst) in
+  if socket_of t src = socket_of t dst then intra
+  else intra +. t.cfg.Config.cross_socket_ns
+
+let slice_of_line t ?(requester = 0) addr =
+  let socket = socket_of t requester in
+  let per = Int.min t.per_socket (cores t - (socket * t.per_socket)) in
+  (socket * t.per_socket) + (abs (addr / t.cfg.Config.line) mod per)
+
+let max_distance_ns t ~from =
+  let worst = ref 0.0 in
+  for dst = 0 to cores t - 1 do
+    let d = latency_ns t ~src:from ~dst in
+    if d > !worst then worst := d
+  done;
+  !worst

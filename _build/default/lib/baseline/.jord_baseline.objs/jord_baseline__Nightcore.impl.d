@@ -1,0 +1,1 @@
+lib/baseline/nightcore.ml: Pipe Shm

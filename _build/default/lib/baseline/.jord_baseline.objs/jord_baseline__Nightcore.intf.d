@@ -1,0 +1,1 @@
+lib/baseline/nightcore.mli: Pipe Shm

@@ -1,0 +1,10 @@
+type t = { pipe : Pipe.t; shm : Shm.t; worker_prep_ns : float }
+
+let default = { pipe = Pipe.default; shm = Shm.default; worker_prep_ns = 250.0 }
+
+let dispatch_ns t = Pipe.message_ns t.pipe ~bytes:64 ~wake:true +. t.worker_prep_ns
+let input_ns t ~bytes = Shm.transfer_ns t.shm ~bytes
+let output_ns t ~bytes = Shm.transfer_ns t.shm ~bytes
+let completion_ns t = Pipe.message_ns t.pipe ~bytes:64 ~wake:true
+let suspend_ns t = Pipe.context_switch_ns t.pipe
+let resume_ns t = Pipe.context_switch_ns t.pipe

@@ -1,0 +1,30 @@
+(** Cost model of the enhanced NightCore baseline (paper §5).
+
+    NightCore [Jia & Witchel, ASPLOS'21] uses provisioned containers with OS
+    pipes for messaging and SysV shm for payloads. The paper's *enhanced*
+    variant — which we model — runs launchers and workers as pinned threads
+    of a single process with JBSQ dispatch, "primarily limited by OS pipes".
+    This module aggregates the pipe/shm primitives into the per-invocation
+    costs the simulation charges. *)
+
+type t = { pipe : Pipe.t; shm : Shm.t; worker_prep_ns : float }
+
+val default : t
+
+val dispatch_ns : t -> float
+(** Dispatcher -> worker request message (pipe, blocked worker woken). *)
+
+val input_ns : t -> bytes:int -> float
+(** Deliver the input payload through shm (serialize + 2x copy). *)
+
+val output_ns : t -> bytes:int -> float
+(** Return the output payload through shm. *)
+
+val completion_ns : t -> float
+(** Worker -> dispatcher completion message. *)
+
+val suspend_ns : t -> float
+(** A worker thread blocking on a nested sync invocation. *)
+
+val resume_ns : t -> float
+(** Waking the blocked worker thread when the child returns. *)

@@ -1,0 +1,17 @@
+type t = {
+  syscall_ns : float;
+  copy_ns_per_byte : float;
+  wakeup_ns : float;
+}
+
+let default = { syscall_ns = 370.0; copy_ns_per_byte = 0.055; wakeup_ns = 1000.0 }
+
+let copy t bytes = t.copy_ns_per_byte *. float_of_int bytes
+
+let sender_ns t ~bytes = t.syscall_ns +. copy t bytes
+
+let message_ns t ~bytes ~wake =
+  sender_ns t ~bytes +. t.syscall_ns +. copy t bytes
+  +. (if wake then t.wakeup_ns else 0.0)
+
+let context_switch_ns t = t.wakeup_ns

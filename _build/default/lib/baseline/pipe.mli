@@ -1,0 +1,28 @@
+(** OS-pipe cost model for the enhanced-NightCore baseline (paper §5).
+
+    The enhanced NightCore runs launchers and workers as pinned threads in a
+    single address space, so "its performance is primarily limited by OS
+    pipes": every control message pays a write syscall, a read syscall, a
+    kernel copy, and — when the receiver is blocked — a futex wakeup plus a
+    scheduler context switch. Constants follow published syscall/IPC
+    microbenchmarks on a ~4 GHz core (write/read ~400 ns each with spectre
+    mitigations, wakeup + switch ~1.3 us). *)
+
+type t = {
+  syscall_ns : float;  (** One syscall entry/exit (write or read). *)
+  copy_ns_per_byte : float;  (** Kernel-buffer copy bandwidth. *)
+  wakeup_ns : float;  (** Futex wake + scheduler context switch. *)
+}
+
+val default : t
+
+val message_ns : t -> bytes:int -> wake:bool -> float
+(** End-to-end latency of one pipe message: sender syscall + copy in, copy
+    out + receiver syscall, plus the wakeup when the receiver was blocked. *)
+
+val sender_ns : t -> bytes:int -> float
+(** The sender-visible part only (the sender continues after the write). *)
+
+val context_switch_ns : t -> float
+(** Cost of blocking the calling thread and running another (sync nested
+    invocations in NightCore block the worker thread). *)

@@ -1,0 +1,11 @@
+type t = {
+  copy_ns_per_byte : float;
+  serialize_ns_per_byte : float;
+  base_ns : float;
+}
+
+let default = { copy_ns_per_byte = 0.0625; serialize_ns_per_byte = 0.12; base_ns = 90.0 }
+
+let transfer_ns t ~bytes =
+  let b = float_of_int bytes in
+  t.base_ns +. ((2.0 *. t.copy_ns_per_byte) +. t.serialize_ns_per_byte) *. b

@@ -1,0 +1,17 @@
+(** SystemV shared-memory data path of the NightCore baseline.
+
+    Payloads travel through a shm segment: the producer serializes and
+    copies the data in, the consumer copies it out. Unlike Jord's ArgBufs
+    there is no zero-copy hand-off, so every invocation pays 2x memcpy plus
+    serialization. *)
+
+type t = {
+  copy_ns_per_byte : float;  (** memcpy bandwidth (~16 GB/s). *)
+  serialize_ns_per_byte : float;  (** Encode/decode overhead per byte. *)
+  base_ns : float;  (** Fixed segment bookkeeping per transfer. *)
+}
+
+val default : t
+
+val transfer_ns : t -> bytes:int -> float
+(** One direction: serialize + copy in + copy out at the consumer. *)

@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Float Jord_arch Jord_faas Jord_metrics Jord_util Jord_vm Jord_workloads List Printf String

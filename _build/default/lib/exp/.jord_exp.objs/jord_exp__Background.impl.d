@@ -1,0 +1,1 @@
+lib/exp/background.ml: Jord_arch Jord_baseline Jord_privlib Jord_util Jord_vm List Printf

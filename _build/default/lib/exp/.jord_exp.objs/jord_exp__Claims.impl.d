@@ -1,0 +1,1 @@
+lib/exp/claims.ml: Exp_common Fig14 Float Jord_faas Jord_metrics Jord_util List Motivation Printf Table4

@@ -1,0 +1,1 @@
+lib/exp/claims.mli:

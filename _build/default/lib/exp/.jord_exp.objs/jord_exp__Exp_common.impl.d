@@ -1,0 +1,1 @@
+lib/exp/exp_common.ml: Array Float Hashtbl Int Jord_faas Jord_metrics Jord_util Jord_workloads List

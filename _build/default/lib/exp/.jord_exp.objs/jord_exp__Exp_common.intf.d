@@ -1,0 +1,1 @@
+lib/exp/exp_common.mli: Jord_faas Jord_metrics

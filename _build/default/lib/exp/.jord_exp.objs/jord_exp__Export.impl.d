@@ -1,0 +1,1 @@
+lib/exp/export.ml: Fig10 Fig12 Fig13 Fig14 Fig9 Filename Jord_faas List Motivation Printf String Sys Table4

@@ -1,0 +1,1 @@
+lib/exp/fig11.ml: Exp_common Float Jord_faas Jord_metrics Jord_util Jord_workloads List Printf

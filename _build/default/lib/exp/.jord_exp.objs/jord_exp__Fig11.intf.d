@@ -1,0 +1,1 @@
+lib/exp/fig11.mli:

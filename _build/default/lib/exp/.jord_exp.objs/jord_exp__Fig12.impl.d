@@ -1,0 +1,1 @@
+lib/exp/fig12.ml: Buffer Exp_common Jord_faas Jord_metrics Jord_util List Printf

@@ -1,0 +1,1 @@
+lib/exp/fig12.mli:

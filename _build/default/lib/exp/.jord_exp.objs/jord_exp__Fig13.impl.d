@@ -1,0 +1,1 @@
+lib/exp/fig13.ml: Buffer Exp_common Jord_faas Jord_metrics Jord_privlib Jord_util Jord_vm List Printf

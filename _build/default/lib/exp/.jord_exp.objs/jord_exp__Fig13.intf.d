@@ -1,0 +1,1 @@
+lib/exp/fig13.mli:

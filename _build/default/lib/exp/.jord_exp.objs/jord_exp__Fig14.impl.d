@@ -1,0 +1,1 @@
+lib/exp/fig14.ml: Jord_arch Jord_faas Jord_metrics Jord_util Jord_workloads List

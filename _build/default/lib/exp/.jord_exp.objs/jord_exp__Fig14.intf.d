@@ -1,0 +1,1 @@
+lib/exp/fig14.mli:

@@ -1,0 +1,1 @@
+lib/exp/fig9.mli: Exp_common Jord_faas

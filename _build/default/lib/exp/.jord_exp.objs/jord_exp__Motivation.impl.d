@@ -1,0 +1,1 @@
+lib/exp/motivation.ml: Int Jord_arch Jord_privlib Jord_util Jord_vm List Printf

@@ -1,0 +1,1 @@
+lib/exp/table4.ml: Array Int Jord_arch Jord_privlib Jord_util Jord_vm List Queue

@@ -1,0 +1,1 @@
+lib/exp/table4.mli:

@@ -1,0 +1,99 @@
+module Vm = Jord_vm
+module Pl = Jord_privlib.Privlib
+
+type row = { system : string; warm_overhead_ns : float; startup_ns : float }
+
+let arg_bytes = 512
+
+(* Jord's numbers come from the live model: the Figure-4 per-invocation
+   operation sequence, and "startup" is creating the execution environment
+   (PD + stack/heap VMA + code grant). *)
+let jord_numbers () =
+  let memsys =
+    Jord_arch.Memsys.create (Jord_arch.Topology.create Jord_arch.Config.default)
+  in
+  let hw =
+    Vm.Hw.create ~memsys ~store:(Vm.Vma_store.plain Vm.Va.default_config)
+      ~va_cfg:Vm.Va.default_config ()
+  in
+  let priv = Pl.create ~hw ~os:(Jord_privlib.Os_facade.create ()) in
+  let code, _ = Pl.mmap priv ~core:0 ~bytes:16384 ~perm:Vm.Perm.rx () in
+  let one_cycle () =
+    (* Environment setup (the "startup"): cget + state VMA + grants. *)
+    let pd, c1 = Pl.cget priv ~core:0 in
+    let state, c2 = Pl.mmap priv ~core:0 ~bytes:8192 ~perm:Vm.Perm.rw () in
+    let c3 = Pl.pmove priv ~core:0 ~va:state ~dst_pd:pd ~perm:Vm.Perm.rw () in
+    let c4 = Pl.pcopy priv ~core:0 ~va:code ~dst_pd:pd ~perm:Vm.Perm.rx in
+    let startup = c1 +. c2 +. c3 +. c4 in
+    (* The rest of the warm invocation: ArgBuf round trip + switches +
+       teardown. *)
+    let arg, a1 = Pl.mmap priv ~core:0 ~bytes:arg_bytes ~perm:Vm.Perm.rw () in
+    let a2 = Pl.pmove priv ~core:0 ~va:arg ~dst_pd:pd ~perm:Vm.Perm.rw () in
+    let s1 = Pl.ccall priv ~core:0 ~pd in
+    let s2 = Pl.creturn priv ~core:0 in
+    let a3 = Pl.pmove priv ~core:0 ~src_pd:pd ~va:arg ~dst_pd:0 ~perm:Vm.Perm.rw () in
+    let a4 = Pl.mprotect priv ~core:0 ~pd ~va:code ~perm:Vm.Perm.none () in
+    let a5 = Pl.mprotect priv ~core:0 ~pd ~va:state ~perm:Vm.Perm.none () in
+    let a6 = Pl.munmap priv ~core:0 ~va:state in
+    let a7 = Pl.munmap priv ~core:0 ~va:arg in
+    let a8 = Pl.cput priv ~core:0 ~pd in
+    (startup, startup +. a1 +. a2 +. s1 +. s2 +. a3 +. a4 +. a5 +. a6 +. a7 +. a8)
+  in
+  (* Warm steady state: average a few cycles after a warm-up one. *)
+  let _ = one_cycle () in
+  let n = 50 in
+  let su = ref 0.0 and ov = ref 0.0 in
+  for _ = 1 to n do
+    let s, o = one_cycle () in
+    su := !su +. s;
+    ov := !ov +. o
+  done;
+  (!ov /. float_of_int n, !su /. float_of_int n)
+
+let run () =
+  let trad = Jord_baseline.Traditional.default in
+  let nc = Jord_baseline.Nightcore.default in
+  let nc_overhead =
+    Jord_baseline.Nightcore.dispatch_ns nc
+    +. Jord_baseline.Nightcore.input_ns nc ~bytes:arg_bytes
+    +. Jord_baseline.Nightcore.output_ns nc ~bytes:256
+    +. Jord_baseline.Nightcore.completion_ns nc
+  in
+  let jord_overhead, jord_startup = jord_numbers () in
+  [
+    {
+      system = "traditional (containers/microVMs)";
+      warm_overhead_ns = Jord_baseline.Traditional.invocation_overhead_ns trad ~arg_bytes;
+      startup_ns = trad.Jord_baseline.Traditional.cold_start_ns;
+    };
+    {
+      system = "traditional + cold-start mitigations";
+      warm_overhead_ns = Jord_baseline.Traditional.invocation_overhead_ns trad ~arg_bytes;
+      startup_ns = trad.Jord_baseline.Traditional.warm_start_ns;
+    };
+    {
+      system = "enhanced NightCore (threads+pipes)";
+      warm_overhead_ns = nc_overhead;
+      startup_ns = nc.Jord_baseline.Nightcore.worker_prep_ns *. 3200.0
+      (* the paper: 0.8 ms to prepare a worker process *);
+    };
+    { system = "Jord"; warm_overhead_ns = jord_overhead; startup_ns = jord_startup };
+  ]
+
+let pretty ns =
+  if ns >= 1e6 then Printf.sprintf "%.1f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let report () =
+  let rows = run () in
+  Jord_util.Render.table
+    ~title:
+      "Background (paper 2.1): per-invocation overhead and environment\n\
+       startup across FaaS generations (512 B payload)"
+    ~header:[ "System"; "warm invocation overhead"; "environment startup" ]
+    ~rows:
+      (List.map
+         (fun r -> [ r.system; pretty r.warm_overhead_ns; pretty r.startup_ns ])
+         rows)
+    ()

@@ -1,0 +1,20 @@
+(** The §2.1 background ladder: per-invocation overhead and startup latency
+    across the three generations of FaaS the paper contrasts —
+
+    - a traditional container/microVM platform (orchestrator-mediated IPC,
+      indirect data channels, sandbox cold starts);
+    - the enhanced NightCore baseline (threads + pipes + shm);
+    - Jord (zero-copy ArgBufs, PrivLib isolation).
+
+    The paper's claim: the first is *milliseconds* per invocation, the
+    second *microseconds*, Jord *hundreds of nanoseconds* — and the
+    function-as-a-function vision needs the third. *)
+
+type row = {
+  system : string;
+  warm_overhead_ns : float;  (** Control+data overhead, warm invocation. *)
+  startup_ns : float;  (** Cost of bringing up an execution environment. *)
+}
+
+val run : unit -> row list
+val report : unit -> string

@@ -1,0 +1,125 @@
+module Variant = Jord_faas.Variant
+module R = Jord_metrics.Recorder
+
+type verdict = { claim : string; evidence : string; pass : bool }
+
+let tput_under spec ~slo variant rates ~duration_us =
+  let config = Exp_common.config_for variant in
+  List.fold_left
+    (fun best rate ->
+      let spec = { spec with Exp_common.rates = [ rate ]; duration_us } in
+      match Exp_common.sweep spec ~config with
+      | [ (_, recorder) ] ->
+          if R.count recorder > 0 && R.p99_us recorder <= slo then
+            Float.max best (R.throughput_mrps recorder)
+          else best
+      | _ -> best)
+    0.0 rates
+
+let run ?(quick = false) () =
+  let dur = if quick then 1200.0 else 2500.0 in
+  (* 1. nanosecond-scale operations *)
+  let t4 = Table4.rows ~iters:(if quick then 800 else 2000) () in
+  let worst =
+    List.fold_left (fun acc r -> Float.max acc r.Table4.sim_ns) 0.0 t4
+  in
+  let lookup = List.find (fun r -> r.Table4.op = "VMA lookup") t4 in
+  let c1 =
+    {
+      claim = "VMA/PD ops complete in tens of ns; lookup ~2 ns (Table 4)";
+      evidence =
+        Printf.sprintf "worst op %.1f ns, lookup %.1f ns" worst lookup.Table4.sim_ns;
+      pass = worst < 60.0 && lookup.Table4.sim_ns < 5.0;
+    }
+  in
+  (* 2. page-based VM is orders of magnitude slower *)
+  let rows = Motivation.run ~iters:(if quick then 40 else 120) () in
+  let prot = List.nth rows 1 in
+  let c2 =
+    {
+      claim = "OS mprotect (syscall+PTE+IPI shootdown) is >>100x PrivLib's (2.2)";
+      evidence = Printf.sprintf "%.0fx speedup" prot.Motivation.speedup;
+      pass = prot.Motivation.speedup > 100.0;
+    }
+  in
+  (* 3+4. Jord vs Jord_NI and NightCore on Hipster *)
+  let spec = Exp_common.hipster in
+  let slo = Exp_common.slo_us spec in
+  let jord = tput_under spec ~slo Variant.Jord [ 6.0; 8.0; 9.0 ] ~duration_us:dur in
+  let ni = tput_under spec ~slo Variant.Jord_ni [ 8.0; 10.0; 11.0 ] ~duration_us:dur in
+  let nc = tput_under spec ~slo Variant.Nightcore [ 0.5; 1.0; 2.0 ] ~duration_us:dur in
+  let c3 =
+    {
+      claim = "Jord within ~20% of the insecure Jord_NI bound (Hipster, Fig. 9)";
+      evidence = Printf.sprintf "Jord %.1f vs NI %.1f MRPS (%.0f%%)" jord ni
+          (100.0 *. jord /. Float.max 0.01 ni);
+      pass = jord > 0.75 *. ni && jord > 0.0;
+    }
+  in
+  let c4 =
+    {
+      claim = "Jord >2x NightCore under SLO; NC misses the Hipster SLO outright";
+      evidence = Printf.sprintf "Jord %.1f MRPS, NightCore %.2f MRPS" jord nc;
+      pass = nc = 0.0 || jord > 2.0 *. nc;
+    }
+  in
+  (* 5. tiny VLBs *)
+  let vlb_tput entries =
+    let config =
+      { (Exp_common.config_for Variant.Jord) with Jord_faas.Server.i_vlb_entries = entries }
+    in
+    let spec = { spec with Exp_common.rates = [ 9.0 ]; duration_us = dur } in
+    match Exp_common.sweep spec ~config with
+    | [ (_, recorder) ] -> (R.p99_us recorder, R.throughput_mrps recorder)
+    | _ -> (infinity, 0.0)
+  in
+  let p99_2, _ = vlb_tput 2 and p99_16, _ = vlb_tput 16 in
+  let c5 =
+    {
+      claim = "2 I-VLB entries already reach full-size behaviour (Fig. 12)";
+      evidence = Printf.sprintf "p99 at 9 MRPS: 2-entry %.1f us vs 16-entry %.1f us" p99_2 p99_16;
+      pass = p99_2 < 1.5 *. p99_16 +. 5.0;
+    }
+  in
+  (* 6. B-tree variant *)
+  let bt = tput_under spec ~slo Variant.Jord_bt [ 4.0; 5.0; 6.0 ] ~duration_us:dur in
+  let c6 =
+    {
+      claim = "Jord_BT loses ~40-50% of Jord's throughput yet beats NightCore (Fig. 13)";
+      evidence = Printf.sprintf "BT %.1f vs Jord %.1f MRPS vs NC %.2f" bt jord nc;
+      pass = bt > 0.3 *. jord && bt < 0.85 *. jord && bt > nc;
+    }
+  in
+  (* 7. scalability *)
+  let pts = Fig14.run ~quick:true () in
+  let find label = List.find (fun p -> p.Fig14.label = label) pts in
+  let c16 = find "16-core" and s2 = find "2-socket" in
+  let c7 =
+    {
+      claim = "dispatch explodes across sockets; shootdown scales sublinearly (Fig. 14)";
+      evidence =
+        Printf.sprintf "dispatch %.2f -> %.1f us; shootdown %.0f -> %.0f ns"
+          c16.Fig14.dispatch_us s2.Fig14.dispatch_us c16.Fig14.shootdown_ns
+          s2.Fig14.shootdown_ns;
+      pass =
+        s2.Fig14.dispatch_us > 50.0 *. c16.Fig14.dispatch_us
+        && s2.Fig14.dispatch_us > 4.0
+        && s2.Fig14.shootdown_ns < 1000.0;
+    }
+  in
+  [ c1; c2; c3; c4; c5; c6; c7 ]
+
+let report ?quick () =
+  let verdicts = run ?quick () in
+  let rows =
+    List.map
+      (fun v -> [ (if v.pass then "PASS" else "FAIL"); v.claim; v.evidence ])
+      verdicts
+  in
+  let all = List.for_all (fun v -> v.pass) verdicts in
+  Jord_util.Render.table ~title:"Paper-claim checklist"
+    ~header:[ "verdict"; "claim"; "measured" ] ~rows ()
+  ^ Printf.sprintf "\noverall: %s (%d/%d claims hold)\n"
+      (if all then "PASS" else "FAIL")
+      (List.length (List.filter (fun v -> v.pass) verdicts))
+      (List.length verdicts)

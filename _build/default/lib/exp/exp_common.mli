@@ -1,0 +1,57 @@
+(** Shared machinery for the per-figure experiment drivers.
+
+    Every driver reports to stdout as an ASCII table/series (via
+    {!Jord_util.Render}) so the bench harness output is directly comparable
+    with EXPERIMENTS.md. *)
+
+type spec = {
+  name : string;
+  app : Jord_faas.Model.app;
+  rates : float list;  (** Load sweep (MRPS) for the p99-vs-load figures. *)
+  min_rate : float;  (** "Minimal load" used for SLO calibration. *)
+  duration_us : float;  (** Arrival window per point. *)
+  warmup : int;
+}
+
+val hipster : spec
+val hotel : spec
+val media : spec
+val social : spec
+val all : spec list
+
+val scale : float -> spec -> spec
+(** [scale f spec] multiplies the duration by [f] (and scales warmup),
+    for quick runs. *)
+
+val config_for : Jord_faas.Variant.t -> Jord_faas.Server.config
+
+val run_point :
+  ?seed_offset:int ->
+  spec ->
+  config:Jord_faas.Server.config ->
+  rate_mrps:float ->
+  Jord_faas.Server.t * Jord_metrics.Recorder.t
+(** One simulation at one offered load; [seed_offset] derives an
+    independent replication. *)
+
+val slo_us : spec -> float
+(** SLO = 10x the minimal-load mean service time on Jord_NI (paper §5).
+    Memoized per spec name. *)
+
+val sweep :
+  spec ->
+  config:Jord_faas.Server.config ->
+  (float * Jord_metrics.Recorder.t) list
+(** Run every rate of the spec. *)
+
+val sweep_replicated :
+  spec ->
+  config:Jord_faas.Server.config ->
+  seeds:int ->
+  (float * float * float) list
+(** [(rate, median p99 us, mean tput MRPS)] over [seeds] independent
+    replications per rate. *)
+
+val throughput_under_slo :
+  slo_us:float -> (float * Jord_metrics.Recorder.t) list -> float
+(** Highest measured throughput whose p99 meets the SLO (0 when none do). *)

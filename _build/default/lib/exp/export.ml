@@ -1,0 +1,153 @@
+let quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let csv_of_rows ~header ~rows =
+  let line fields = String.concat "," (List.map quote fields) ^ "\n" in
+  String.concat "" (line header :: List.map line rows)
+
+let write_file ~dir ~name content =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let f = Printf.sprintf "%.4f"
+
+let fig9 ~dir ?quick () =
+  let results = Fig9.run ?quick () in
+  List.map
+    (fun r ->
+      let rows =
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun p ->
+                [
+                  Jord_faas.Variant.name s.Fig9.variant;
+                  f p.Fig9.rate;
+                  f p.Fig9.tput;
+                  f p.Fig9.p99_us;
+                  f r.Fig9.slo_us;
+                ])
+              s.Fig9.points)
+          r.Fig9.series
+      in
+      write_file ~dir
+        ~name:(Printf.sprintf "fig9_%s.csv" (String.lowercase_ascii r.Fig9.workload))
+        (csv_of_rows ~header:[ "system"; "load_mrps"; "tput_mrps"; "p99_us"; "slo_us" ]
+           ~rows))
+    results
+
+let fig10 ~dir ?quick () =
+  let results = Fig10.run ?quick () in
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map (fun (us, frac) -> [ r.Fig10.workload; f us; f frac ]) r.Fig10.cdf)
+      results
+  in
+  [
+    write_file ~dir ~name:"fig10_cdf.csv"
+      (csv_of_rows ~header:[ "workload"; "service_us"; "fraction" ] ~rows);
+  ]
+
+let fig12 ~dir ?quick () =
+  let results = Fig12.run ?quick () in
+  List.map
+    (fun r ->
+      let side = match r.Fig12.side with `I -> "ivlb" | `D -> "dvlb" in
+      let rows =
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun (rate, p99) -> [ string_of_int s.Fig12.entries; f rate; f p99 ])
+              s.Fig12.points)
+          r.Fig12.series
+      in
+      write_file ~dir
+        ~name:
+          (Printf.sprintf "fig12_%s_%s.csv" (String.lowercase_ascii r.Fig12.workload) side)
+        (csv_of_rows ~header:[ "entries"; "load_mrps"; "p99_us" ] ~rows))
+    results
+
+let fig13 ~dir ?quick () =
+  let r = Fig13.run ?quick () in
+  let rows =
+    List.map (fun (rate, p99) -> [ "Jord"; f rate; f p99 ]) r.Fig13.jord
+    @ List.map (fun (rate, p99) -> [ "Jord_BT"; f rate; f p99 ]) r.Fig13.jord_bt
+  in
+  [
+    write_file ~dir ~name:"fig13_btree.csv"
+      (csv_of_rows ~header:[ "system"; "load_mrps"; "p99_us" ] ~rows);
+  ]
+
+let fig14 ~dir ?quick () =
+  let pts = Fig14.run ?quick () in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.Fig14.label;
+          string_of_int p.Fig14.cores;
+          string_of_int p.Fig14.sockets;
+          f p.Fig14.service_us;
+          f p.Fig14.shootdown_ns;
+          f p.Fig14.dispatch_us;
+        ])
+      pts
+  in
+  [
+    write_file ~dir ~name:"fig14_scalability.csv"
+      (csv_of_rows
+         ~header:[ "scale"; "cores"; "sockets"; "service_us"; "shootdown_ns"; "dispatch_us" ]
+         ~rows);
+  ]
+
+let table4 ~dir ?iters () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.Table4.op;
+          f r.Table4.sim_ns;
+          f r.Table4.fpga_ns;
+          f r.Table4.paper_sim_ns;
+          f r.Table4.paper_fpga_ns;
+        ])
+      (Table4.rows ?iters ())
+  in
+  [
+    write_file ~dir ~name:"table4_latencies.csv"
+      (csv_of_rows
+         ~header:[ "operation"; "sim_ns"; "fpga_ns"; "paper_sim_ns"; "paper_fpga_ns" ]
+         ~rows);
+  ]
+
+let motivation ~dir ?iters () =
+  let rows =
+    List.map
+      (fun r ->
+        [ r.Motivation.op; f r.Motivation.paged_ns; f r.Motivation.jord_ns; f r.Motivation.speedup ])
+      (Motivation.run ?iters ())
+  in
+  [
+    write_file ~dir ~name:"motivation_paging.csv"
+      (csv_of_rows ~header:[ "operation"; "paged_ns"; "jord_ns"; "speedup" ] ~rows);
+  ]
+
+let all ~dir ?quick () =
+  let iters = match quick with Some true -> Some 800 | _ -> None in
+  List.concat
+    [
+      table4 ~dir ?iters ();
+      motivation ~dir ?iters ();
+      fig9 ~dir ?quick ();
+      fig10 ~dir ?quick ();
+      fig12 ~dir ?quick ();
+      fig13 ~dir ?quick ();
+      fig14 ~dir ?quick ();
+    ]

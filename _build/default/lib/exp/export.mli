@@ -1,0 +1,22 @@
+(** CSV export of experiment results.
+
+    Every figure driver's data can be written as plain CSV (one file per
+    figure/series family) so the curves can be re-plotted with any tool.
+    Files land in a caller-chosen directory; names are stable. *)
+
+val csv_of_rows : header:string list -> rows:string list list -> string
+(** RFC-4180-ish CSV: fields containing commas/quotes/newlines are quoted. *)
+
+val write_file : dir:string -> name:string -> string -> string
+(** Write content under [dir] (created if missing); returns the path. *)
+
+val fig9 : dir:string -> ?quick:bool -> unit -> string list
+val fig10 : dir:string -> ?quick:bool -> unit -> string list
+val fig12 : dir:string -> ?quick:bool -> unit -> string list
+val fig13 : dir:string -> ?quick:bool -> unit -> string list
+val fig14 : dir:string -> ?quick:bool -> unit -> string list
+val table4 : dir:string -> ?iters:int -> unit -> string list
+val motivation : dir:string -> ?iters:int -> unit -> string list
+
+val all : dir:string -> ?quick:bool -> unit -> string list
+(** Run every exportable experiment; returns the files written. *)

@@ -1,0 +1,64 @@
+module R = Jord_metrics.Recorder
+
+type result = {
+  workload : string;
+  cdf : (float * float) list;
+  p75_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let run ?(quick = false) () =
+  List.map
+    (fun spec ->
+      let open Exp_common in
+      let samples = if quick then 3000.0 else 8000.0 in
+      let spec = { spec with duration_us = samples /. spec.min_rate; warmup = 200 } in
+      let _, recorder =
+        run_point spec ~config:(config_for Jord_faas.Variant.Jord)
+          ~rate_mrps:spec.min_rate
+      in
+      {
+        workload = spec.name;
+        cdf = R.cdf recorder;
+        p75_us = R.percentile_us recorder 75.0;
+        p99_us = R.percentile_us recorder 99.0;
+        max_us = R.percentile_us recorder 100.0;
+      })
+    Exp_common.all
+
+let report ?quick () =
+  let results = run ?quick () in
+  let buf = Buffer.create 4096 in
+  (* Sample the CDF at fixed fractions so the series stay comparable. *)
+  let fractions = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ] in
+  let value_at cdf frac =
+    match List.find_opt (fun (_, f) -> f >= frac) cdf with
+    | Some (v, _) -> v
+    | None -> ( match List.rev cdf with (v, _) :: _ -> v | [] -> 0.0)
+  in
+  let named =
+    List.map
+      (fun r -> (r.workload, List.map (fun f -> (f, value_at r.cdf f)) fractions))
+      results
+  in
+  Buffer.add_string buf
+    (Jord_util.Render.series
+       ~title:"Figure 10: service-time CDF in Jord (x = fraction, y = us)"
+       ~x_label:"fraction" ~y_label:"service_us" named);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Jord_util.Render.table ~title:"Figure 10 summary"
+       ~header:[ "Workload"; "p75(us)"; "p99(us)"; "max(us)" ]
+       ~rows:
+         (List.map
+            (fun r ->
+              [
+                r.workload;
+                Jord_util.Render.f2 r.p75_us;
+                Jord_util.Render.f2 r.p99_us;
+                Jord_util.Render.f2 r.max_us;
+              ])
+            results)
+       ());
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Figure 10 — CDF of function service time in Jord for the four
+    workloads, measured at minimal load (service time ~= latency with empty
+    queues). Expect ~75% of service times below ~5 us, with long tails for
+    Media and Social (one Social function around 75 us). *)
+
+type result = {
+  workload : string;
+  cdf : (float * float) list;  (** (us, cumulative fraction) *)
+  p75_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val run : ?quick:bool -> unit -> result list
+val report : ?quick:bool -> unit -> string

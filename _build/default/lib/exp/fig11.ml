@@ -1,0 +1,121 @@
+module Variant = Jord_faas.Variant
+module R = Jord_metrics.Recorder
+
+type entry = {
+  workload : string;
+  fn : string;
+  jord_exec_us : float;
+  jord_isolation_us : float;
+  jord_dispatch_us : float;
+  jord_service_us : float;
+  nc_exec_us : float;
+  nc_pipe_us : float;
+  nc_service_us : float;
+}
+
+(* Table 3: the eight selected functions and their abbreviations. *)
+let selected =
+  [
+    ("Hipster", Jord_workloads.Hipster.get_cart, "GC");
+    ("Hipster", Jord_workloads.Hipster.place_order, "PO");
+    ("Hotel", Jord_workloads.Hotel.search_nearby, "SN");
+    ("Hotel", Jord_workloads.Hotel.make_reservation, "MR");
+    ("Media", Jord_workloads.Media.upload_unique_id, "UU");
+    ("Media", Jord_workloads.Media.read_page, "RP");
+    ("Social", Jord_workloads.Social.follow, "F");
+    ("Social", Jord_workloads.Social.compose_post, "CP");
+  ]
+
+(* Moderate load per workload, low enough that NightCore is not saturated
+   (its breakdown would otherwise be dominated by queueing). *)
+let breakdown_rate = function
+  | "Hipster" -> 1.2
+  | "Hotel" -> 0.8
+  | "Media" -> 0.35
+  | "Social" -> 0.25
+  | _ -> 0.5
+
+let run ?(quick = false) () =
+  let measure spec variant =
+    let open Exp_common in
+    let rate = breakdown_rate spec.name in
+    let samples = if quick then 2500.0 else 6000.0 in
+    let spec =
+      { spec with duration_us = Float.max spec.duration_us (samples /. rate); warmup = 300 }
+    in
+    let _, recorder = run_point spec ~config:(config_for variant) ~rate_mrps:rate in
+    R.by_entry recorder
+  in
+  List.concat_map
+    (fun spec ->
+      let jord = measure spec Variant.Jord in
+      let nc = measure spec Variant.Nightcore in
+      let find name rows =
+        List.find_opt (fun (n, _, _, _) -> n = name) rows
+      in
+      List.filter_map
+        (fun (workload, fn_name, abbrev) ->
+          if workload <> spec.Exp_common.name then None
+          else
+            match (find fn_name jord, find fn_name nc) with
+            | Some (_, _, j_lat, j), Some (_, _, n_lat, n) ->
+                Some
+                  {
+                    workload;
+                    fn = abbrev;
+                    (* Zero-copy data movement is part of execution for
+                       Jord; copies and pipes are overhead for NightCore. *)
+                    jord_exec_us = (j.R.exec_ns +. j.R.comm_ns) /. 1000.0;
+                    jord_isolation_us = j.R.isolation_ns /. 1000.0;
+                    jord_dispatch_us = j.R.dispatch_ns /. 1000.0;
+                    jord_service_us = j_lat;
+                    nc_exec_us = n.R.exec_ns /. 1000.0;
+                    nc_pipe_us = (n.R.comm_ns +. n.R.isolation_ns +. n.R.dispatch_ns) /. 1000.0;
+                    nc_service_us = n_lat;
+                  }
+            | _ -> None)
+        selected)
+    Exp_common.all
+
+let report ?quick () =
+  let entries = run ?quick () in
+  let pct part total = if total <= 0.0 then "-" else Printf.sprintf "%.0f%%" (100.0 *. part /. total) in
+  Jord_util.Render.table
+    ~title:
+      "Figure 11: breakdown of per-request busy time for the selected functions\n\
+       (shares of the invocation tree's busy time; async trees overlap, so\n\
+       busy time can exceed the wall-clock service time)"
+    ~header:
+      [
+        "Fn";
+        "Workload";
+        "J.service(us)";
+        "J.exec";
+        "J.isol";
+        "J.disp";
+        "NC.service(us)";
+        "NC.exec";
+        "NC.pipe";
+        "NC/J";
+      ]
+    ~rows:
+      (List.map
+         (fun e ->
+           let j_total = e.jord_exec_us +. e.jord_isolation_us +. e.jord_dispatch_us in
+           let n_total = e.nc_exec_us +. e.nc_pipe_us in
+           [
+             e.fn;
+             e.workload;
+             Jord_util.Render.f2 e.jord_service_us;
+             pct e.jord_exec_us j_total;
+             pct e.jord_isolation_us j_total;
+             pct e.jord_dispatch_us j_total;
+             Jord_util.Render.f2 e.nc_service_us;
+             pct e.nc_exec_us n_total;
+             pct e.nc_pipe_us n_total;
+             (if e.jord_service_us > 0.0 then
+                Jord_util.Render.f2 (e.nc_service_us /. e.jord_service_us)
+              else "-");
+           ])
+         entries)
+    ()

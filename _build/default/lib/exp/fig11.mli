@@ -1,0 +1,22 @@
+(** Figure 11 — service-time breakdown for the eight selected functions
+    (Table 3): execution vs isolation vs dispatch for Jord, execution vs
+    pipe/shm overhead for NightCore, at moderate load.
+
+    Expected shape: Jord's overhead is ~11% of service time on average
+    (except RP, whose >100 nested invocations push it higher); NightCore's
+    overhead exceeds execution time in most cases and reaches ~3x for RP. *)
+
+type entry = {
+  workload : string;
+  fn : string;  (** Table 3 abbreviation. *)
+  jord_exec_us : float;
+  jord_isolation_us : float;
+  jord_dispatch_us : float;
+  jord_service_us : float;
+  nc_exec_us : float;
+  nc_pipe_us : float;
+  nc_service_us : float;
+}
+
+val run : ?quick:bool -> unit -> entry list
+val report : ?quick:bool -> unit -> string

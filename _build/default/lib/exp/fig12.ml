@@ -1,0 +1,84 @@
+module Variant = Jord_faas.Variant
+module Server = Jord_faas.Server
+module R = Jord_metrics.Recorder
+
+type series = { entries : int; points : (float * float) list }
+
+type result = {
+  workload : string;
+  side : [ `I | `D ];
+  slo_us : float;
+  series : series list;
+  tput_under_slo : (int * float) list;
+}
+
+let sizes = [ 1; 2; 4; 16 ]
+
+let run ?(quick = false) () =
+  let cases = [ (Exp_common.hipster, `I); (Exp_common.media, `D) ] in
+  List.map
+    (fun (spec, side) ->
+      let spec = if quick then Exp_common.scale 0.4 spec else spec in
+      let slo_us = Exp_common.slo_us spec in
+      let series =
+        List.map
+          (fun entries ->
+            let base = Exp_common.config_for Variant.Jord in
+            let config =
+              match side with
+              | `I -> { base with Server.i_vlb_entries = entries }
+              | `D -> { base with Server.d_vlb_entries = entries }
+            in
+            let pts =
+              List.map
+                (fun (rate, recorder) -> (rate, R.p99_us recorder))
+                (Exp_common.sweep spec ~config)
+            in
+            { entries; points = pts })
+          sizes
+      in
+      let tput_under_slo =
+        List.map
+          (fun s ->
+            let best =
+              List.fold_left
+                (fun best (rate, p99) ->
+                  if p99 <= slo_us && rate > best then rate else best)
+                0.0 s.points
+            in
+            (s.entries, best))
+          series
+      in
+      { workload = spec.Exp_common.name; side; slo_us; series; tput_under_slo })
+    cases
+
+let side_name = function `I -> "I-VLB" | `D -> "D-VLB"
+
+let report ?quick () =
+  let results = run ?quick () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let named =
+        List.map
+          (fun s -> (Printf.sprintf "%d-entry" s.entries, s.points))
+          r.series
+      in
+      Buffer.add_string buf
+        (Jord_util.Render.series
+           ~title:
+             (Printf.sprintf "Figure 12 [%s, %s]: p99 vs load (SLO = %.1f us)"
+                r.workload (side_name r.side) r.slo_us)
+           ~x_label:"load_mrps" ~y_label:"p99_us" named);
+      Buffer.add_string buf
+        (Jord_util.Render.table
+           ~title:(Printf.sprintf "Load under SLO by %s size" (side_name r.side))
+           ~header:[ "entries"; "max load under SLO (MRPS)" ]
+           ~rows:
+             (List.map
+                (fun (e, t) -> [ string_of_int e; Jord_util.Render.f2 t ])
+                r.tput_under_slo)
+           ());
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf

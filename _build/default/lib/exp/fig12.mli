@@ -1,0 +1,19 @@
+(** Figure 12 — sensitivity of p99-vs-load to the number of I-VLB entries
+    (Hipster) and D-VLB entries (Media), for {1, 2, 4, 16} entries.
+
+    Expected shape: 2 I-VLB entries already reach ~99% of peak throughput
+    (function code + PrivLib code); Media wants ~8 D-VLB entries (private
+    stack/heap, own ArgBuf, and the live child ArgBufs of a batch). *)
+
+type series = { entries : int; points : (float * float) list (** (load, p99 us) *) }
+
+type result = {
+  workload : string;
+  side : [ `I | `D ];
+  slo_us : float;
+  series : series list;
+  tput_under_slo : (int * float) list;
+}
+
+val run : ?quick:bool -> unit -> result list
+val report : ?quick:bool -> unit -> string

@@ -1,0 +1,23 @@
+(** Figure 13 — Jord vs Jord_BT (B-tree VMA table) p99-vs-load on Hipster,
+    plus the two mechanism measurements the paper cites: the higher VLB-miss
+    walk penalty (2 ns plain list vs ~20 ns B-tree) and the extra PrivLib
+    time spent on VMA management (+167% from rebalancing).
+
+    Expected shape: Jord_BT reaches ~60% of Jord's throughput under SLO but
+    still beats NightCore. *)
+
+type result = {
+  slo_us : float;
+  jord : (float * float) list;  (** (load, p99 us) *)
+  jord_bt : (float * float) list;
+  jord_tput : float;
+  bt_tput : float;
+  jord_walk_ns : float;  (** Mean VLB-miss penalty. *)
+  bt_walk_ns : float;
+  jord_vma_mgmt_ns_per_req : float;
+  bt_vma_mgmt_ns_per_req : float;
+  bt_rebalances : int;
+}
+
+val run : ?quick:bool -> unit -> result
+val report : ?quick:bool -> unit -> string

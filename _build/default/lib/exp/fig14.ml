@@ -1,0 +1,89 @@
+module Server = Jord_faas.Server
+module R = Jord_metrics.Recorder
+
+type point = {
+  label : string;
+  cores : int;
+  sockets : int;
+  service_us : float;
+  shootdown_ns : float;
+  dispatch_us : float;
+}
+
+let scales =
+  [
+    ("16-core", 16, 1);
+    ("64-core", 64, 1);
+    ("128-core", 128, 1);
+    ("256-core", 256, 1);
+    ("2-socket", 256, 2);
+  ]
+
+let run ?(quick = false) () =
+  List.map
+    (fun (label, cores, sockets) ->
+      let machine =
+        Jord_arch.Config.with_cores
+          (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
+          cores
+      in
+      let config =
+        {
+          Server.default_config with
+          Server.machine;
+          orchestrators = 1;
+          variant = Jord_faas.Variant.Jord;
+        }
+      in
+      (* Fixed offered load at every scale: keeps the single orchestrator
+         continuously busy on the big machines (the regime the paper's
+         analysis describes) without being executor-bound on the small
+         ones. *)
+      let rate = 2.0 in
+      let duration_us =
+        (if cores >= 128 then 9000.0 else 5000.0) *. if quick then 0.4 else 1.0
+      in
+      let server, recorder =
+        Jord_workloads.Loadgen.run ~warmup:300 ~app:Jord_workloads.Hipster.app ~config
+          ~rate_mrps:rate ~duration_us ()
+      in
+      let b = R.mean_breakdown recorder in
+      {
+        label;
+        cores;
+        sockets;
+        service_us = (b.R.exec_ns +. b.R.isolation_ns +. b.R.comm_ns) /. 1000.0;
+        shootdown_ns = Server.worst_case_shootdown_ns server;
+        dispatch_us =
+          (* Worst-case scan (all queue lines remote-dirty), averaged over a
+             few probes. *)
+          (let probes = 32 in
+           let sum = ref 0.0 in
+           for _ = 1 to probes do
+             sum := !sum +. Server.worst_case_dispatch_ns server
+           done;
+           !sum /. float_of_int probes /. 1000.0);
+      })
+    scales
+
+let report ?quick () =
+  let pts = run ?quick () in
+  Jord_util.Render.table
+    ~title:
+      "Figure 14: service time, VLB shootdown and dispatch latency vs scale\n\
+       (single orchestrator, Hipster)"
+    ~header:
+      [ "Scale"; "Cores"; "Sockets"; "Service(us)"; "Shootdown(ns)"; "Dispatch(us)" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [
+             p.label;
+             string_of_int p.cores;
+             string_of_int p.sockets;
+             Jord_util.Render.f2 p.service_us;
+             Jord_util.Render.f1 p.shootdown_ns;
+             Jord_util.Render.f3 p.dispatch_us;
+           ])
+         pts)
+    ()

@@ -1,0 +1,23 @@
+(** Figure 14 — sensitivity of average function service time, VLB-shootdown
+    latency and dispatch latency to system scale: 16/64/128/256 cores on
+    one socket plus a 2-socket 256-core machine, with a single orchestrator
+    managing every executor (the configuration whose dispatch cost the
+    paper's §6.3 analysis is about).
+
+    Expected shape: service time and shootdown latency grow sublinearly
+    (bounded by ArgBuf footprint and machine diameter respectively);
+    dispatch latency explodes — ~12 us per dispatch on the 2-socket
+    256-core machine — because JBSQ reads one queue-length line per managed
+    executor and most are remote-dirty. *)
+
+type point = {
+  label : string;
+  cores : int;
+  sockets : int;
+  service_us : float;  (** Mean executor-side service (exec+isolation+comm). *)
+  shootdown_ns : float;  (** Mean hardware VLB-shootdown latency. *)
+  dispatch_us : float;  (** Mean orchestrator dispatch latency. *)
+}
+
+val run : ?quick:bool -> unit -> point list
+val report : ?quick:bool -> unit -> string

@@ -1,0 +1,86 @@
+module Variant = Jord_faas.Variant
+module R = Jord_metrics.Recorder
+
+type point = { rate : float; tput : float; p99_us : float }
+type series = { variant : Variant.t; points : point list }
+type result = { workload : string; slo_us : float; series : series list }
+
+let variants = [ Variant.Nightcore; Variant.Jord; Variant.Jord_ni ]
+
+let run ?(quick = false) ?(seeds = 1) ?(specs = Exp_common.all) () =
+  let specs = if quick then List.map (Exp_common.scale 0.4) specs else specs in
+  List.map
+    (fun spec ->
+      let slo_us = Exp_common.slo_us spec in
+      let series =
+        List.map
+          (fun variant ->
+            let config = Exp_common.config_for variant in
+            let pts =
+              if seeds <= 1 then
+                List.map
+                  (fun (rate, recorder) ->
+                    { rate; tput = R.throughput_mrps recorder; p99_us = R.p99_us recorder })
+                  (Exp_common.sweep spec ~config)
+              else
+                List.map
+                  (fun (rate, p99_us, tput) -> { rate; tput; p99_us })
+                  (Exp_common.sweep_replicated spec ~config ~seeds)
+            in
+            { variant; points = pts })
+          variants
+      in
+      { workload = spec.Exp_common.name; slo_us; series })
+    specs
+
+let report ?quick ?seeds () =
+  let results = run ?quick ?seeds () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let named =
+        List.map
+          (fun s ->
+            ( Variant.name s.variant,
+              List.map (fun p -> (p.rate, p.p99_us)) s.points ))
+          r.series
+      in
+      Buffer.add_string buf
+        (Jord_util.Render.series
+           ~title:
+             (Printf.sprintf "Figure 9 [%s]: p99 latency vs load (SLO = %.1f us)"
+                r.workload r.slo_us)
+           ~x_label:"load_mrps" ~y_label:"p99_us" named);
+      Buffer.add_char buf '\n')
+    results;
+  (* Headline summary: throughput under SLO per system. *)
+  let rows =
+    List.map
+      (fun r ->
+        let tput v =
+          let s = List.find (fun s -> s.variant = v) r.series in
+          List.fold_left
+            (fun best p ->
+              if p.p99_us <= r.slo_us && p.tput > best then p.tput else best)
+            0.0 s.points
+        in
+        let jord = tput Variant.Jord
+        and ni = tput Variant.Jord_ni
+        and nc = tput Variant.Nightcore in
+        [
+          r.workload;
+          Jord_util.Render.f1 r.slo_us;
+          Jord_util.Render.f2 jord;
+          Jord_util.Render.f2 ni;
+          Jord_util.Render.f2 nc;
+          (if ni > 0.0 then Jord_util.Render.f2 (jord /. ni) else "-");
+          (if nc > 0.0 then Jord_util.Render.f2 (jord /. nc) else "inf");
+        ])
+      results
+  in
+  Buffer.add_string buf
+    (Jord_util.Render.table ~title:"Figure 9 summary: throughput under SLO (MRPS)"
+       ~header:
+         [ "Workload"; "SLO(us)"; "Jord"; "Jord_NI"; "NightCore"; "Jord/NI"; "Jord/NC" ]
+       ~rows ());
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Figure 9 — p99 latency vs offered load for the four workloads under
+    NightCore, Jord and Jord_NI, plus the derived throughput-under-SLO
+    table (the basis of the "within 16% of Jord_NI" and ">2x NightCore"
+    claims). *)
+
+type point = { rate : float; tput : float; p99_us : float }
+
+type series = { variant : Jord_faas.Variant.t; points : point list }
+
+type result = { workload : string; slo_us : float; series : series list }
+
+val run :
+  ?quick:bool -> ?seeds:int -> ?specs:Exp_common.spec list -> unit -> result list
+(** [seeds > 1] replicates every point with independent seeds and reports
+    the median p99 / mean throughput. *)
+
+val report : ?quick:bool -> ?seeds:int -> unit -> string

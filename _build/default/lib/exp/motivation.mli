@@ -1,0 +1,19 @@
+(** The §2.2 motivation experiment (not a numbered figure in the paper, but
+    the quantitative argument behind it): page-based memory management —
+    syscalls, radix page-table edits, IPI TLB shootdowns across the 32-core
+    machine — against PrivLib's VMA operations on the same machine model.
+
+    Expected shape: page-based mprotect/munmap land in the multi-microsecond
+    range (the paper's "tens to even thousands of microseconds" for larger
+    machines and regions) while Jord's equivalents stay in tens of
+    nanoseconds — a 2-3 orders-of-magnitude gap. *)
+
+type row = {
+  op : string;
+  paged_ns : float;
+  jord_ns : float;
+  speedup : float;
+}
+
+val run : ?iters:int -> ?region_bytes:int -> unit -> row list
+val report : ?iters:int -> unit -> string

@@ -1,0 +1,12 @@
+(** Table 4 — VMA and PD operation latencies on the Simulator and FPGA
+    timing profiles.
+
+    Steady-state microbenchmark: each PrivLib operation runs in a loop on a
+    warm machine; the reported number is the mean latency after warm-up.
+    "VMA lookup" is the VTW walk on a VLB miss whose VTE hits the L1D — the
+    paper's common case. *)
+
+type row = { op : string; sim_ns : float; fpga_ns : float; paper_sim_ns : float; paper_fpga_ns : float }
+
+val rows : ?iters:int -> unit -> row list
+val report : ?iters:int -> unit -> string

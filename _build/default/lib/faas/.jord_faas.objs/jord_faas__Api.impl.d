@@ -1,0 +1,1 @@
+lib/faas/api.ml: List Model

@@ -1,0 +1,1 @@
+lib/faas/bounded_queue.ml: Array Jord_arch

@@ -1,0 +1,1 @@
+lib/faas/bounded_queue.mli: Jord_arch

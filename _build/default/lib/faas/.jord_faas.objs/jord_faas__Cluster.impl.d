@@ -1,0 +1,1 @@
+lib/faas/cluster.ml: Array Jord_sim Server

@@ -1,0 +1,1 @@
+lib/faas/cluster.mli: Jord_sim Model Request Server

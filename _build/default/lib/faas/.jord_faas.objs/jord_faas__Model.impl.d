@@ -1,0 +1,1 @@
+lib/faas/model.ml: Array Hashtbl Jord_util List Printf

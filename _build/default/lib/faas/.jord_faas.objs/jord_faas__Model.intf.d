@@ -1,0 +1,1 @@
+lib/faas/model.mli: Jord_util

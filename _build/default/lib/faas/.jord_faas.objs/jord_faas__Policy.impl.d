@@ -1,0 +1,1 @@
+lib/faas/policy.ml: Jord_util

@@ -1,0 +1,1 @@
+lib/faas/policy.mli: Jord_util

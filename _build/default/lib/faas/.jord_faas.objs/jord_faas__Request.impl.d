@@ -1,0 +1,1 @@
+lib/faas/request.ml: Jord_sim

@@ -1,0 +1,1 @@
+lib/faas/request.mli: Jord_sim

@@ -1,0 +1,1 @@
+lib/faas/runtime.ml: Hashtbl Int Jord_baseline Jord_privlib Jord_vm Model Printf Variant

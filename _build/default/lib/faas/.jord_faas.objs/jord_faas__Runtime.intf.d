@@ -1,0 +1,1 @@
+lib/faas/runtime.mli: Jord_baseline Jord_privlib Jord_vm Model Variant

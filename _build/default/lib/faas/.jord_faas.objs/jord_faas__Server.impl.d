@@ -1,0 +1,1 @@
+lib/faas/server.ml: Array Bounded_queue Hashtbl Jord_arch Jord_baseline Jord_privlib Jord_sim Jord_util Jord_vm List Model Policy Queue Request Runtime Trace Variant

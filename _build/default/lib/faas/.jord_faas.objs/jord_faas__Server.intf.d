@@ -1,0 +1,1 @@
+lib/faas/server.mli: Jord_arch Jord_privlib Jord_sim Jord_vm Model Policy Request Runtime Trace Variant

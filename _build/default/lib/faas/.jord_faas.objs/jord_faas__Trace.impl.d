@@ -1,0 +1,1 @@
+lib/faas/trace.ml: Array Buffer Int Jord_util List Printf

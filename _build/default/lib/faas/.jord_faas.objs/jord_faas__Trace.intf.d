@@ -1,0 +1,1 @@
+lib/faas/trace.mli:

@@ -1,0 +1,1 @@
+lib/faas/variant.ml: Format

@@ -1,0 +1,1 @@
+lib/faas/variant.mli: Format

@@ -1,0 +1,49 @@
+type phases = Model.phase list (* reversed *)
+
+let phases = []
+let compute_ns ns acc = Model.Compute ns :: acc
+let compute_us us acc = compute_ns (us *. 1000.0) acc
+
+let call ?(arg_bytes = 256) target acc =
+  Model.Invoke { target; arg_bytes; mode = Model.Sync; cookie = None } :: acc
+
+let spawn ?(arg_bytes = 256) ?cookie target acc =
+  Model.Invoke { target; arg_bytes; mode = Model.Async; cookie } :: acc
+
+let join acc = Model.Wait :: acc
+let join_cookie c acc = Model.Wait_for c :: acc
+let scratch bytes acc = Model.Scratch bytes :: acc
+
+type builder = {
+  name : string;
+  fns : Model.fn list; (* reversed *)
+  entries : (string * float) list; (* reversed *)
+}
+
+let app name = { name; fns = []; entries = [] }
+
+let fn name ?exec_us ?(state_bytes = 8 * 1024) ?(code_bytes = 16 * 1024) ?phases:ph b =
+  let phase_list =
+    match (ph, exec_us) with
+    | Some f, _ -> List.rev (f phases)
+    | None, Some us -> [ Model.Compute (us *. 1000.0) ]
+    | None, None -> [ Model.Compute 500.0 ]
+  in
+  let fn =
+    { Model.name; make_phases = (fun _ -> phase_list); state_bytes; code_bytes }
+  in
+  { b with fns = fn :: b.fns }
+
+let entry ?(weight = 1.0) name b = { b with entries = (name, weight) :: b.entries }
+
+let build b =
+  let app =
+    {
+      Model.app_name = b.name;
+      fns = List.rev b.fns;
+      entries = List.rev b.entries;
+    }
+  in
+  match Model.validate app with
+  | Ok () -> app
+  | Error e -> invalid_arg ("Api.build: " ^ e)

@@ -1,0 +1,63 @@
+(** A fluent builder for defining Jord applications.
+
+    Thin sugar over {!Model} for examples and downstream users: phases are
+    appended left to right, and the app builder checks validity at
+    {!build}.
+
+    {[
+      let app =
+        Api.(
+          app "geo"
+          |> fn "lookup" ~exec_us:0.4
+          |> fn "frontend"
+               ~phases:(fun p ->
+                 p |> compute_us 0.3 |> call "lookup" |> compute_us 0.1)
+          |> entry "frontend"
+          |> build)
+    ]} *)
+
+type phases
+(** Phase accumulator. *)
+
+val phases : phases
+(** Empty accumulator. *)
+
+val compute_us : float -> phases -> phases
+val compute_ns : float -> phases -> phases
+
+val call : ?arg_bytes:int -> string -> phases -> phases
+(** Synchronous nested invocation. *)
+
+val spawn : ?arg_bytes:int -> ?cookie:int -> string -> phases -> phases
+(** Asynchronous nested invocation, optionally labelled with a cookie. *)
+
+val join : phases -> phases
+(** Wait for every outstanding [spawn]. *)
+
+val join_cookie : int -> phases -> phases
+(** Wait for the [spawn] labelled with this cookie only. *)
+
+val scratch : int -> phases -> phases
+(** Allocate, touch and free a VMA of this many bytes in the function. *)
+
+type builder
+
+val app : string -> builder
+
+val fn :
+  string ->
+  ?exec_us:float ->
+  ?state_bytes:int ->
+  ?code_bytes:int ->
+  ?phases:(phases -> phases) ->
+  builder ->
+  builder
+(** Add a function. Provide either [exec_us] (single compute phase) or
+    [phases] (full control); [exec_us] defaults to 0.5 when both are
+    omitted. *)
+
+val entry : ?weight:float -> string -> builder -> builder
+(** Mark a function as externally invokable (default weight 1). *)
+
+val build : builder -> Model.app
+(** @raise Invalid_argument if the app fails {!Model.validate}. *)

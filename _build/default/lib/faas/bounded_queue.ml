@@ -1,0 +1,48 @@
+type 'a t = {
+  slots : 'a option array;
+  region : int;
+  mutable head : int; (* next dequeue position *)
+  mutable len : int;
+}
+
+let line = 64
+
+let create ~capacity ~region =
+  if capacity <= 0 then invalid_arg "Bounded_queue.create";
+  { slots = Array.make capacity None; region; head = 0; len = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let is_full t = t.len = capacity t
+let is_empty t = t.len = 0
+let len_addr t = t.region
+let slot_addr t i = t.region + ((i + 1) * line)
+
+let enqueue t ~memsys ~core item =
+  if is_full t then invalid_arg "Bounded_queue.enqueue: full";
+  let i = (t.head + t.len) mod capacity t in
+  t.slots.(i) <- Some item;
+  t.len <- t.len + 1;
+  Jord_arch.Memsys.write memsys ~core ~addr:(slot_addr t i)
+  +. Jord_arch.Memsys.write memsys ~core ~addr:(len_addr t)
+
+let dequeue t ~memsys ~core =
+  if is_empty t then None
+  else begin
+    let i = t.head in
+    let item =
+      match t.slots.(i) with
+      | Some x -> x
+      | None -> invalid_arg "Bounded_queue.dequeue: corrupt slot"
+    in
+    t.slots.(i) <- None;
+    t.head <- (i + 1) mod capacity t;
+    t.len <- t.len - 1;
+    let lat =
+      Jord_arch.Memsys.read memsys ~core ~addr:(slot_addr t i)
+      +. Jord_arch.Memsys.write memsys ~core ~addr:(len_addr t)
+    in
+    Some (item, lat)
+  end
+
+let region_bytes ~capacity = (capacity + 1) * line

@@ -1,0 +1,31 @@
+(** Bounded per-executor request queue with memory-mapped control lines.
+
+    The JBSQ policy reads each executor's queue-length line; enqueues and
+    dequeues write it. Giving the length and each slot their own cache lines
+    lets the coherence model reproduce the real dispatch-scan traffic: a
+    recently updated queue length is a remote dirty line for the
+    orchestrator, an unchanged one is a local L1 hit. *)
+
+type 'a t
+
+val create : capacity:int -> region:int -> 'a t
+(** [region] is the base address of the queue's lines (length line first,
+    then one line per slot). *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+val is_empty : 'a t -> bool
+
+val len_addr : 'a t -> int
+(** Address the dispatch scan reads. *)
+
+val enqueue : 'a t -> memsys:Jord_arch.Memsys.t -> core:int -> 'a -> float
+(** Write the item's slot and bump the length; returns the latency.
+    @raise Invalid_argument when full (callers check first). *)
+
+val dequeue : 'a t -> memsys:Jord_arch.Memsys.t -> core:int -> ('a * float) option
+(** Pop the oldest item, charging the slot read and length update. *)
+
+val region_bytes : capacity:int -> int
+(** Address-space footprint, for carving distinct regions per queue. *)

@@ -1,0 +1,45 @@
+type t = {
+  engine : Jord_sim.Engine.t;
+  servers : Server.t array;
+  mutable rr : int;
+}
+
+(* One-way network latency between servers (top-of-rack switch). Matches
+   the Server-side serialization constants. *)
+let net_one_way = Jord_sim.Time.of_ns 2500.0
+
+let create ?(forward_after = 3) ~servers:n ~config app =
+  if n < 1 then invalid_arg "Cluster.create";
+  let engine = Jord_sim.Engine.create () in
+  let config = { config with Server.forward_after } in
+  let servers = Array.init n (fun i ->
+      Server.create ~engine { config with Server.seed = config.Server.seed + i } app)
+  in
+  (* Forward to the next server in the ring; delivery after the wire
+     latency. *)
+  Array.iteri
+    (fun i server ->
+      if n > 1 then
+        Server.set_forward server
+          (Some
+             (fun req ->
+               let target = servers.((i + 1) mod n) in
+               Jord_sim.Engine.schedule engine ~after:net_one_way (fun _ ->
+                   Server.receive_forwarded target req))))
+    servers;
+  { engine; servers; rr = 0 }
+
+let engine t = t.engine
+let servers t = t.servers
+
+let submit t ?entry () =
+  let server = t.servers.(t.rr mod Array.length t.servers) in
+  t.rr <- t.rr + 1;
+  Server.submit server ?entry ()
+
+let on_root_complete t f = Array.iter (fun s -> Server.on_root_complete s f) t.servers
+
+let run ?until t = Jord_sim.Engine.run ?until t.engine
+
+let forwarded t =
+  Array.fold_left (fun acc s -> acc + Server.forwarded_out s) 0 t.servers

@@ -1,0 +1,36 @@
+(** A cluster of Jord worker servers sharing one simulated timeline.
+
+    Implements the paper's multi-server escape hatch (§3.3): when a worker
+    server's orchestrator cannot place an internal request after repeated
+    full scans, it ships the request over the network to a peer, which
+    executes it and returns the response. Cross-server traffic has no
+    zero-copy path: payloads are serialized, copied and re-materialized
+    into a local ArgBuf on arrival.
+
+    External requests are spread across servers round-robin (a front-end
+    load balancer). *)
+
+type t
+
+val create :
+  ?forward_after:int ->
+  servers:int ->
+  config:Server.config ->
+  Model.app ->
+  t
+(** [forward_after] (default 3) full-scan retries before an internal request
+    leaves its server. All servers share one engine. *)
+
+val engine : t -> Jord_sim.Engine.t
+val servers : t -> Server.t array
+
+val submit : t -> ?entry:string -> unit -> unit
+(** Round-robin external submission. *)
+
+val on_root_complete : t -> (Request.root -> unit) -> unit
+(** Install the completion callback on every server. *)
+
+val run : ?until:Jord_sim.Time.t -> t -> unit
+
+val forwarded : t -> int
+(** Total requests shipped between servers. *)

@@ -1,0 +1,111 @@
+type mode = Sync | Async
+
+type phase =
+  | Compute of float
+  | Invoke of { target : string; arg_bytes : int; mode : mode; cookie : int option }
+  | Wait
+  | Wait_for of int
+  | Scratch of int
+
+type fn = {
+  name : string;
+  make_phases : Jord_util.Prng.t -> phase list;
+  state_bytes : int;
+  code_bytes : int;
+}
+
+type app = {
+  app_name : string;
+  fns : fn list;
+  entries : (string * float) list;
+}
+
+let find_fn app name =
+  match List.find_opt (fun f -> f.name = name) app.fns with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Model.find_fn: unknown function %S" name)
+
+let pick_entry app prng =
+  if app.entries = [] then invalid_arg "Model.pick_entry: empty entry mix";
+  let weights = Array.of_list (List.map snd app.entries) in
+  let i = Jord_util.Sample.categorical prng weights in
+  fst (List.nth app.entries i)
+
+(* Sample each function's phases a few times to discover its possible
+   invocation targets (phase lists are generated, not declared). *)
+let sampled_targets fn =
+  let prng = Jord_util.Prng.create ~seed:7 in
+  let targets = Hashtbl.create 8 in
+  for _ = 1 to 16 do
+    List.iter
+      (function
+        | Invoke { target; _ } -> Hashtbl.replace targets target ()
+        | Compute _ | Wait | Wait_for _ | Scratch _ -> ())
+      (fn.make_phases prng)
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) targets []
+
+let validate app =
+  let exception Bad of string in
+  try
+    if app.entries = [] then raise (Bad "empty entry mix");
+    List.iter
+      (fun (name, w) ->
+        if w < 0.0 then raise (Bad ("negative weight for " ^ name));
+        if not (List.exists (fun f -> f.name = name) app.fns) then
+          raise (Bad ("entry refers to unknown function " ^ name)))
+      app.entries;
+    let edges =
+      List.map
+        (fun fn ->
+          let ts = sampled_targets fn in
+          List.iter
+            (fun t ->
+              if not (List.exists (fun f -> f.name = t) app.fns) then
+                raise (Bad (fn.name ^ " invokes unknown function " ^ t)))
+            ts;
+          (fn.name, ts))
+        app.fns
+    in
+    (* DAG check by depth-first search with colouring. *)
+    let color = Hashtbl.create 16 in
+    let rec dfs name =
+      match Hashtbl.find_opt color name with
+      | Some `Done -> ()
+      | Some `Active -> raise (Bad ("invocation cycle through " ^ name))
+      | None ->
+          Hashtbl.replace color name `Active;
+          List.iter dfs (try List.assoc name edges with Not_found -> []);
+          Hashtbl.replace color name `Done
+    in
+    List.iter (fun fn -> dfs fn.name) app.fns;
+    Ok ()
+  with Bad msg -> Error msg
+
+let mean_invocations app ~samples ~seed =
+  if samples <= 0 then invalid_arg "Model.mean_invocations";
+  let prng = Jord_util.Prng.create ~seed in
+  let rec tree_size name =
+    let fn = find_fn app name in
+    let phases = fn.make_phases prng in
+    List.fold_left
+      (fun acc phase ->
+        match phase with
+        | Invoke { target; _ } -> acc + tree_size target
+        | Compute _ | Wait | Wait_for _ | Scratch _ -> acc)
+      1 phases
+  in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    total := !total + tree_size (pick_entry app prng)
+  done;
+  float_of_int !total /. float_of_int samples
+
+let compute ns = Compute ns
+
+let invoke ?(mode = Sync) ?(arg_bytes = 512) ?cookie target =
+  Invoke { target; arg_bytes; mode; cookie }
+
+let wait = Wait
+let wait_for c = Wait_for c
+let scratch bytes = Scratch bytes

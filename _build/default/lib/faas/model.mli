@@ -1,0 +1,60 @@
+(** The function model: what a FaaS function does, as the runtime sees it.
+
+    A function instance is a list of phases — compute segments interleaved
+    with nested invocations (paper §3.1, Listing 1). Workloads instantiate
+    phases per invocation (sampling execution times and fan-outs), so two
+    invocations of the same function may differ, matching the service-time
+    distributions of the paper's microservice benchmarks. *)
+
+type mode = Sync | Async
+
+type phase =
+  | Compute of float  (** Pure execution for this many nanoseconds. *)
+  | Invoke of { target : string; arg_bytes : int; mode : mode; cookie : int option }
+      (** Create an ArgBuf of [arg_bytes], populate it, and invoke [target].
+          [Sync] blocks until the child returns; [Async] continues and may
+          label the invocation with a [cookie] for a later {!Wait_for}
+          (Listing 1's [int c = jord::async(...)]). *)
+  | Wait  (** Block until every outstanding child has completed. *)
+  | Wait_for of int
+      (** Block until the async invocation labelled with this cookie has
+          completed (Listing 1's [jord::wait(c)]). *)
+  | Scratch of int
+      (** Allocate, touch and free a VMA of this many bytes from inside the
+          function (Listing 1's dynamic [mmap]/[munmap], lines 19-23). *)
+
+type fn = {
+  name : string;
+  make_phases : Jord_util.Prng.t -> phase list;
+      (** Instantiate one invocation's behaviour. *)
+  state_bytes : int;  (** Private stack+heap VMA size. *)
+  code_bytes : int;  (** Code VMA size. *)
+}
+
+type app = {
+  app_name : string;
+  fns : fn list;
+  entries : (string * float) list;
+      (** External-request mix: function name, weight. *)
+}
+
+val find_fn : app -> string -> fn
+(** @raise Invalid_argument on an unknown function. *)
+
+val pick_entry : app -> Jord_util.Prng.t -> string
+(** Sample an entry function according to the mix. *)
+
+val validate : app -> (unit, string) result
+(** Check that every [Invoke] target exists, entry mix is non-empty and
+    refers to known functions, and there are no invocation cycles (the call
+    graph must be a DAG, or nested requests could recurse forever). *)
+
+val mean_invocations : app -> samples:int -> seed:int -> float
+(** Monte-Carlo estimate of invocations (root + nested) per external
+    request. *)
+
+val compute : float -> phase
+val invoke : ?mode:mode -> ?arg_bytes:int -> ?cookie:int -> string -> phase
+val wait : phase
+val wait_for : int -> phase
+val scratch : int -> phase

@@ -1,0 +1,46 @@
+type t = Jbsq | Random | Round_robin
+
+let name = function
+  | Jbsq -> "JBSQ"
+  | Random -> "random"
+  | Round_robin -> "round-robin"
+
+let pick t ~prng ~cursor ~lengths ~full ~n ~scanned =
+  if n <= 0 then invalid_arg "Policy.pick";
+  match t with
+  | Jbsq ->
+      (* Scan every executor, keep the shortest non-full queue. *)
+      let best = ref (-1) and best_len = ref max_int in
+      for i = 0 to n - 1 do
+        incr scanned;
+        let len = lengths i in
+        if (not (full i)) && len < !best_len then begin
+          best := i;
+          best_len := len
+        end
+      done;
+      if !best < 0 then None else Some !best
+  | Random ->
+      (* Up to [n] probes of random queues. *)
+      let rec go tries =
+        if tries = 0 then None
+        else begin
+          let i = Jord_util.Prng.int prng n in
+          incr scanned;
+          ignore (lengths i);
+          if full i then go (tries - 1) else Some i
+        end
+      in
+      go n
+  | Round_robin ->
+      let rec go tries =
+        if tries = 0 then None
+        else begin
+          let i = !cursor mod n in
+          cursor := (!cursor + 1) mod n;
+          incr scanned;
+          ignore (lengths i);
+          if full i then go (tries - 1) else Some i
+        end
+      in
+      go n

@@ -1,0 +1,24 @@
+(** Dispatch policies (paper §3.3).
+
+    The paper uses Join-Bounded-Shortest-Queue: the orchestrator reads every
+    managed executor's queue length and pushes to the shortest non-full
+    queue. Random and round-robin are included as the dispatch-policy
+    ablation the paper declares out of scope. *)
+
+type t = Jbsq | Random | Round_robin
+
+val name : t -> string
+
+val pick :
+  t ->
+  prng:Jord_util.Prng.t ->
+  cursor:int ref ->
+  lengths:(int -> int) ->
+  full:(int -> bool) ->
+  n:int ->
+  scanned:int ref ->
+  int option
+(** Choose an executor among [0..n-1]. [lengths i] reads queue [i]'s length
+    (the caller charges the read), [full i] tests occupancy. [scanned] is
+    incremented per queue-length read so the caller can charge exactly the
+    reads the policy performed. Returns [None] when every queue is full. *)

@@ -1,0 +1,74 @@
+type root = {
+  root_id : int;
+  entry : string;
+  arrival : Jord_sim.Time.t;
+  mutable completed_at : Jord_sim.Time.t;
+  mutable finished : bool;
+  mutable exec_ns : float;
+  mutable isolation_ns : float;
+  mutable dispatch_ns : float;
+  mutable comm_ns : float;
+  mutable invocations : int;
+}
+
+type t = {
+  id : int;
+  fn_name : string;
+  arg_bytes : int;
+  root : root;
+  depth : int;
+  mutable argbuf : int;
+  mutable enqueued_at : Jord_sim.Time.t;
+  mutable on_complete : (Jord_sim.Engine.t -> float -> unit) option;
+  mutable forwarded : bool;
+  mutable home_argbuf : int;
+}
+
+let make_root ~id ~entry ~arrival ~arg_bytes =
+  let root =
+    {
+      root_id = id;
+      entry;
+      arrival;
+      completed_at = arrival;
+      finished = false;
+      exec_ns = 0.0;
+      isolation_ns = 0.0;
+      dispatch_ns = 0.0;
+      comm_ns = 0.0;
+      invocations = 1;
+    }
+  in
+  let req =
+    {
+      id;
+      fn_name = entry;
+      arg_bytes;
+      root;
+      depth = 0;
+      argbuf = 0;
+      enqueued_at = arrival;
+      on_complete = None;
+      forwarded = false;
+      home_argbuf = 0;
+    }
+  in
+  (root, req)
+
+let make_child ~id ~parent ~fn_name ~arg_bytes =
+  parent.root.invocations <- parent.root.invocations + 1;
+  {
+    id;
+    fn_name;
+    arg_bytes;
+    root = parent.root;
+    depth = parent.depth + 1;
+    argbuf = 0;
+    enqueued_at = Jord_sim.Time.zero;
+    on_complete = None;
+    forwarded = false;
+    home_argbuf = 0;
+  }
+
+let latency_ns root = Jord_sim.Time.to_ns Jord_sim.Time.(root.completed_at - root.arrival)
+let overhead_ns root = root.isolation_ns +. root.dispatch_ns +. root.comm_ns

@@ -1,0 +1,50 @@
+(** Function-invocation requests and their accounting.
+
+    Every invocation — external (from the load generator) or internal
+    (nested) — is a request. External requests carry a [root] record that
+    accumulates the whole invocation tree's execution time and overheads;
+    nested requests share their parent's root, which is how the paper's
+    breakdowns (Fig. 11) and per-request overhead numbers aggregate. *)
+
+type root = {
+  root_id : int;
+  entry : string;  (** Entry function name. *)
+  arrival : Jord_sim.Time.t;
+  mutable completed_at : Jord_sim.Time.t;
+  mutable finished : bool;
+  mutable exec_ns : float;  (** Pure compute across the tree. *)
+  mutable isolation_ns : float;  (** PrivLib + VLB-walk time across the tree. *)
+  mutable dispatch_ns : float;  (** Orchestrator dispatch time across the tree. *)
+  mutable comm_ns : float;  (** Data movement: ArgBuf accesses / pipe + shm. *)
+  mutable invocations : int;  (** Requests in the tree (root included). *)
+}
+
+type t = {
+  id : int;
+  fn_name : string;
+  arg_bytes : int;
+  root : root;
+  depth : int;  (** 0 for external requests. *)
+  mutable argbuf : int;  (** ArgBuf base VA (0 until allocated). *)
+  mutable enqueued_at : Jord_sim.Time.t;
+  mutable on_complete : (Jord_sim.Engine.t -> float -> unit) option;
+      (** Fired by the executor when the request's subtree completes; the
+          float is the notification-write latency already charged. Internal
+          requests use it to resume their parent continuation. *)
+  mutable forwarded : bool;
+      (** Shipped to another worker server over the network (§3.3). *)
+  mutable home_argbuf : int;
+      (** The origin server's ArgBuf VA, restored before the parent reaps a
+          forwarded request's response. *)
+}
+
+val make_root :
+  id:int -> entry:string -> arrival:Jord_sim.Time.t -> arg_bytes:int -> root * t
+
+val make_child : id:int -> parent:t -> fn_name:string -> arg_bytes:int -> t
+
+val latency_ns : root -> float
+(** Arrival-to-completion latency (valid once [finished]). *)
+
+val overhead_ns : root -> float
+(** isolation + dispatch + comm across the tree. *)

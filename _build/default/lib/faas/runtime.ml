@@ -1,0 +1,217 @@
+module Vm = Jord_vm
+module Pl = Jord_privlib.Privlib
+
+type cost = { isolation_ns : float; comm_ns : float }
+
+let zero_cost = { isolation_ns = 0.0; comm_ns = 0.0 }
+
+let ( ++ ) a b =
+  { isolation_ns = a.isolation_ns +. b.isolation_ns; comm_ns = a.comm_ns +. b.comm_ns }
+
+let iso ns = { isolation_ns = ns; comm_ns = 0.0 }
+let comm ns = { isolation_ns = 0.0; comm_ns = ns }
+let total c = c.isolation_ns +. c.comm_ns
+
+type t = {
+  variant : Variant.t;
+  hw : Vm.Hw.t;
+  priv : Pl.t;
+  nc : Jord_baseline.Nightcore.t;
+  code_vmas : (string, int) Hashtbl.t;
+}
+
+let create ~variant ~hw ~priv ~nc =
+  { variant; hw; priv; nc; code_vmas = Hashtbl.create 16 }
+
+let variant t = t.variant
+let hw t = t.hw
+let priv t = t.priv
+let nc t = t.nc
+let response_bytes = 256
+
+let register_function t ~core fn =
+  match t.variant with
+  | Variant.Nightcore -> Hashtbl.replace t.code_vmas fn.Model.name 0
+  | Variant.Jord | Variant.Jord_ni | Variant.Jord_bt ->
+      let global =
+        (* Without isolation, code is executable from everywhere. *)
+        if Variant.isolated t.variant then None else Some Vm.Perm.rx
+      in
+      let va, _ =
+        Pl.mmap t.priv ~core ~bytes:fn.Model.code_bytes ~perm:Vm.Perm.rx
+          ~global_perm:global ()
+      in
+      Hashtbl.replace t.code_vmas fn.Model.name va
+
+let code_va t name =
+  match Hashtbl.find_opt t.code_vmas name with
+  | Some va -> va
+  | None -> invalid_arg (Printf.sprintf "Runtime.code_va: %S not registered" name)
+
+(* Allocate a VMA usable as an ArgBuf. Under isolation it belongs to the
+   caller's PD; without isolation it is globally accessible. *)
+let mmap_argbuf t ~core ~bytes =
+  let global = if Variant.isolated t.variant then None else Some Vm.Perm.rw in
+  let va, ns = Pl.mmap t.priv ~core ~bytes ~perm:Vm.Perm.rw ~global_perm:global () in
+  (va, ns)
+
+let write_data t ~core ~va ~bytes =
+  Vm.Hw.access t.hw ~core ~va ~access:Vm.Perm.Write ~kind:`Data ~bytes
+
+let read_data t ~core ~va ~bytes =
+  Vm.Hw.access t.hw ~core ~va ~access:Vm.Perm.Read ~kind:`Data ~bytes
+
+let make_argbuf t ~core ~bytes =
+  match t.variant with
+  | Variant.Nightcore ->
+      (* Payload staged into shm at invoke time. *)
+      (0, comm (Jord_baseline.Shm.transfer_ns t.nc.Jord_baseline.Nightcore.shm ~bytes))
+  | Variant.Jord | Variant.Jord_bt ->
+      let va, mmap_ns = mmap_argbuf t ~core ~bytes in
+      let w = write_data t ~core ~va ~bytes in
+      let mv = Pl.pmove t.priv ~core ~va ~dst_pd:0 ~perm:Vm.Perm.rw () in
+      (va, iso (mmap_ns +. mv) ++ comm w)
+  | Variant.Jord_ni ->
+      let va, mmap_ns = mmap_argbuf t ~core ~bytes in
+      let w = write_data t ~core ~va ~bytes in
+      (va, iso mmap_ns ++ comm w)
+
+(* Runs executor-side (PD 0), just before the parent is resumed: grant the
+   parent a view of the completed child's ArgBuf, read the response on its
+   behalf and release the buffer. *)
+let reap_argbuf t ~core ~pd ~va ~bytes:_ =
+  match t.variant with
+  | Variant.Nightcore ->
+      comm (Jord_baseline.Nightcore.output_ns t.nc ~bytes:response_bytes)
+  | Variant.Jord | Variant.Jord_bt ->
+      let cp = Pl.pcopy t.priv ~core ~va ~dst_pd:pd ~perm:Vm.Perm.rw in
+      let r = read_data t ~core ~va ~bytes:response_bytes in
+      let un = Pl.munmap t.priv ~core ~va in
+      iso (cp +. un) ++ comm r
+  | Variant.Jord_ni ->
+      let r = read_data t ~core ~va ~bytes:response_bytes in
+      let un = Pl.munmap t.priv ~core ~va in
+      iso un ++ comm r
+
+let setup t ~core ~fn ~argbuf ~arg_bytes =
+  match t.variant with
+  | Variant.Nightcore ->
+      (* Worker side: pipe read syscall, worker prep, input copy from shm. *)
+      let c =
+        comm (Jord_baseline.Nightcore.input_ns t.nc ~bytes:arg_bytes)
+        ++ iso
+             (t.nc.Jord_baseline.Nightcore.worker_prep_ns
+             +. t.nc.Jord_baseline.Nightcore.pipe.Jord_baseline.Pipe.syscall_ns)
+      in
+      (0, 0, c)
+  | Variant.Jord | Variant.Jord_bt ->
+      let code = code_va t fn.Model.name in
+      let pd, cget_ns = Pl.cget t.priv ~core in
+      let state_va, mmap_ns =
+        Pl.mmap t.priv ~core ~bytes:fn.Model.state_bytes ~perm:Vm.Perm.rw ()
+      in
+      let grant_state = Pl.pmove t.priv ~core ~va:state_va ~dst_pd:pd ~perm:Vm.Perm.rw () in
+      let grant_code = Pl.pcopy t.priv ~core ~va:code ~dst_pd:pd ~perm:Vm.Perm.rx in
+      let grant_arg = Pl.pmove t.priv ~core ~src_pd:0 ~va:argbuf ~dst_pd:pd ~perm:Vm.Perm.rw () in
+      let call_ns = Pl.ccall t.priv ~core ~pd in
+      (* First touches inside the PD: code fetch, stack write, input read. *)
+      let code_touch =
+        Vm.Hw.access t.hw ~core ~va:code ~access:Vm.Perm.Exec ~kind:`Instr ~bytes:64
+      in
+      let stack_touch = write_data t ~core ~va:state_va ~bytes:128 in
+      let input = read_data t ~core ~va:argbuf ~bytes:arg_bytes in
+      let isolation =
+        cget_ns +. mmap_ns +. grant_state +. grant_code +. grant_arg +. call_ns
+      in
+      (pd, state_va, iso isolation ++ comm (code_touch +. stack_touch +. input))
+  | Variant.Jord_ni ->
+      let code = code_va t fn.Model.name in
+      let state_va, mmap_ns =
+        Pl.mmap t.priv ~core ~bytes:fn.Model.state_bytes ~perm:Vm.Perm.rw
+          ~global_perm:(Some Vm.Perm.rw) ()
+      in
+      let code_touch =
+        Vm.Hw.access t.hw ~core ~va:code ~access:Vm.Perm.Exec ~kind:`Instr ~bytes:64
+      in
+      let stack_touch = write_data t ~core ~va:state_va ~bytes:128 in
+      let input = read_data t ~core ~va:argbuf ~bytes:arg_bytes in
+      (0, state_va, iso mmap_ns ++ comm (code_touch +. stack_touch +. input))
+
+let teardown t ~core ~fn ~pd ~state_va ~argbuf =
+  match t.variant with
+  | Variant.Nightcore ->
+      comm (Jord_baseline.Nightcore.output_ns t.nc ~bytes:response_bytes)
+  | Variant.Jord | Variant.Jord_bt ->
+      let output = write_data t ~core ~va:argbuf ~bytes:response_bytes in
+      let ret = Pl.creturn t.priv ~core in
+      let reclaim_arg = Pl.pmove t.priv ~core ~src_pd:pd ~va:argbuf ~dst_pd:0 ~perm:Vm.Perm.rw () in
+      let revoke_code =
+        Pl.mprotect t.priv ~core ~pd ~va:(code_va t fn.Model.name) ~perm:Vm.Perm.none ()
+      in
+      let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
+      let put = Pl.cput t.priv ~core ~pd in
+      iso (ret +. reclaim_arg +. revoke_code +. unmap_state +. put) ++ comm output
+  | Variant.Jord_ni ->
+      let output = write_data t ~core ~va:argbuf ~bytes:response_bytes in
+      let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
+      iso unmap_state ++ comm output
+
+let suspend t ~core ~pd =
+  match t.variant with
+  | Variant.Nightcore -> iso (Jord_baseline.Nightcore.suspend_ns t.nc)
+  | Variant.Jord | Variant.Jord_bt ->
+      if pd = 0 then zero_cost else iso (Pl.cexit t.priv ~core)
+  | Variant.Jord_ni -> zero_cost
+
+let resume t ~core ~pd =
+  match t.variant with
+  | Variant.Nightcore -> iso (Jord_baseline.Nightcore.resume_ns t.nc)
+  | Variant.Jord | Variant.Jord_bt ->
+      if pd = 0 then zero_cost else iso (Pl.center t.priv ~core ~pd)
+  | Variant.Jord_ni -> zero_cost
+
+let invoke_send t ~core:_ ~bytes =
+  match t.variant with
+  | Variant.Nightcore ->
+      comm (Jord_baseline.Pipe.sender_ns t.nc.Jord_baseline.Nightcore.pipe ~bytes)
+  | Variant.Jord | Variant.Jord_ni | Variant.Jord_bt -> zero_cost
+
+let external_input t ~core ~bytes =
+  match t.variant with
+  | Variant.Nightcore ->
+      (0, comm (Jord_baseline.Nightcore.input_ns t.nc ~bytes))
+  | Variant.Jord | Variant.Jord_bt | Variant.Jord_ni ->
+      let va, mmap_ns = mmap_argbuf t ~core ~bytes in
+      let w = write_data t ~core ~va ~bytes in
+      (va, iso mmap_ns ++ comm w)
+
+let release_argbuf t ~core ~va ~bytes:_ =
+  match t.variant with
+  | Variant.Nightcore -> zero_cost
+  | Variant.Jord | Variant.Jord_bt | Variant.Jord_ni ->
+      iso (Pl.munmap t.priv ~core ~va)
+
+(* Function-initiated dynamic VMA: mmap, touch, munmap (Listing 1's
+   lines 19-23). Runs in the calling PD's context. *)
+let scratch t ~core ~bytes =
+  match t.variant with
+  | Variant.Nightcore ->
+      (* A plain malloc/free in the worker process: cheap, no VM work. *)
+      iso 60.0
+  | Variant.Jord | Variant.Jord_bt | Variant.Jord_ni ->
+      let global = if Variant.isolated t.variant then None else Some Vm.Perm.rw in
+      let va, mmap_ns = Pl.mmap t.priv ~core ~bytes ~perm:Vm.Perm.rw ~global_perm:global () in
+      let w = write_data t ~core ~va ~bytes:(Int.min bytes 256) in
+      let un = Pl.munmap t.priv ~core ~va in
+      iso (mmap_ns +. un) ++ comm w
+
+let touch_working_set t ~core ~pd:_ ~fn ~state_va =
+  match t.variant with
+  | Variant.Nightcore -> zero_cost
+  | Variant.Jord | Variant.Jord_bt | Variant.Jord_ni ->
+      let code = code_va t fn.Model.name in
+      let c =
+        Vm.Hw.access t.hw ~core ~va:code ~access:Vm.Perm.Exec ~kind:`Instr ~bytes:64
+      in
+      let s = if state_va = 0 then 0.0 else write_data t ~core ~va:state_va ~bytes:64 in
+      comm (c +. s)

@@ -1,0 +1,79 @@
+(** Per-variant invocation lifecycle costs.
+
+    Maps each step of the Figure-4 flow onto the underlying mechanisms:
+    PrivLib PD/VMA operations and hardware translation for Jord and Jord_BT,
+    memory management only for Jord_NI, pipes + shm for NightCore. All
+    functions return the latency charged on the given core; callers fold the
+    components into the per-root accounting. *)
+
+type cost = { isolation_ns : float; comm_ns : float }
+
+val zero_cost : cost
+val ( ++ ) : cost -> cost -> cost
+val total : cost -> float
+
+type t
+
+val create :
+  variant:Variant.t ->
+  hw:Jord_vm.Hw.t ->
+  priv:Jord_privlib.Privlib.t ->
+  nc:Jord_baseline.Nightcore.t ->
+  t
+
+val variant : t -> Variant.t
+val hw : t -> Jord_vm.Hw.t
+val priv : t -> Jord_privlib.Privlib.t
+val nc : t -> Jord_baseline.Nightcore.t
+
+val register_function : t -> core:int -> Model.fn -> unit
+(** Load a function: create its code VMA (executor-owned, RX). *)
+
+val code_va : t -> string -> int
+
+val make_argbuf : t -> core:int -> bytes:int -> int * cost
+(** Allocate an ArgBuf in the calling context's PD and hand it to the
+    runtime (pmove to PD 0) so it can travel with the request. Returns the
+    base VA (0 for NightCore, which has no ArgBufs) and the cost, payload
+    write included. *)
+
+val reap_argbuf : t -> core:int -> pd:int -> va:int -> bytes:int -> cost
+(** Parent-side consumption of a completed child's ArgBuf: take the
+    permission back, read the response, deallocate. *)
+
+val setup : t -> core:int -> fn:Model.fn -> argbuf:int -> arg_bytes:int -> int * int * cost
+(** Executor-side invocation setup: PD creation, private stack/heap VMA,
+    code-permission grant, ArgBuf permission transfer, [ccall], first code
+    and data touches, input read. Returns [(pd, state_va, cost)] — [pd] and
+    [state_va] are 0 where the variant does not use them. *)
+
+val teardown : t -> core:int -> fn:Model.fn -> pd:int -> state_va:int -> argbuf:int -> cost
+(** Executor-side completion: output write, [creturn]-equivalent switch,
+    ArgBuf reclaim to PD 0, code-permission revoke, stack/heap deallocation,
+    PD destruction. *)
+
+val suspend : t -> core:int -> pd:int -> cost
+(** [cexit] (or a thread block for NightCore). *)
+
+val resume : t -> core:int -> pd:int -> cost
+(** [center] (or a thread wakeup). *)
+
+val invoke_send : t -> core:int -> bytes:int -> cost
+(** Caller-side cost of shipping a nested invocation to the orchestrator
+    (queue write for Jord; pipe message for NightCore), excluding the
+    ArgBuf, which {!make_argbuf} covers. *)
+
+val external_input : t -> core:int -> bytes:int -> int * cost
+(** Orchestrator-side cost of materializing an external request's payload:
+    ArgBuf allocation + payload write (Jord), shm transfer (NightCore).
+    Returns the ArgBuf VA. *)
+
+val release_argbuf : t -> core:int -> va:int -> bytes:int -> cost
+(** Deallocate a root ArgBuf after the response has been sent. *)
+
+val touch_working_set : t -> core:int -> pd:int -> fn:Model.fn -> state_va:int -> cost
+(** Per-compute-segment code/stack touches (I/D-VLB pressure). *)
+
+val scratch : t -> core:int -> bytes:int -> cost
+(** A function-initiated dynamic VMA: allocate, touch, free (the POSIX
+    mmap/munmap of Listing 1). *)

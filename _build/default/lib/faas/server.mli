@@ -1,0 +1,106 @@
+(** A Jord worker server: orchestrator and executor threads pinned to the
+    cores of one machine, sharing a single address space (paper §3).
+
+    The server is a discrete-event model driven by {!Jord_sim.Engine}:
+    external requests enter an orchestrator, are JBSQ-dispatched to executor
+    queues, run as continuations inside PDs, spawn nested invocations
+    through the orchestrators' internal queues (which have priority, for
+    deadlock freedom), and report completion back to the orchestrator. All
+    control-plane memory traffic (queue lines, VTEs, free lists, ArgBufs)
+    goes through the coherence model, so dispatch and isolation costs emerge
+    from the machine rather than from constants. *)
+
+type config = {
+  variant : Variant.t;
+  machine : Jord_arch.Config.t;
+  orchestrators : int;  (** Cores used as orchestrators (rest are executors). *)
+  queue_capacity : int;  (** JBSQ bound per executor queue. *)
+  policy : Policy.t;
+  i_vlb_entries : int;
+  d_vlb_entries : int;
+  seed : int;
+  internal_priority : bool;
+      (** Dispatch internal (nested) requests before external ones — the
+          paper's deadlock-avoidance rule (§3.3). Disabled only by the
+          queue-priority ablation. *)
+  forward_after : int;
+      (** All-queues-full retries before an internal request is forwarded to
+          another worker server (requires {!set_forward}); [max_int]
+          disables forwarding. *)
+}
+
+val default_config : config
+(** 32-core Table-2 machine, Jord variant, 2 orchestrators, JBSQ bound 4,
+    16-entry VLBs. *)
+
+type t
+
+val create : ?engine:Jord_sim.Engine.t -> config -> Model.app -> t
+(** Build the machine, bootstrap PrivLib, register the app's functions.
+    Pass a shared [engine] to co-simulate several servers (see
+    {!Cluster}). *)
+
+val engine : t -> Jord_sim.Engine.t
+val config : t -> config
+val app : t -> Model.app
+val hw : t -> Jord_vm.Hw.t
+val privlib : t -> Jord_privlib.Privlib.t
+val runtime : t -> Runtime.t
+
+val submit : t -> ?entry:string -> unit -> unit
+(** Inject one external request at the current simulated time. The entry
+    function is sampled from the app mix unless given. *)
+
+val on_root_complete : t -> (Request.root -> unit) -> unit
+(** Register the completion callback (metrics collection). *)
+
+val executor_count : t -> int
+val orchestrator_count : t -> int
+
+val dispatch_count : t -> int
+val dispatch_ns_total : t -> float
+(** Orchestrator dispatch operations and their cumulative latency (Fig. 14). *)
+
+val completed_roots : t -> int
+val live_continuations : t -> int
+(** Suspended or running continuations (should drain to 0 when idle). *)
+
+val dropped_requests : t -> int
+(** External requests shed because the orchestrator queue was full (severe
+    overload only). *)
+
+val set_forward : t -> (Request.t -> unit) option -> unit
+(** Install the cross-server forwarding path (paper §3.3): called with an
+    internal request this server could not place after
+    [config.forward_after] full-scan retries. The callee must eventually
+    hand the request to another server's {!receive_forwarded}. *)
+
+val receive_forwarded : t -> Request.t -> unit
+(** Accept an internal request shipped from another worker server; it joins
+    an orchestrator's internal queue with the usual priority. *)
+
+val forwarded_out : t -> int
+val received_in : t -> int
+
+val set_tracer : t -> Trace.t option -> unit
+(** Attach an execution tracer; [None] (the default) disables emission. *)
+
+val core_busy_ns : t -> core:int -> float
+(** Accumulated busy time charged to a core. *)
+
+val utilization : t -> float * float
+(** (mean orchestrator utilization, mean executor utilization) over the
+    simulated span so far. *)
+
+val run : ?until:Jord_sim.Time.t -> t -> unit
+(** Drive the engine. *)
+
+val worst_case_shootdown_ns : t -> float
+(** Microbenchmark of a VLB shootdown whose translation every core's VLB
+    holds (the paper's worst case: a global invalidation, limited by the
+    farthest core's response). Used by Fig. 14. *)
+
+val worst_case_dispatch_ns : t -> float
+(** Microbenchmark of one JBSQ dispatch scan in the paper's worst case
+    (§6.3): every managed executor's queue-length line is dirty in that
+    executor's L1, so each read is a remote transfer. Used by Fig. 14. *)

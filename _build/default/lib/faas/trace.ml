@@ -1,0 +1,105 @@
+type kind =
+  | Arrive
+  | Dispatch
+  | Start
+  | Segment
+  | Suspend
+  | Resume
+  | Complete
+  | Forward
+  | Drop
+
+type event = {
+  at_ps : int;
+  kind : kind;
+  req_id : int;
+  root_id : int;
+  fn : string;
+  core : int;
+  dur_ps : int;
+}
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { ring = Array.make capacity None; next = 0; total = 0 }
+
+let emit t ~at_ps ~kind ~req_id ~root_id ~fn ~core ?(dur_ps = 0) () =
+  t.ring.(t.next) <- Some { at_ps; kind; req_id; root_id; fn; core; dur_ps };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let length t = Int.min t.total (Array.length t.ring)
+let total_emitted t = t.total
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = if t.total <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> invalid_arg "Trace.events: ring corrupted")
+
+let kind_name = function
+  | Arrive -> "arrive"
+  | Dispatch -> "dispatch"
+  | Start -> "start"
+  | Segment -> "segment"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
+  | Complete -> "complete"
+  | Forward -> "forward"
+  | Drop -> "drop"
+
+let to_chrome_json t =
+  let open Jord_util.Json in
+  let us_of_ps ps = float_of_int ps /. 1e6 in
+  let entry e =
+    let common =
+      [
+        ("name", String (e.fn ^ "/" ^ kind_name e.kind));
+        ("pid", Int 1);
+        ("tid", Int (Int.max 0 e.core));
+        ("ts", Float (us_of_ps e.at_ps));
+        ( "args",
+          Obj [ ("req", Int e.req_id); ("root", Int e.root_id); ("fn", String e.fn) ] );
+      ]
+    in
+    match e.kind with
+    | Segment ->
+        Obj (("ph", String "X") :: ("dur", Float (us_of_ps e.dur_ps)) :: common)
+    | Arrive | Dispatch | Start | Suspend | Resume | Complete | Forward | Drop ->
+        Obj (("ph", String "i") :: ("s", String "t") :: common)
+  in
+  to_string (Obj [ ("traceEvents", List (List.map entry (events t))) ])
+
+let to_text ?limit t =
+  let evs = events t in
+  let evs =
+    match limit with
+    | Some l when List.length evs > l ->
+        List.filteri (fun i _ -> i >= List.length evs - l) evs
+    | Some _ | None -> evs
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12.3fus core=%-3d %-8s req=%-6d root=%-6d %s%s\n"
+           (float_of_int e.at_ps /. 1e6)
+           e.core (kind_name e.kind) e.req_id e.root_id e.fn
+           (if e.dur_ps > 0 then Printf.sprintf " (%.3fus)" (float_of_int e.dur_ps /. 1e6)
+            else "")))
+    evs;
+  Buffer.contents buf
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0

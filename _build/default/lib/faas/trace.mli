@@ -1,0 +1,63 @@
+(** Structured execution tracing.
+
+    Records the request lifecycle (arrival, dispatch, execution segments,
+    suspensions, completions) and system events (forwards, drops) into a
+    bounded ring buffer, exportable as Chrome trace-event JSON
+    (chrome://tracing, Perfetto) or a readable text log.
+
+    Tracing is optional and off by default; the server emits events through
+    a sink the harness installs. *)
+
+type kind =
+  | Arrive  (** External request received by an orchestrator. *)
+  | Dispatch  (** Orchestrator placed a request on an executor queue. *)
+  | Start  (** Executor began an invocation (setup + ccall done). *)
+  | Segment  (** One run segment (until suspend or finish), dur = length. *)
+  | Suspend  (** cexit while waiting on children. *)
+  | Resume  (** center back into the continuation. *)
+  | Complete  (** Invocation subtree finished. *)
+  | Forward  (** Request shipped to another worker server. *)
+  | Drop  (** External request shed at the full orchestrator queue. *)
+
+type event = {
+  at_ps : int;  (** Simulated timestamp. *)
+  kind : kind;
+  req_id : int;
+  root_id : int;
+  fn : string;
+  core : int;  (** Core involved (-1 when not applicable). *)
+  dur_ps : int;  (** Duration for span-like events, 0 otherwise. *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of the most recent [capacity] events (default 65536). *)
+
+val emit :
+  t ->
+  at_ps:int ->
+  kind:kind ->
+  req_id:int ->
+  root_id:int ->
+  fn:string ->
+  core:int ->
+  ?dur_ps:int ->
+  unit ->
+  unit
+
+val length : t -> int
+val total_emitted : t -> int
+val events : t -> event list
+(** Oldest first (only the retained window). *)
+
+val kind_name : kind -> string
+
+val to_chrome_json : t -> string
+(** Chrome trace-event format: spans per core track, instant events for
+    arrivals/drops/forwards. *)
+
+val to_text : ?limit:int -> t -> string
+(** Human-readable log lines, newest [limit] events (default all retained). *)
+
+val clear : t -> unit

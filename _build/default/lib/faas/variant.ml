@@ -1,0 +1,11 @@
+type t = Jord | Jord_ni | Jord_bt | Nightcore
+
+let name = function
+  | Jord -> "Jord"
+  | Jord_ni -> "Jord_NI"
+  | Jord_bt -> "Jord_BT"
+  | Nightcore -> "NightCore"
+
+let isolated = function Jord | Jord_bt -> true | Jord_ni | Nightcore -> false
+let uses_pipes = function Nightcore -> true | Jord | Jord_ni | Jord_bt -> false
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,14 @@
+(** The four systems of the evaluation. *)
+
+type t =
+  | Jord  (** Plain-list VMA table, full isolation. *)
+  | Jord_ni  (** PrivLib manages memory, but isolation ops are bypassed. *)
+  | Jord_bt  (** Full isolation with the B-tree VMA table. *)
+  | Nightcore  (** Enhanced NightCore: threads + JBSQ, OS pipes + shm. *)
+
+val name : t -> string
+val isolated : t -> bool
+(** Does the variant perform PD and permission management? *)
+
+val uses_pipes : t -> bool
+val pp : Format.formatter -> t -> unit

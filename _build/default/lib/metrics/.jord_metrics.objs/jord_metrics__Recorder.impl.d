@@ -1,0 +1,1 @@
+lib/metrics/recorder.ml: Hashtbl Int Jord_faas Jord_sim Jord_util List

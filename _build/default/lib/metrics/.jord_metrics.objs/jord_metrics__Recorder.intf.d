@@ -1,0 +1,1 @@
+lib/metrics/recorder.mli: Jord_faas Jord_sim

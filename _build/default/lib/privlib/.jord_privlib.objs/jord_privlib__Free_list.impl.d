@@ -1,0 +1,1 @@
+lib/privlib/free_list.ml: Array Hashtbl Int Jord_arch Jord_vm List Os_facade

@@ -1,0 +1,1 @@
+lib/privlib/free_list.mli: Jord_arch Jord_vm Os_facade

@@ -1,0 +1,1 @@
+lib/privlib/os_facade.mli:

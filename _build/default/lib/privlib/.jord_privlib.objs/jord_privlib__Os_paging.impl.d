@@ -1,0 +1,1 @@
+lib/privlib/os_paging.ml: Array Jord_arch Jord_util Jord_vm List

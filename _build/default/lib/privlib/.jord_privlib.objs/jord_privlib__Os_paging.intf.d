@@ -1,0 +1,1 @@
+lib/privlib/os_paging.mli: Jord_arch Jord_vm

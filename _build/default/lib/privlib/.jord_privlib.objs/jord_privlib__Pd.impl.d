@@ -1,0 +1,1 @@
+lib/privlib/pd.ml: Array Hashtbl Jord_arch Jord_vm List

@@ -1,0 +1,1 @@
+lib/privlib/pd.mli: Jord_arch

@@ -1,0 +1,1 @@
+lib/privlib/privlib.ml: Free_list Fun Hashtbl Jord_arch Jord_vm List Option Os_facade Pd

@@ -1,0 +1,1 @@
+lib/privlib/privlib.mli: Free_list Jord_vm Os_facade Pd

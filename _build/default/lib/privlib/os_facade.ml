@@ -1,0 +1,23 @@
+type t = {
+  mutable next : int;
+  syscall_ns : float;
+  mutable calls : int;
+  mutable reserved : int;
+  base : int;
+}
+
+let create ?(phys_base = 1 lsl 36) ?(syscall_ns = 1800.0) () =
+  { next = phys_base; syscall_ns; calls = 0; reserved = 0; base = phys_base }
+
+let reserve_chunk t ~bytes =
+  if bytes <= 0 then invalid_arg "Os_facade.reserve_chunk";
+  let align = Jord_util.Bits.ceil_pow2 bytes in
+  let addr = Jord_util.Bits.align_up t.next align in
+  t.next <- addr + align;
+  t.reserved <- t.reserved + align;
+  addr
+
+let syscall_ns t = t.syscall_ns
+let uat_config_calls t = t.calls
+let note_uat_config t = t.calls <- t.calls + 1
+let reserved_bytes t = t.reserved

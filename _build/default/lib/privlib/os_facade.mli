@@ -1,0 +1,26 @@
+(** The OS side of Jord (paper §4.4).
+
+    During initialization the OS loads PrivLib, reserves the Jord virtual
+    region and hands PrivLib a reserved physical memory chunk; afterwards
+    PrivLib only re-enters the kernel through the [uat_config] syscall when
+    its physical free lists run dry. This facade models exactly that
+    contract: an aligned physical bump allocator plus a syscall cost. *)
+
+type t
+
+val create : ?phys_base:int -> ?syscall_ns:float -> unit -> t
+(** Defaults: physical region at 2^36, uat_config costing 1.8 us (syscall
+    entry/exit plus page-table bookkeeping for the reserved chunk). *)
+
+val reserve_chunk : t -> bytes:int -> int
+(** Physical address of a fresh chunk, naturally aligned to its size class.
+    Never fails (the facade models an abundant reserved pool). *)
+
+val syscall_ns : t -> float
+(** Latency to charge for one [uat_config] refill call. *)
+
+val uat_config_calls : t -> int
+(** How many refills PrivLib performed — should stay tiny in steady state. *)
+
+val note_uat_config : t -> unit
+val reserved_bytes : t -> int

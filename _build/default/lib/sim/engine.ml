@@ -1,0 +1,39 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable now : Time.t;
+  mutable processed : int;
+}
+
+let create () = { queue = Event_queue.create (); now = Time.zero; processed = 0 }
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:Time.(t.now + after) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.now <- time;
+      t.processed <- t.processed + 1;
+      f t;
+      true
+
+let run ?until t =
+  let continue () =
+    match until, Event_queue.peek_time t.queue with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done
+
+let pending t = Event_queue.length t.queue
+let processed t = t.processed

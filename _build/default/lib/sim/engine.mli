@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    Entities schedule closures at absolute or relative simulated times; the
+    engine runs them in timestamp order. Time only advances between events,
+    so a callback observes a consistent [now]. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> after:Time.t -> (t -> unit) -> unit
+(** [schedule t ~after f] runs [f] at [now t + after]. [after] must be
+    non-negative. *)
+
+val schedule_at : t -> time:Time.t -> (t -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Process events in order until the queue drains, or until simulated time
+    would exceed [until] (remaining events are left unprocessed). *)
+
+val step : t -> bool
+(** Process a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet run. *)
+
+val processed : t -> int
+(** Total number of events executed so far. *)

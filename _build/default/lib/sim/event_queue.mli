@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion order so the simulation is deterministic:
+    two events scheduled for the same instant fire in the order they were
+    scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:Time.t -> 'a -> unit
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

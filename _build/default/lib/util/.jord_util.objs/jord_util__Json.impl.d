@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char Float List Printf String

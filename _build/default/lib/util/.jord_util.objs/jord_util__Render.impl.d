@@ -1,0 +1,1 @@
+lib/util/render.ml: Array Buffer Float Int List Printf Set String

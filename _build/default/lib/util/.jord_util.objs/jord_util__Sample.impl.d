@@ -1,0 +1,1 @@
+lib/util/sample.ml: Array Float Prng

@@ -1,0 +1,1 @@
+lib/util/sample.mli: Prng

@@ -1,0 +1,54 @@
+type t = { words : int array; capacity : int; mutable cardinal : int }
+
+let create n =
+  if n <= 0 then invalid_arg "Bitset.create";
+  { words = Array.make (Bits.ceil_div n 62) 0; capacity = n; cardinal = 0 }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / 62) land (1 lsl (i mod 62)) <> 0
+
+let add t i =
+  check t i;
+  if not (mem t i) then begin
+    t.words.(i / 62) <- t.words.(i / 62) lor (1 lsl (i mod 62));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let remove t i =
+  check t i;
+  if mem t i then begin
+    t.words.(i / 62) <- t.words.(i / 62) land lnot (1 lsl (i mod 62));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let is_empty t = t.cardinal = 0
+let cardinal t = t.cardinal
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.cardinal <- 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to 61 do
+        if word land (1 lsl b) <> 0 then f ((w * 62) + b)
+      done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+
+let copy t =
+  { words = Array.copy t.words; capacity = t.capacity; cardinal = t.cardinal }

@@ -1,0 +1,19 @@
+(** Fixed-capacity bit set, used for coherence sharer lists (up to 512
+    cores). *)
+
+type t
+
+val create : int -> t
+(** [create n] holds members in [\[0, n)]. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int list
+val copy : t -> t

@@ -1,0 +1,16 @@
+(** Minimal JSON emission (no parsing) for trace and result export. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control characters). *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string

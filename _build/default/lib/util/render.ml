@@ -1,0 +1,69 @@
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+let pad s w = s ^ String.make (Int.max 0 (w - String.length s)) ' '
+
+let table ?title ~header ~rows () =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    rows;
+  let render_row row =
+    String.concat "  " (List.mapi (fun i cell -> pad cell widths.(i)) row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let series ?title ~x_label ~y_label named =
+  (* Union of x values across all series, sorted. *)
+  let module FSet = Set.Make (Float) in
+  let xs =
+    List.fold_left
+      (fun acc (_, pts) -> List.fold_left (fun acc (x, _) -> FSet.add x acc) acc pts)
+      FSet.empty named
+  in
+  let header = x_label :: List.map fst named in
+  let lookup pts x =
+    match List.assoc_opt x pts with Some y -> f3 y | None -> "-"
+  in
+  let rows =
+    List.map
+      (fun x -> f3 x :: List.map (fun (_, pts) -> lookup pts x) named)
+      (FSet.elements xs)
+  in
+  let title =
+    match title with
+    | Some t -> Some (Printf.sprintf "%s  [y: %s]" t y_label)
+    | None -> Some (Printf.sprintf "[y: %s]" y_label)
+  in
+  table ?title ~header ~rows ()

@@ -1,0 +1,43 @@
+let exponential prng ~mean =
+  if mean <= 0.0 then invalid_arg "Sample.exponential";
+  let u = 1.0 -. Prng.float prng 1.0 in
+  -.mean *. log u
+
+let uniform prng ~lo ~hi =
+  if hi < lo then invalid_arg "Sample.uniform";
+  lo +. Prng.float prng (hi -. lo)
+
+let gaussian prng ~mean ~stddev =
+  let u1 = 1.0 -. Prng.float prng 1.0 in
+  let u2 = Prng.float prng 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal prng ~mu ~sigma = exp (gaussian prng ~mean:mu ~stddev:sigma)
+
+let pareto prng ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Sample.pareto";
+  let u = 1.0 -. Prng.float prng 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let poisson prng ~mean =
+  if mean < 0.0 then invalid_arg "Sample.poisson";
+  let limit = exp (-.mean) in
+  let rec go k p =
+    let p = p *. Prng.float prng 1.0 in
+    if p <= limit then k else go (k + 1) p
+  in
+  go 0 1.0
+
+let categorical prng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Sample.categorical";
+  let x = Prng.float prng total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,28 @@
+(** Random-variate sampling on top of {!Prng}.
+
+    The load generator and the workload models draw inter-arrival times and
+    service times from these distributions. *)
+
+val exponential : Prng.t -> mean:float -> float
+(** Exponential variate with the given mean (inter-arrival times of a Poisson
+    process). *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+(** Uniform variate in [\[lo, hi)]. *)
+
+val lognormal : Prng.t -> mu:float -> sigma:float -> float
+(** Log-normal variate; [mu]/[sigma] are the parameters of the underlying
+    normal distribution. *)
+
+val gaussian : Prng.t -> mean:float -> stddev:float -> float
+(** Normal variate (Box–Muller). *)
+
+val pareto : Prng.t -> scale:float -> shape:float -> float
+(** Bounded-below Pareto variate, used for heavy-tailed service times. *)
+
+val poisson : Prng.t -> mean:float -> int
+(** Poisson-distributed count (Knuth's method; [mean] should be modest). *)
+
+val categorical : Prng.t -> float array -> int
+(** [categorical t weights] picks an index with probability proportional to
+    its non-negative weight. At least one weight must be positive. *)

@@ -1,0 +1,1 @@
+lib/vm/fault.ml: Format Perm Printexc Printf

@@ -1,0 +1,1 @@
+lib/vm/hw.ml: Array Fault Jord_arch Jord_util List Mmu Perm Va Vlb Vma_store Vtd Vte

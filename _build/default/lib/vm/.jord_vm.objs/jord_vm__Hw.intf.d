@@ -1,0 +1,1 @@
+lib/vm/hw.mli: Jord_arch Mmu Perm Va Vma_store Vtd Vte

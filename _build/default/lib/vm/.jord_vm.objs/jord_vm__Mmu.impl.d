@@ -1,0 +1,1 @@
+lib/vm/mmu.ml: Fault Vlb

@@ -1,0 +1,1 @@
+lib/vm/mmu.mli: Vlb

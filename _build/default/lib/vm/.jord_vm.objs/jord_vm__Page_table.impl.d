@@ -1,0 +1,1 @@
+lib/vm/page_table.ml: Array Hashtbl List Perm

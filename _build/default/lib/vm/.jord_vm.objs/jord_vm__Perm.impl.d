@@ -1,0 +1,1 @@
+lib/vm/perm.ml: Format Int

@@ -1,0 +1,1 @@
+lib/vm/size_class.ml: Format Int Jord_util

@@ -1,0 +1,1 @@
+lib/vm/size_class.mli: Format

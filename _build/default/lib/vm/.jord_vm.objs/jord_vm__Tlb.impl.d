@@ -1,0 +1,1 @@
+lib/vm/tlb.ml: Array Option Perm

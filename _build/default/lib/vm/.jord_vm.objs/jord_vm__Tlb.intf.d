@@ -1,0 +1,1 @@
+lib/vm/tlb.mli: Perm

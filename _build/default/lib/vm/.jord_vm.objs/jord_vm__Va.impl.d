@@ -1,0 +1,1 @@
+lib/vm/va.ml: Int Jord_util Size_class

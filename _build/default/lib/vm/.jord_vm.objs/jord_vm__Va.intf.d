@@ -1,0 +1,1 @@
+lib/vm/va.mli: Size_class

@@ -1,0 +1,1 @@
+lib/vm/vlb.ml: Array List Vte

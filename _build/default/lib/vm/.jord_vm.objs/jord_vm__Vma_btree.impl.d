@@ -1,0 +1,1 @@
+lib/vm/vma_btree.ml: Array List Vte

@@ -1,0 +1,1 @@
+lib/vm/vma_store.ml: Vma_btree Vma_table

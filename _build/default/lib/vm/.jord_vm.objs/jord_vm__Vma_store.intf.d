@@ -1,0 +1,1 @@
+lib/vm/vma_store.mli: Va Vma_btree Vma_table Vte

@@ -1,0 +1,1 @@
+lib/vm/vma_table.ml: Hashtbl Va Vte

@@ -1,0 +1,1 @@
+lib/vm/vma_table.mli: Va Vte

@@ -1,0 +1,1 @@
+lib/vm/vtd.ml: Array Jord_util Va

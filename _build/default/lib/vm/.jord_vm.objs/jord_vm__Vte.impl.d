@@ -1,0 +1,1 @@
+lib/vm/vte.ml: Array List Perm Size_class

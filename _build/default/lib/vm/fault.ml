@@ -1,0 +1,30 @@
+type t =
+  | Unmapped of int
+  | Permission of { va : int; pd : int; need : Perm.access }
+  | Privileged_access of int
+  | Gate_violation of int
+  | Bad_handle of string
+
+exception Fault of t
+
+let raise_fault t = raise (Fault t)
+
+let access_to_string = function
+  | Perm.Read -> "read"
+  | Perm.Write -> "write"
+  | Perm.Exec -> "exec"
+
+let to_string = function
+  | Unmapped va -> Printf.sprintf "unmapped address 0x%x" va
+  | Permission { va; pd; need } ->
+      Printf.sprintf "permission fault: pd %d cannot %s 0x%x" pd (access_to_string need) va
+  | Privileged_access va -> Printf.sprintf "privileged access violation at 0x%x" va
+  | Gate_violation va -> Printf.sprintf "gate (CFI) violation entering 0x%x" va
+  | Bad_handle msg -> Printf.sprintf "privlib policy rejection: %s" msg
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Fault f -> Some ("Jord fault: " ^ to_string f)
+    | _ -> None)

@@ -1,0 +1,19 @@
+(** Hardware faults raised by Jord's translation and protection machinery. *)
+
+type t =
+  | Unmapped of int  (** No VMA covers the address. *)
+  | Permission of { va : int; pd : int; need : Perm.access }
+      (** The covering VMA denies the access for the current PD. *)
+  | Privileged_access of int
+      (** Unprivileged code touched a privileged VMA or CSR. *)
+  | Gate_violation of int
+      (** Control flow entered privileged code not at a [uatg] gate (CFI). *)
+  | Bad_handle of string
+      (** PrivLib policy check rejected an argument (bad PD id, foreign VMA,
+          double free, ...). *)
+
+exception Fault of t
+
+val raise_fault : t -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

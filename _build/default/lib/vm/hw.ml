@@ -1,0 +1,191 @@
+type t = {
+  memsys : Jord_arch.Memsys.t;
+  store : Vma_store.t;
+  va_cfg : Va.config;
+  vtd : Vtd.t;
+  mmus : Mmu.t array;
+  mutable shootdowns : int;
+  mutable shootdown_ns : float;
+  mutable walks : int;
+  mutable walk_ns : float;
+}
+
+let create ?(i_entries = 16) ?(d_entries = 16) ~memsys ~store ~va_cfg () =
+  let cores = Jord_arch.Topology.cores (Jord_arch.Memsys.topology memsys) in
+  {
+    memsys;
+    store;
+    va_cfg;
+    vtd = Vtd.create ~cores ();
+    mmus = Array.init cores (fun _ -> Mmu.create ~i_entries ~d_entries);
+    shootdowns = 0;
+    shootdown_ns = 0.0;
+    walks = 0;
+    walk_ns = 0.0;
+  }
+
+let memsys t = t.memsys
+let store t = t.store
+let va_cfg t = t.va_cfg
+let mmu t ~core = t.mmus.(core)
+let vtd t = t.vtd
+let config t = Jord_arch.Memsys.config t.memsys
+let instr_ns t n = Jord_arch.Config.instr_ns (config t) n
+let shootdown_count t = t.shootdowns
+let shootdown_ns_total t = t.shootdown_ns
+let walk_count t = t.walks
+let walk_ns_total t = t.walk_ns
+
+(* Aggregate VLB statistics across every core. *)
+let vlb_totals t =
+  Array.fold_left
+    (fun (h, m) mmu ->
+      let i = Vlb.stats (Mmu.i_vlb mmu) and d = Vlb.stats (Mmu.d_vlb mmu) in
+      (h + i.Vlb.hits + d.Vlb.hits, m + i.Vlb.misses + d.Vlb.misses))
+    (0, 0) t.mmus
+
+let reset_counters t =
+  t.shootdowns <- 0;
+  t.shootdown_ns <- 0.0;
+  t.walks <- 0;
+  t.walk_ns <- 0.0
+
+let vlb_of mmu = function `Instr -> Mmu.i_vlb mmu | `Data -> Mmu.d_vlb mmu
+
+let canonical_tag t va =
+  match Va.decode t.va_cfg va with
+  | Some _ -> Va.vte_addr_of_va t.va_cfg va
+  | None -> Fault.raise_fault (Fault.Unmapped va)
+
+let charge_footprint t ~core (fp : Vma_store.footprint) =
+  let acc = ref 0.0 in
+  List.iter (fun addr -> acc := !acc +. Jord_arch.Memsys.read t.memsys ~core ~addr) fp.Vma_store.reads;
+  List.iter (fun addr -> acc := !acc +. Jord_arch.Memsys.write t.memsys ~core ~addr) fp.Vma_store.writes;
+  !acc
+
+(* VTW walk: locate the VTE through the active data structure, charging its
+   memory footprint, then register the translation with the VTD and fill the
+   requesting VLB. *)
+(* The VTW is a small FSM: besides the VTE fetch it spends a few cycles
+   computing the entry address and validating the sub-array. *)
+let vtw_fsm_cycles = 5
+
+let walk t ~core ~va ~vlb =
+  let vte, fp = Vma_store.lookup t.store ~va in
+  let lat =
+    Jord_arch.Config.cycles_ns (config t) vtw_fsm_cycles
+    +. instr_ns t (Vma_store.search_instrs t.store)
+    +. charge_footprint t ~core fp
+  in
+  match vte with
+  | None -> Fault.raise_fault (Fault.Unmapped va)
+  | Some vte ->
+      let tag = canonical_tag t va in
+      Vtd.note_read t.vtd ~vte_addr:tag ~core;
+      Vlb.fill vlb ~vte_addr:tag vte;
+      t.walks <- t.walks + 1;
+      t.walk_ns <- t.walk_ns +. lat;
+      (vte, lat)
+
+(* Overflow-pointer chase: VMAs shared by more than 20 PDs keep the extra
+   (pd, perm) pairs behind the ptr field, one more memory access away. *)
+let overflow_addr t va = canonical_tag t va + (t.va_cfg.Va.table_capacity * Va.vte_bytes)
+
+let check_perm t ~core ~mmu ~va ~access vte =
+  if Vte.privileged vte && not (Mmu.p_bit mmu) then
+    Fault.raise_fault (Fault.Privileged_access va);
+  let pd = Mmu.ucid mmu in
+  let extra =
+    if Vte.overflow_lookup_needed vte ~pd then
+      Jord_arch.Memsys.read t.memsys ~core ~addr:(overflow_addr t va)
+    else 0.0
+  in
+  let perm = Vte.perm_for vte ~pd in
+  if not (Perm.allows perm access) then
+    Fault.raise_fault (Fault.Permission { va; pd; need = access });
+  extra
+
+(* An I-VLB miss stalls the front end: besides the walk, the fetch stage
+   refills after the bubble. *)
+let ivlb_stall_cycles = 14
+
+let translate t ~core ~va ~access ~kind =
+  let mmu = t.mmus.(core) in
+  let vlb = vlb_of mmu kind in
+  let vte, walk_lat =
+    match Vlb.lookup vlb ~va with
+    | Some vte -> (vte, 0.0)
+    | None ->
+        let vte, lat = walk t ~core ~va ~vlb in
+        let stall =
+          match kind with
+          | `Instr -> Jord_arch.Config.cycles_ns (config t) ivlb_stall_cycles
+          | `Data -> 0.0
+        in
+        (vte, lat +. stall)
+  in
+  let perm_lat = check_perm t ~core ~mmu ~va ~access vte in
+  (vte, walk_lat +. perm_lat)
+
+let access t ~core ~va ~access:acc ~kind ~bytes =
+  let vte, lat = translate t ~core ~va ~access:acc ~kind in
+  let phys = Vte.translate vte va in
+  let line = (config t).Jord_arch.Config.line in
+  let data =
+    match acc with
+    | Perm.Write when bytes <= line ->
+        Jord_arch.Memsys.write t.memsys ~core ~addr:phys
+    | Perm.Write ->
+        (* Streaming store: charge per line with overlap. *)
+        let n = Jord_util.Bits.ceil_div bytes line in
+        let total = ref 0.0 in
+        for i = 0 to n - 1 do
+          let l = Jord_arch.Memsys.write t.memsys ~core ~addr:(phys + (i * line)) in
+          total := !total +. (if i = 0 then l else l *. 0.25)
+        done;
+        !total
+    | Perm.Read | Perm.Exec ->
+        Jord_arch.Memsys.read_block t.memsys ~core ~addr:phys ~bytes
+  in
+  lat +. data
+
+let shootdown t ~core ~va =
+  t.shootdowns <- t.shootdowns + 1;
+  let tag = canonical_tag t va in
+  let cores =
+    match Vtd.sharers t.vtd ~vte_addr:tag with
+    | `Tracked cores -> cores
+    | `Untracked ->
+        (* Victim-cache fallback: every coherence sharer of the VTE line is
+           pessimistically treated as a translation sharer. *)
+        Jord_arch.Memsys.sharers t.memsys ~addr:tag
+  in
+  let topo = Jord_arch.Memsys.topology t.memsys in
+  let home = Jord_arch.Memsys.home_of t.memsys ~addr:tag ~requester:core in
+  let worst = ref 0.0 in
+  List.iter
+    (fun sharer ->
+      let mmu = t.mmus.(sharer) in
+      let hit_i = Vlb.invalidate_vte (Mmu.i_vlb mmu) ~vte_addr:tag in
+      let hit_d = Vlb.invalidate_vte (Mmu.d_vlb mmu) ~vte_addr:tag in
+      if sharer <> core && (hit_i || hit_d) then begin
+        let d = 2.0 *. Jord_arch.Topology.latency_ns topo ~src:home ~dst:sharer in
+        if d > !worst then worst := d
+      end)
+    cores;
+  Vtd.note_write t.vtd ~vte_addr:tag;
+  t.shootdown_ns <- t.shootdown_ns +. !worst;
+  !worst
+
+let warm t ~core ~va ~kind =
+  let mmu = t.mmus.(core) in
+  let vlb = vlb_of mmu kind in
+  match Vlb.lookup vlb ~va with
+  | Some _ -> ()
+  | None -> (
+      match Vma_store.lookup t.store ~va with
+      | Some vte, _ ->
+          let tag = canonical_tag t va in
+          Vtd.note_read t.vtd ~vte_addr:tag ~core;
+          Vlb.fill vlb ~vte_addr:tag vte
+      | None, _ -> ())

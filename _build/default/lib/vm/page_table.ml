@@ -1,0 +1,116 @@
+let page_bytes = 4096
+let levels = 4
+let index_bits = 9
+let entries_per_table = 1 lsl index_bits
+let entry_bytes = 8
+
+type leaf = { mutable phys : int; mutable perm : Perm.t }
+
+type node = Table of node option array | Leaf of leaf
+
+type t = {
+  root : node option array;
+  root_addr : int;
+  mutable next_table : int; (* bump allocator for table frames *)
+  table_addrs : (node option array, int) Hashtbl.t; (* physical placement *)
+  mutable mapped : int;
+}
+
+let create ?(root_addr = 1 lsl 39) () =
+  let root = Array.make entries_per_table None in
+  let t =
+    {
+      root;
+      root_addr;
+      next_table = root_addr + page_bytes;
+      table_addrs = Hashtbl.create 64;
+      mapped = 0;
+    }
+  in
+  Hashtbl.add t.table_addrs root root_addr;
+  t
+
+let table_addr t arr =
+  match Hashtbl.find_opt t.table_addrs arr with
+  | Some a -> a
+  | None ->
+      let a = t.next_table in
+      t.next_table <- a + page_bytes;
+      Hashtbl.add t.table_addrs arr a;
+      a
+
+let index_of va level =
+  (* level 0 is the root; leaves live at level 3. *)
+  let shift = 12 + (index_bits * (levels - 1 - level)) in
+  (va lsr shift) land (entries_per_table - 1)
+
+let entry_addr t arr i = table_addr t arr + (i * entry_bytes)
+
+let check_aligned va =
+  if va land (page_bytes - 1) <> 0 then invalid_arg "Page_table: unaligned VA"
+
+let map t ~va ~phys ~perm =
+  check_aligned va;
+  let touched = ref [] in
+  let rec go arr level =
+    let i = index_of va level in
+    if level = levels - 1 then begin
+      (match arr.(i) with
+      | Some _ -> invalid_arg "Page_table.map: already mapped"
+      | None -> ());
+      arr.(i) <- Some (Leaf { phys; perm });
+      touched := entry_addr t arr i :: !touched
+    end
+    else
+      match arr.(i) with
+      | Some (Table next) -> go next (level + 1)
+      | Some (Leaf _) -> invalid_arg "Page_table.map: leaf at interior level"
+      | None ->
+          let next = Array.make entries_per_table None in
+          arr.(i) <- Some (Table next);
+          touched := entry_addr t arr i :: !touched;
+          go next (level + 1)
+  in
+  go t.root 0;
+  t.mapped <- t.mapped + 1;
+  List.rev !touched
+
+let rec find_leaf t arr level va touched =
+  let i = index_of va level in
+  let addr = entry_addr t arr i in
+  let touched = addr :: touched in
+  match arr.(i) with
+  | None -> (None, touched)
+  | Some (Leaf l) ->
+      if level = levels - 1 then (Some (arr, i, l), touched) else (None, touched)
+  | Some (Table next) ->
+      if level = levels - 1 then (None, touched)
+      else find_leaf t next (level + 1) va touched
+
+let unmap t ~va =
+  check_aligned va;
+  match find_leaf t t.root 0 va [] with
+  | Some (arr, i, _), touched ->
+      arr.(i) <- None;
+      t.mapped <- t.mapped - 1;
+      (* The leaf rewrite is the only table write. *)
+      List.hd touched :: []
+  | None, _ -> invalid_arg "Page_table.unmap: not mapped"
+
+let protect t ~va ~perm =
+  check_aligned va;
+  match find_leaf t t.root 0 va [] with
+  | Some (_, _, leaf), touched ->
+      leaf.perm <- perm;
+      [ List.hd touched ]
+  | None, _ -> invalid_arg "Page_table.protect: not mapped"
+
+let walk t ~va =
+  let page_va = va land lnot (page_bytes - 1) in
+  let found, touched = find_leaf t t.root 0 page_va [] in
+  match found with
+  | Some (_, _, leaf) ->
+      (Some (leaf.phys + (va land (page_bytes - 1)), leaf.perm), List.rev touched)
+  | None -> (None, List.rev touched)
+
+let mapped_pages t = t.mapped

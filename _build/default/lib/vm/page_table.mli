@@ -1,0 +1,41 @@
+(** Traditional 4-level radix page table (the x86-64/RISC-V Sv48 shape).
+
+    Jord *extends* rather than replaces paged virtual memory (§4.1): VAs
+    without the Jord Top tag still translate through the OS-managed page
+    table. This module implements that substrate — and powers the §2.2
+    motivation experiment showing why page-based isolation (syscalls, table
+    edits, TLB shootdowns) cannot reach nanosecond scale.
+
+    Pages are 4 KiB; each level indexes 9 bits. Operations report the table
+    memory they touched so walks and edits can be charged through the
+    memory model. *)
+
+type t
+
+val create : ?root_addr:int -> unit -> t
+(** [root_addr] places the root table in physical memory (default 2^39). *)
+
+val page_bytes : int
+(** 4096. *)
+
+val levels : int
+(** 4. *)
+
+val map : t -> va:int -> phys:int -> perm:Perm.t -> int list
+(** Map one page; allocates intermediate tables on demand. Returns the PTE
+    (and intermediate-entry) addresses written.
+    @raise Invalid_argument if already mapped or unaligned. *)
+
+val unmap : t -> va:int -> int list
+(** Remove a mapping; returns the table addresses written.
+    @raise Invalid_argument if not mapped. *)
+
+val protect : t -> va:int -> perm:Perm.t -> int list
+(** Rewrite a leaf PTE's permissions.
+    @raise Invalid_argument if not mapped. *)
+
+val walk : t -> va:int -> (int * Perm.t) option * int list
+(** Hardware page walk: [(phys, perm)] if mapped, plus the 4 dependent
+    table-entry addresses read along the way. *)
+
+val mapped_pages : t -> int

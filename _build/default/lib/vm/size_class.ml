@@ -1,0 +1,22 @@
+type t = int
+
+let min_shift = 7 (* 128 B *)
+let max_shift = 32 (* 4 GB *)
+let count = max_shift - min_shift + 1
+let min_bytes = 1 lsl min_shift
+let max_bytes = 1 lsl max_shift
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Size_class.of_index";
+  i
+
+let to_index t = t
+let bytes t = 1 lsl (min_shift + t)
+
+let of_size n =
+  if n <= 0 || n > max_bytes then invalid_arg "Size_class.of_size";
+  let shift = Jord_util.Bits.ceil_log2 (Int.max n min_bytes) in
+  shift - min_shift
+
+let offset_bits t = min_shift + t
+let pp ppf t = Format.fprintf ppf "SC%d(%dB)" t (bytes t)

@@ -1,0 +1,135 @@
+let page_bits = 12
+
+type entry = { vpn : int; phys : int; perm : Perm.t; mutable lru : int }
+
+type stats = { mutable hits : int; mutable misses : int; mutable flushes : int }
+
+type t = {
+  l1 : entry option array; (* fully associative *)
+  l2 : entry option array; (* set-associative: sets x ways *)
+  l2_sets : int;
+  l2_ways : int;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ?(l1_entries = 48) ?(l2_entries = 1024) ?(l2_ways = 4) () =
+  if l1_entries <= 0 || l2_entries <= 0 || l2_ways <= 0 then invalid_arg "Tlb.create";
+  if l2_entries mod l2_ways <> 0 then invalid_arg "Tlb.create: l2 geometry";
+  {
+    l1 = Array.make l1_entries None;
+    l2 = Array.make l2_entries None;
+    l2_sets = l2_entries / l2_ways;
+    l2_ways;
+    tick = 0;
+    stats = { hits = 0; misses = 0; flushes = 0 };
+  }
+
+let stats t = t.stats
+let vpn_of va = va lsr page_bits
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.lru <- t.tick
+
+let find_l1 t vpn =
+  let n = Array.length t.l1 in
+  let rec go i =
+    if i = n then None
+    else match t.l1.(i) with
+      | Some e when e.vpn = vpn -> Some i
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let l2_slot t vpn way = ((vpn mod t.l2_sets) * t.l2_ways) + way
+
+let find_l2 t vpn =
+  let rec go w =
+    if w = t.l2_ways then None
+    else
+      let i = l2_slot t vpn w in
+      match t.l2.(i) with
+      | Some e when e.vpn = vpn -> Some i
+      | Some _ | None -> go (w + 1)
+  in
+  go 0
+
+let insert_assoc arr victim_range entry =
+  (* Fill an empty slot in the range, else evict the LRU one. *)
+  let lo, len = victim_range in
+  let victim = ref lo and victim_lru = ref max_int in
+  (try
+     for i = lo to lo + len - 1 do
+       match arr.(i) with
+       | None ->
+           victim := i;
+           raise Exit
+       | Some e ->
+           if e.lru < !victim_lru then begin
+             victim := i;
+             victim_lru := e.lru
+           end
+     done
+   with Exit -> ());
+  arr.(!victim) <- Some entry
+
+let fill t ~va ~phys ~perm =
+  let vpn = vpn_of va in
+  let e () = { vpn; phys; perm; lru = 0 } in
+  let e1 = e () in
+  insert_assoc t.l1 (0, Array.length t.l1) e1;
+  touch t e1;
+  (match find_l2 t vpn with
+  | Some _ -> ()
+  | None ->
+      let e2 = e () in
+      insert_assoc t.l2 ((vpn mod t.l2_sets) * t.l2_ways, t.l2_ways) e2;
+      touch t e2)
+
+let lookup t ~va =
+  let vpn = vpn_of va in
+  match find_l1 t vpn with
+  | Some i ->
+      let e = Option.get t.l1.(i) in
+      t.stats.hits <- t.stats.hits + 1;
+      touch t e;
+      Some (e.phys, e.perm)
+  | None -> (
+      match find_l2 t vpn with
+      | Some i ->
+          let e = Option.get t.l2.(i) in
+          t.stats.hits <- t.stats.hits + 1;
+          touch t e;
+          (* Refill L1 from L2. *)
+          fill t ~va ~phys:e.phys ~perm:e.perm;
+          Some (e.phys, e.perm)
+      | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None)
+
+let invalidate_page t ~va =
+  let vpn = vpn_of va in
+  let hit = ref false in
+  (match find_l1 t vpn with
+  | Some i ->
+      t.l1.(i) <- None;
+      hit := true
+  | None -> ());
+  (match find_l2 t vpn with
+  | Some i ->
+      t.l2.(i) <- None;
+      hit := true
+  | None -> ());
+  !hit
+
+let flush t =
+  Array.fill t.l1 0 (Array.length t.l1) None;
+  Array.fill t.l2 0 (Array.length t.l2) None;
+  t.stats.flushes <- t.stats.flushes + 1
+
+let occupancy t =
+  let count arr =
+    Array.fold_left (fun acc e -> match e with Some _ -> acc + 1 | None -> acc) 0 arr
+  in
+  count t.l1 + count t.l2

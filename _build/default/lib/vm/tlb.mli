@@ -1,0 +1,28 @@
+(** Traditional page TLB hierarchy (Table 2: 48-entry fully associative L1
+    I/D TLBs, 1024-entry 4-way L2 TLB).
+
+    Serves the non-Jord half of the address space. Entries are per-page
+    translations; invalidation is by page or full flush (the IPI-based
+    shootdowns of the §2.2 motivation experiment). *)
+
+type t
+
+type stats = { mutable hits : int; mutable misses : int; mutable flushes : int }
+
+val create : ?l1_entries:int -> ?l2_entries:int -> ?l2_ways:int -> unit -> t
+val stats : t -> stats
+
+val lookup : t -> va:int -> (int * Perm.t) option
+(** Physical page base + permission on a hit (L1 or L2; an L2 hit refills
+    L1). *)
+
+val fill : t -> va:int -> phys:int -> perm:Perm.t -> unit
+(** Install a translation after a page walk (into both levels). *)
+
+val invalidate_page : t -> va:int -> bool
+(** invlpg: drop one page's translation; [true] if present somewhere. *)
+
+val flush : t -> unit
+(** Full flush (the blunt shootdown). *)
+
+val occupancy : t -> int

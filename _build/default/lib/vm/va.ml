@@ -1,0 +1,68 @@
+type config = { top_tag : int; table_base : int; table_capacity : int }
+
+let vte_bytes = 64
+let class_lo = 51
+let class_width = 5
+let top_lo = 56
+let top_width = 4
+
+let default_config =
+  { top_tag = 0xA; table_base = 1 lsl 40; table_capacity = 1 lsl 20 }
+
+let slots_per_class cfg = cfg.table_capacity / Size_class.count
+
+let encode cfg sc ~index ~offset =
+  let offs_bits = Size_class.offset_bits sc in
+  if offset < 0 || offset >= Size_class.bytes sc then invalid_arg "Va.encode: offset";
+  if index < 0 || index >= slots_per_class cfg then invalid_arg "Va.encode: index";
+  if index lsl offs_bits >= 1 lsl class_lo then invalid_arg "Va.encode: index width";
+  (cfg.top_tag lsl top_lo)
+  lor (Size_class.to_index sc lsl class_lo)
+  lor (index lsl offs_bits)
+  lor offset
+
+let is_jord cfg va =
+  va >= 0 && Jord_util.Bits.extract va ~lo:top_lo ~width:top_width = cfg.top_tag
+
+let decode cfg va =
+  if not (is_jord cfg va) then None
+  else
+    let sc_i = Jord_util.Bits.extract va ~lo:class_lo ~width:class_width in
+    if sc_i >= Size_class.count then None
+    else
+      let sc = Size_class.of_index sc_i in
+      let offs_bits = Size_class.offset_bits sc in
+      let index = Jord_util.Bits.extract va ~lo:offs_bits ~width:(class_lo - offs_bits) in
+      let offset = va land ((1 lsl offs_bits) - 1) in
+      if index >= slots_per_class cfg then None else Some (sc, index, offset)
+
+let decode_exn cfg va =
+  match decode cfg va with
+  | Some d -> d
+  | None -> invalid_arg "Va: not a Jord-managed address"
+
+let base_of cfg va =
+  let sc, index, _ = decode_exn cfg va in
+  encode cfg sc ~index ~offset:0
+
+let vte_index cfg sc ~index =
+  let i = (index * Size_class.count) + Size_class.to_index sc in
+  if i >= cfg.table_capacity then invalid_arg "Va.vte_index: table overflow";
+  i
+
+let vte_addr cfg sc ~index = cfg.table_base + (vte_index cfg sc ~index * vte_bytes)
+
+(* ASLR entropy: bits of the index field usable for randomization, i.e. the
+   VA bits between the offset field and the size-class field that are not
+   needed to address the per-class VTE budget. The paper reports a 5-bit
+   entropy reduction (the class field) leaving 29 bits for the 128-byte
+   class; our layout has a 51-bit usable span below the class field. *)
+let entropy_bits cfg sc =
+  let offs = Size_class.offset_bits sc in
+  let index_width = class_lo - offs in
+  let needed = Jord_util.Bits.ceil_log2 (slots_per_class cfg) in
+  Int.max 0 (index_width - needed)
+
+let vte_addr_of_va cfg va =
+  let sc, index, _ = decode_exn cfg va in
+  vte_addr cfg sc ~index

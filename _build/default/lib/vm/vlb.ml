@@ -1,0 +1,99 @@
+type entry = { vte_addr : int; vte : Vte.t; mutable lru : int }
+
+type stats = { mutable hits : int; mutable misses : int; mutable shootdowns : int }
+
+type t = {
+  entries : entry option array;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Vlb.create";
+  {
+    entries = Array.make entries None;
+    tick = 0;
+    stats = { hits = 0; misses = 0; shootdowns = 0 };
+  }
+
+let capacity t = Array.length t.entries
+let stats t = t.stats
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.lru <- t.tick
+
+let lookup t ~va =
+  let n = Array.length t.entries in
+  let rec go i =
+    if i = n then begin
+      t.stats.misses <- t.stats.misses + 1;
+      None
+    end
+    else
+      match t.entries.(i) with
+      | Some e when Vte.covers e.vte va ->
+          t.stats.hits <- t.stats.hits + 1;
+          touch t e;
+          Some e.vte
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let find_slot t ~vte_addr =
+  let n = Array.length t.entries in
+  let rec go i =
+    if i = n then None
+    else
+      match t.entries.(i) with
+      | Some e when e.vte_addr = vte_addr -> Some i
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let fill t ~vte_addr vte =
+  match find_slot t ~vte_addr with
+  | Some i ->
+      let e = { vte_addr; vte; lru = 0 } in
+      t.entries.(i) <- Some e;
+      touch t e
+  | None ->
+      (* Pick an empty slot, else the LRU victim. *)
+      let n = Array.length t.entries in
+      let victim = ref 0 and victim_lru = ref max_int in
+      (try
+         for i = 0 to n - 1 do
+           match t.entries.(i) with
+           | None ->
+               victim := i;
+               raise Exit
+           | Some e ->
+               if e.lru < !victim_lru then begin
+                 victim := i;
+                 victim_lru := e.lru
+               end
+         done
+       with Exit -> ());
+      let e = { vte_addr; vte; lru = 0 } in
+      t.entries.(!victim) <- Some e;
+      touch t e
+
+let invalidate_vte t ~vte_addr =
+  match find_slot t ~vte_addr with
+  | Some i ->
+      t.entries.(i) <- None;
+      t.stats.shootdowns <- t.stats.shootdowns + 1;
+      true
+  | None -> false
+
+let invalidate_all t =
+  Array.fill t.entries 0 (Array.length t.entries) None
+
+let contains_vte t ~vte_addr = find_slot t ~vte_addr <> None
+
+let resident t =
+  Array.to_list t.entries
+  |> List.filter_map (function Some e -> Some e.vte_addr | None -> None)
+
+let occupancy t =
+  Array.fold_left (fun acc e -> match e with Some _ -> acc + 1 | None -> acc) 0 t.entries

@@ -1,0 +1,45 @@
+(** B-tree VMA table — the Jord_BT ablation (paper §6.2, Figure 13).
+
+    Keyed by VMA base address, CLRS-style B-tree of minimum degree 8, as in
+    Midgard/redundant-memory-mapping designs. Unlike the plain list, every
+    operation walks root-to-leaf (multiple dependent cache accesses) and
+    inserts/deletes trigger node splits, borrows and merges — the
+    "frequent B-tree rebalancing" the paper blames for Jord_BT spending 167%
+    more PrivLib time. Operations report node addresses touched (reads) and
+    modified (writes) for latency charging. *)
+
+type t
+
+type footprint = { reads : int list; writes : int list }
+(** Byte addresses of tree nodes touched by an operation, in access order. *)
+
+val create : unit -> t
+
+val lookup : t -> va:int -> Vte.t option * footprint
+(** Floor search: the entry with the greatest base [<= va] that covers
+    [va]. *)
+
+val find_base : t -> base:int -> Vte.t option
+(** Exact-key search without charging. *)
+
+val insert : t -> Vte.t -> footprint
+(** @raise Invalid_argument on duplicate base. *)
+
+val remove : t -> va:int -> Vte.t option * footprint
+(** Delete the entry covering [va]. *)
+
+val touch_addrs : t -> va:int -> footprint
+(** Footprint of an in-place VTE update: the lookup path plus one leaf
+    write. *)
+
+val count : t -> int
+val height : t -> int
+
+val rebalance_ops : t -> int
+(** Cumulative splits + merges + borrows since creation. *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural validation (key ordering, occupancy bounds, uniform leaf
+    depth) for property tests. *)
+
+val iter : (Vte.t -> unit) -> t -> unit

@@ -1,0 +1,50 @@
+type footprint = { reads : int list; writes : int list }
+
+type t = Plain of Vma_table.t | Btree of Vma_btree.t
+
+let plain cfg = Plain (Vma_table.create cfg)
+let btree () = Btree (Vma_btree.create ())
+let kind = function Plain _ -> "plain-list" | Btree _ -> "b-tree"
+
+let of_bt (fp : Vma_btree.footprint) = { reads = fp.Vma_btree.reads; writes = fp.Vma_btree.writes }
+
+let lookup t ~va =
+  match t with
+  | Plain p ->
+      let vte, addrs = Vma_table.lookup p ~va in
+      (vte, { reads = addrs; writes = [] })
+  | Btree b ->
+      let vte, fp = Vma_btree.lookup b ~va in
+      (vte, of_bt fp)
+
+let find_base t ~base =
+  match t with
+  | Plain p -> Vma_table.find_base p ~base
+  | Btree b -> Vma_btree.find_base b ~base
+
+let insert t vte =
+  match t with
+  | Plain p -> { reads = []; writes = Vma_table.insert p vte }
+  | Btree b -> of_bt (Vma_btree.insert b vte)
+
+let remove t ~va =
+  match t with
+  | Plain p ->
+      let vte, addrs = Vma_table.remove p ~va in
+      (vte, { reads = []; writes = addrs })
+  | Btree b ->
+      let vte, fp = Vma_btree.remove b ~va in
+      (vte, of_bt fp)
+
+let update_footprint t ~va =
+  match t with
+  | Plain p -> { reads = []; writes = Vma_table.touch_addrs p ~va }
+  | Btree b -> of_bt (Vma_btree.touch_addrs b ~va)
+
+let count = function Plain p -> Vma_table.count p | Btree b -> Vma_btree.count b
+
+let search_instrs = function
+  | Plain _ -> 4 (* shift/mask/add to compute the VTE address *)
+  | Btree b -> 18 * (Vma_btree.height b + 1) (* binary search per level *)
+
+let iter f = function Plain p -> Vma_table.iter f p | Btree b -> Vma_btree.iter f b

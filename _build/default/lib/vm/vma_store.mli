@@ -1,0 +1,27 @@
+(** Runtime-selected VMA-table data structure: the plain list (Jord) or the
+    B-tree (Jord_BT). Both expose the memory footprint of every operation so
+    PrivLib and the VTW can charge the accesses through {!Jord_arch.Memsys}. *)
+
+type footprint = { reads : int list; writes : int list }
+
+type t = Plain of Vma_table.t | Btree of Vma_btree.t
+
+val plain : Va.config -> t
+val btree : unit -> t
+val kind : t -> string
+
+val lookup : t -> va:int -> Vte.t option * footprint
+val find_base : t -> base:int -> Vte.t option
+val insert : t -> Vte.t -> footprint
+val remove : t -> va:int -> Vte.t option * footprint
+val update_footprint : t -> va:int -> footprint
+(** Accesses performed by an in-place permission update of the entry
+    covering [va]. *)
+
+val count : t -> int
+
+val search_instrs : t -> int
+(** Straight-line instruction cost of locating an entry: near-zero address
+    arithmetic for the plain list; per-level comparisons for the B-tree. *)
+
+val iter : (Vte.t -> unit) -> t -> unit

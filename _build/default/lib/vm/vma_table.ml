@@ -1,0 +1,49 @@
+type t = { cfg : Va.config; entries : (int, Vte.t) Hashtbl.t }
+
+let create cfg = { cfg; entries = Hashtbl.create 1024 }
+let config t = t.cfg
+
+let slot_of_va t va =
+  match Va.decode t.cfg va with
+  | None -> None
+  | Some (sc, index, _) -> Some (Va.vte_index t.cfg sc ~index, Va.vte_addr t.cfg sc ~index)
+
+let lookup t ~va =
+  match slot_of_va t va with
+  | None -> (None, [])
+  | Some (idx, addr) -> (
+      match Hashtbl.find_opt t.entries idx with
+      | Some vte when Vte.covers vte va -> (Some vte, [ addr ])
+      | Some _ | None -> (None, [ addr ]))
+
+let find_base t ~base =
+  match slot_of_va t base with
+  | None -> None
+  | Some (idx, _) -> (
+      match Hashtbl.find_opt t.entries idx with
+      | Some vte when Vte.base vte = base -> Some vte
+      | Some _ | None -> None)
+
+let insert t vte =
+  match slot_of_va t (Vte.base vte) with
+  | None -> invalid_arg "Vma_table.insert: not a Jord VA"
+  | Some (idx, addr) ->
+      if Hashtbl.mem t.entries idx then invalid_arg "Vma_table.insert: slot occupied";
+      Hashtbl.add t.entries idx vte;
+      [ addr ]
+
+let remove t ~va =
+  match slot_of_va t va with
+  | None -> (None, [])
+  | Some (idx, addr) -> (
+      match Hashtbl.find_opt t.entries idx with
+      | Some vte when Vte.covers vte va ->
+          Hashtbl.remove t.entries idx;
+          (Some vte, [ addr ])
+      | Some _ | None -> (None, [ addr ]))
+
+let touch_addrs t ~va =
+  match slot_of_va t va with Some (_, addr) -> [ addr ] | None -> []
+
+let count t = Hashtbl.length t.entries
+let iter f t = Hashtbl.iter (fun _ vte -> f vte) t.entries

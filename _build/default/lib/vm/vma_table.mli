@@ -1,0 +1,35 @@
+(** Plain-list VMA table (the paper's key data structure, §4.1).
+
+    Because a VA encodes its own size class and index, the table entry
+    position is computed — never searched. Every operation therefore touches
+    exactly one VTE cache block, which is what makes VMA operations
+    nanosecond-scale. Operations return the list of byte addresses they
+    touched so the caller can charge them through the memory model. *)
+
+type t
+
+val create : Va.config -> t
+val config : t -> Va.config
+
+val lookup : t -> va:int -> Vte.t option * int list
+(** Find the entry covering [va] (bound-checked). The returned address list
+    is the single VTE block computed from the VA. Non-Jord VAs return
+    [(None, [])]. *)
+
+val find_base : t -> base:int -> Vte.t option
+(** Entry whose base VA is exactly [base], without charging. *)
+
+val insert : t -> Vte.t -> int list
+(** Install an entry at the slot implied by its base VA.
+    @raise Invalid_argument if the slot is occupied or the base is not a
+    Jord VA. *)
+
+val remove : t -> va:int -> Vte.t option * int list
+(** Delete the entry covering [va]. *)
+
+val touch_addrs : t -> va:int -> int list
+(** Addresses written by an in-place VTE update (permission change). *)
+
+val count : t -> int
+
+val iter : (Vte.t -> unit) -> t -> unit

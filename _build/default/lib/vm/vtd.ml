@@ -1,0 +1,106 @@
+type entry = {
+  mutable vte_addr : int; (* -1 = empty *)
+  sharers : Jord_util.Bitset.t;
+  mutable lru : int;
+}
+
+type stats = {
+  mutable registrations : int;
+  mutable evictions : int;
+  mutable tracked_shootdowns : int;
+  mutable fallback_shootdowns : int;
+}
+
+type t = {
+  sets : int;
+  ways : int;
+  cores : int;
+  slots : entry array;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ?(sets = 512) ?(ways = 8) ~cores () =
+  if sets <= 0 || ways <= 0 then invalid_arg "Vtd.create";
+  let mk _ = { vte_addr = -1; sharers = Jord_util.Bitset.create cores; lru = 0 } in
+  {
+    sets;
+    ways;
+    cores;
+    slots = Array.init (sets * ways) mk;
+    tick = 0;
+    stats =
+      { registrations = 0; evictions = 0; tracked_shootdowns = 0; fallback_shootdowns = 0 };
+  }
+
+let stats t = t.stats
+let set_of t vte_addr = (vte_addr / Va.vte_bytes) mod t.sets
+
+let find t vte_addr =
+  let set = set_of t vte_addr in
+  let rec go w =
+    if w = t.ways then None
+    else
+      let e = t.slots.((set * t.ways) + w) in
+      if e.vte_addr = vte_addr then Some e else go (w + 1)
+  in
+  go 0
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.lru <- t.tick
+
+let note_read t ~vte_addr ~core =
+  t.stats.registrations <- t.stats.registrations + 1;
+  match find t vte_addr with
+  | Some e ->
+      Jord_util.Bitset.add e.sharers core;
+      touch t e
+  | None ->
+      let set = set_of t vte_addr in
+      (* Empty way if any, else LRU victim (its sharers become untracked). *)
+      let victim = ref (set * t.ways) and victim_lru = ref max_int in
+      (try
+         for w = 0 to t.ways - 1 do
+           let i = (set * t.ways) + w in
+           let e = t.slots.(i) in
+           if e.vte_addr = -1 then begin
+             victim := i;
+             raise Exit
+           end
+           else if e.lru < !victim_lru then begin
+             victim := i;
+             victim_lru := e.lru
+           end
+         done
+       with Exit -> ());
+      let e = t.slots.(!victim) in
+      if e.vte_addr <> -1 then t.stats.evictions <- t.stats.evictions + 1;
+      e.vte_addr <- vte_addr;
+      Jord_util.Bitset.clear e.sharers;
+      Jord_util.Bitset.add e.sharers core;
+      touch t e
+
+let sharers t ~vte_addr =
+  match find t vte_addr with
+  | Some e ->
+      t.stats.tracked_shootdowns <- t.stats.tracked_shootdowns + 1;
+      `Tracked (Jord_util.Bitset.to_list e.sharers)
+  | None ->
+      t.stats.fallback_shootdowns <- t.stats.fallback_shootdowns + 1;
+      `Untracked
+
+let note_write t ~vte_addr =
+  match find t vte_addr with
+  | Some e ->
+      e.vte_addr <- -1;
+      Jord_util.Bitset.clear e.sharers
+  | None -> ()
+
+let drop_core t ~vte_addr ~core =
+  match find t vte_addr with
+  | Some e -> Jord_util.Bitset.remove e.sharers core
+  | None -> ()
+
+let tracked t =
+  Array.fold_left (fun acc e -> if e.vte_addr <> -1 then acc + 1 else acc) 0 t.slots

@@ -1,0 +1,97 @@
+type slot = { pd : int; perm : Perm.t }
+
+type t = {
+  base : int;
+  mutable bytes : int;
+  chunk_bytes : int;
+  phys : int;
+  privileged : bool;
+  global_perm : Perm.t option;
+  sub : slot option array; (* 20 hardware slots *)
+  mutable overflow : slot list; (* reached via the ptr field *)
+}
+
+let sub_array_capacity = 20
+
+let create ~base ~bytes ~phys ?(global_perm = None) ?(privileged = false) () =
+  if bytes <= 0 then invalid_arg "Vte.create: bytes";
+  let chunk_bytes = Size_class.bytes (Size_class.of_size bytes) in
+  {
+    base;
+    bytes;
+    chunk_bytes;
+    phys;
+    privileged;
+    global_perm;
+    sub = Array.make sub_array_capacity None;
+    overflow = [];
+  }
+
+let base t = t.base
+let bytes t = t.bytes
+let phys t = t.phys
+let privileged t = t.privileged
+let global_perm t = t.global_perm
+let covers t va = va >= t.base && va < t.base + t.bytes
+
+let translate t va =
+  if not (covers t va) then invalid_arg "Vte.translate: not covered";
+  t.phys + (va - t.base)
+
+let find_sub t pd =
+  let rec go i =
+    if i = sub_array_capacity then None
+    else
+      match t.sub.(i) with
+      | Some s when s.pd = pd -> Some i
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let perm_for t ~pd =
+  match t.global_perm with
+  | Some p -> p
+  | None -> (
+      match find_sub t pd with
+      | Some i -> ( match t.sub.(i) with Some s -> s.perm | None -> Perm.none)
+      | None -> (
+          match List.find_opt (fun s -> s.pd = pd) t.overflow with
+          | Some s -> s.perm
+          | None -> Perm.none))
+
+let overflow_lookup_needed t ~pd =
+  t.global_perm = None && find_sub t pd = None && t.overflow <> []
+
+let set_perm t ~pd perm =
+  (* Remove any existing binding first, then insert. *)
+  (match find_sub t pd with Some i -> t.sub.(i) <- None | None -> ());
+  t.overflow <- List.filter (fun s -> s.pd <> pd) t.overflow;
+  if not (Perm.equal perm Perm.none) then begin
+    let rec free i =
+      if i = sub_array_capacity then None
+      else match t.sub.(i) with None -> Some i | Some _ -> free (i + 1)
+    in
+    match free 0 with
+    | Some i -> t.sub.(i) <- Some { pd; perm }
+    | None -> t.overflow <- { pd; perm } :: t.overflow
+  end
+
+let has_pd t ~pd =
+  find_sub t pd <> None || List.exists (fun s -> s.pd = pd) t.overflow
+
+let sharer_pds t =
+  let in_sub =
+    Array.to_list t.sub
+    |> List.filter_map (function Some s -> Some s.pd | None -> None)
+  in
+  in_sub @ List.map (fun s -> s.pd) t.overflow
+
+let sharer_count t = List.length (sharer_pds t)
+
+let resize t ~bytes =
+  if bytes <= 0 || bytes > t.chunk_bytes then invalid_arg "Vte.resize";
+  t.bytes <- bytes
+
+let clear_perms t =
+  Array.fill t.sub 0 sub_array_capacity None;
+  t.overflow <- []

@@ -1,0 +1,1 @@
+lib/workloads/hipster.ml: Jord_faas Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/hipster.mli: Jord_faas

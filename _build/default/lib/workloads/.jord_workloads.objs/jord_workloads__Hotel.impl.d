@@ -1,0 +1,1 @@
+lib/workloads/hotel.ml: Jord_faas Workload_util

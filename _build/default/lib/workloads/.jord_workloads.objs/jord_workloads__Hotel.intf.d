@@ -1,0 +1,1 @@
+lib/workloads/hotel.mli: Jord_faas

@@ -1,0 +1,1 @@
+lib/workloads/loadgen.ml: Jord_faas Jord_metrics Jord_sim Jord_util

@@ -1,0 +1,1 @@
+lib/workloads/loadgen.mli: Jord_faas Jord_metrics Jord_sim

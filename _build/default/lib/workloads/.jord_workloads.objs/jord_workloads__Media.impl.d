@@ -1,0 +1,1 @@
+lib/workloads/media.ml: Jord_faas List Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/media.mli: Jord_faas

@@ -1,0 +1,1 @@
+lib/workloads/social.ml: Jord_faas Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/social.mli: Jord_faas

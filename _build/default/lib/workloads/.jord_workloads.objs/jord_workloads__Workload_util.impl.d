@@ -1,0 +1,1 @@
+lib/workloads/workload_util.ml: Float Jord_faas Jord_util

@@ -1,0 +1,1 @@
+lib/workloads/workload_util.mli: Jord_faas Jord_util

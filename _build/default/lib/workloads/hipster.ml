@@ -1,0 +1,84 @@
+module Model = Jord_faas.Model
+open Workload_util
+
+let get_cart = "GetCart"
+let place_order = "PlaceOrder"
+let product_view = "ProductView"
+
+(* GetCart: read the cart, convert prices. Two sequential (sync) nested
+   calls, ~1.2 us of compute across the tree. *)
+let get_cart_fn =
+  {
+    Model.name = get_cart;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 250.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:256 "CartStore";
+          jittered prng 160.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:128 "CurrencySvc";
+          jittered prng 120.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* PlaceOrder: charge payment and quote shipping in parallel, then confirm
+   by email. *)
+let place_order_fn =
+  {
+    Model.name = place_order;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 380.0;
+          Model.invoke ~mode:Model.Async ~arg_bytes:384 "PaymentSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:256 "ShippingSvc";
+          Model.wait;
+          jittered prng 230.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:256 "EmailSvc";
+          jittered prng 140.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* ProductView: catalog lookup, then recommendations and an ad fetched in
+   parallel while the page renders. *)
+let product_view_fn =
+  {
+    Model.name = product_view;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 210.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:256 "ProductCatalog";
+          jittered prng 110.0;
+          Model.invoke ~mode:Model.Async ~arg_bytes:192 "RecommendationSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:128 "AdSvc";
+          Model.wait;
+          jittered prng 130.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+let app =
+  {
+    Model.app_name = "Hipster";
+    fns =
+      [
+        get_cart_fn;
+        place_order_fn;
+        product_view_fn;
+        leaf ~name:"CartStore" ~mean_ns:300.0 ();
+        leaf ~name:"CurrencySvc" ~mean_ns:170.0 ();
+        leaf ~name:"PaymentSvc" ~mean_ns:460.0 ();
+        leaf ~name:"ShippingSvc" ~mean_ns:380.0 ();
+        leaf ~name:"EmailSvc" ~mean_ns:270.0 ();
+        leaf ~name:"ProductCatalog" ~mean_ns:320.0 ();
+        leaf ~name:"RecommendationSvc" ~mean_ns:350.0 ();
+        leaf ~name:"AdSvc" ~mean_ns:210.0 ();
+      ];
+    entries = [ (get_cart, 0.45); (place_order, 0.30); (product_view, 0.25) ];
+  }

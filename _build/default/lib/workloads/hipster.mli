@@ -1,0 +1,16 @@
+(** OnlineBoutique ("Hipster") from Google's microservices demo, ported to
+    Jord's function paradigm (paper §5, Table 3).
+
+    Entry functions: GetCart (GC) and PlaceOrder (PO). Short functions
+    (hundreds of ns of compute) with ~3 nested invocations per external
+    request on average — the lightest of the four workloads, which is why it
+    reaches the highest throughput (~12 MRPS under SLO on 32 cores). *)
+
+val app : Jord_faas.Model.app
+
+val get_cart : string
+val place_order : string
+(** Entry-function names (Table 3 abbreviations GC and PO). *)
+
+val product_view : string
+(** ProductView entry (PV). *)

@@ -1,0 +1,80 @@
+module Model = Jord_faas.Model
+open Workload_util
+
+let search_nearby = "SearchNearby"
+let make_reservation = "MakeReservation"
+let recommend = "Recommend"
+
+(* SearchNearby: geo and rate lookups fan out in parallel, join, then fetch
+   the winning hotels' profiles. *)
+let search_nearby_fn =
+  {
+    Model.name = search_nearby;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 550.0;
+          Model.invoke ~mode:Model.Async ~arg_bytes:384 "GeoSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:384 "RateSvc";
+          Model.wait;
+          jittered prng 380.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:512 "ProfileSvc";
+          jittered prng 220.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* MakeReservation: check the user, then commit the reservation. *)
+let make_reservation_fn =
+  {
+    Model.name = make_reservation;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 480.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:256 "UserSvc";
+          jittered prng 300.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:512 "ReservationDb";
+          jittered prng 240.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* Recommend: score candidates against the user's history, then hydrate the
+   winning profiles. *)
+let recommend_fn =
+  {
+    Model.name = recommend;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 420.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:384 "RecommendEngine";
+          jittered prng 260.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:512 "ProfileSvc";
+          jittered prng 180.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+let app =
+  {
+    Model.app_name = "Hotel";
+    fns =
+      [
+        search_nearby_fn;
+        make_reservation_fn;
+        recommend_fn;
+        leaf ~name:"GeoSvc" ~mean_ns:680.0 ();
+        leaf ~name:"RateSvc" ~mean_ns:640.0 ();
+        leaf ~name:"ProfileSvc" ~mean_ns:540.0 ();
+        leaf ~name:"UserSvc" ~mean_ns:420.0 ();
+        leaf ~name:"ReservationDb" ~mean_ns:880.0 ();
+        leaf ~name:"RecommendEngine" ~mean_ns:720.0 ();
+      ];
+    entries =
+      [ (search_nearby, 0.45); (make_reservation, 0.35); (recommend, 0.20) ];
+  }

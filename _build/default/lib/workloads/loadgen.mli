@@ -1,0 +1,33 @@
+(** Open-loop Poisson load generator (wrk2-style, paper §5).
+
+    Inter-arrival times are exponential with mean [1 / rate]; arrivals are
+    independent of completions, so overload shows up as unbounded queueing —
+    exactly the hockey-stick the p99-vs-load figures rely on. *)
+
+type t
+
+val start :
+  server:Jord_faas.Server.t ->
+  rate_mrps:float ->
+  duration:Jord_sim.Time.t ->
+  seed:int ->
+  t
+(** Schedule arrivals from the current simulated time for [duration].
+    [rate_mrps] is in requests per microsecond (MRPS as used in the paper's
+    figures — million requests per second). *)
+
+val submitted : t -> int
+
+val run :
+  ?warmup:int ->
+  ?tracer:Jord_faas.Trace.t ->
+  app:Jord_faas.Model.app ->
+  config:Jord_faas.Server.config ->
+  rate_mrps:float ->
+  duration_us:float ->
+  ?seed:int ->
+  unit ->
+  Jord_faas.Server.t * Jord_metrics.Recorder.t
+(** Convenience harness: build a server for [app], attach a recorder, drive
+    the load to completion (arrivals stop after [duration_us]; the engine
+    then drains), and return both. *)

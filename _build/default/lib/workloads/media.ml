@@ -1,0 +1,87 @@
+module Model = Jord_faas.Model
+open Workload_util
+
+let upload_unique_id = "UploadUniqueId"
+let read_page = "ReadPage"
+let compose_review = "ComposeReview"
+
+(* Fan a batch of async invocations and join it. Batching bounds the number
+   of simultaneously live child ArgBufs, hence the D-VLB footprint. *)
+let batch prng target ~n ~arg_bytes ~gap_ns =
+  List.concat_map
+    (fun _ ->
+      [ Model.invoke ~mode:Model.Async ~arg_bytes target; jittered prng gap_ns ])
+    (List.init n (fun i -> i))
+  @ [ Model.wait ]
+
+(* UploadUniqueId: stamp ids across shards and replicate to storage —
+   two joined batches, ~10 nested invocations. *)
+let upload_unique_id_fn =
+  {
+    Model.name = upload_unique_id;
+    make_phases =
+      (fun prng ->
+        (jittered prng 260.0 :: batch prng "MovieIdShard" ~n:6 ~arg_bytes:192 ~gap_ns:40.0)
+        @ (jittered prng 200.0 :: batch prng "ReviewStorage" ~n:4 ~arg_bytes:256 ~gap_ns:40.0)
+        @ [ jittered prng 150.0 ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* ReadPage: assemble a page from many component reads — the >100-nested-
+   invocation extreme of Table 3. 18 batches of 6 reads each. *)
+let read_page_fn =
+  {
+    Model.name = read_page;
+    make_phases =
+      (fun prng ->
+        let batches =
+          List.concat_map
+            (fun _ ->
+              batch prng "ComponentRead" ~n:6 ~arg_bytes:192 ~gap_ns:60.0
+              @ [ jittered prng 140.0 ])
+            (List.init 18 (fun i -> i))
+        in
+        (jittered prng 420.0 :: batches) @ [ jittered prng 300.0 ]);
+    state_bytes = 16 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* ComposeReview: the write path — text processing, rating update and the
+   movie-id join before the review is stored. *)
+let compose_review_fn =
+  {
+    Model.name = compose_review;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 280.0;
+          Model.invoke ~mode:Model.Async ~arg_bytes:384 "ReviewTextSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:128 "RatingSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:128 "MovieIdShard";
+          Model.wait;
+          jittered prng 180.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:256 "ReviewStorage";
+          jittered prng 120.0;
+        ]);
+    state_bytes = 8 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+let app =
+  {
+    Model.app_name = "Media";
+    fns =
+      [
+        upload_unique_id_fn;
+        read_page_fn;
+        compose_review_fn;
+        leaf ~name:"MovieIdShard" ~mean_ns:190.0 ~state_bytes:(4 * 1024) ();
+        leaf ~name:"ReviewStorage" ~mean_ns:240.0 ~state_bytes:(4 * 1024) ();
+        leaf ~name:"ComponentRead" ~mean_ns:210.0 ~state_bytes:(4 * 1024) ();
+        leaf ~name:"ReviewTextSvc" ~mean_ns:310.0 ~state_bytes:(4 * 1024) ();
+        leaf ~name:"RatingSvc" ~mean_ns:160.0 ~state_bytes:(4 * 1024) ();
+      ];
+    entries =
+      [ (upload_unique_id, 0.752); (compose_review, 0.24); (read_page, 0.008) ];
+  }

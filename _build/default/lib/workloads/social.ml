@@ -1,0 +1,83 @@
+module Model = Jord_faas.Model
+open Workload_util
+
+let follow = "Follow"
+let compose_post = "ComposePost"
+let read_home_timeline = "ReadHomeTimeline"
+
+(* Follow: update both directions of the social graph, then invalidate the
+   timeline cache. *)
+let follow_fn =
+  {
+    Model.name = follow;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 800.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:384 "UserGraphSvc";
+          jittered prng 600.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:512 "SocialGraphDb";
+          jittered prng 400.0;
+        ]);
+    state_bytes = 16 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+(* ComposePost: heavy text processing (the ~75 us tail of Fig. 10), media
+   and mention resolution in parallel, then the home-timeline fan-in. *)
+let compose_post_fn =
+  {
+    Model.name = compose_post;
+    make_phases =
+      (fun prng ->
+        [
+          heavy_tailed prng 18000.0 62000.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:1024 "TextSvc";
+          jittered prng 1500.0;
+          Model.invoke ~mode:Model.Async ~arg_bytes:768 "MediaSvc";
+          Model.invoke ~mode:Model.Async ~arg_bytes:384 "UserMentionSvc";
+          Model.wait;
+          jittered prng 1200.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:768 "HomeTimelineSvc";
+          jittered prng 800.0;
+        ]);
+    state_bytes = 32 * 1024;
+    code_bytes = 32 * 1024;
+  }
+
+(* ReadHomeTimeline: fetch the timeline index, then hydrate the posts. *)
+let read_home_timeline_fn =
+  {
+    Model.name = read_home_timeline;
+    make_phases =
+      (fun prng ->
+        [
+          jittered prng 700.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:384 "HomeTimelineSvc";
+          jittered prng 500.0;
+          Model.invoke ~mode:Model.Sync ~arg_bytes:768 "PostStorageSvc";
+          jittered prng 400.0;
+        ]);
+    state_bytes = 16 * 1024;
+    code_bytes = 16 * 1024;
+  }
+
+let app =
+  {
+    Model.app_name = "Social";
+    fns =
+      [
+        follow_fn;
+        compose_post_fn;
+        read_home_timeline_fn;
+        leaf ~name:"UserGraphSvc" ~mean_ns:1400.0 ~state_bytes:(16 * 1024) ();
+        leaf ~name:"SocialGraphDb" ~mean_ns:1700.0 ~state_bytes:(16 * 1024) ();
+        leaf ~name:"TextSvc" ~mean_ns:2600.0 ~state_bytes:(16 * 1024) ();
+        leaf ~name:"MediaSvc" ~mean_ns:3200.0 ~state_bytes:(16 * 1024) ();
+        leaf ~name:"UserMentionSvc" ~mean_ns:2000.0 ();
+        leaf ~name:"HomeTimelineSvc" ~mean_ns:4600.0 ~state_bytes:(16 * 1024) ();
+        leaf ~name:"PostStorageSvc" ~mean_ns:3400.0 ~state_bytes:(16 * 1024) ();
+      ];
+    entries =
+      [ (follow, 0.42); (compose_post, 0.38); (read_home_timeline, 0.20) ];
+  }

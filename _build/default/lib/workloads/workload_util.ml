@@ -1,0 +1,17 @@
+module Model = Jord_faas.Model
+
+let jittered prng ns =
+  let m = Jord_util.Sample.lognormal prng ~mu:0.0 ~sigma:0.35 in
+  Model.Compute (ns *. m)
+
+let heavy_tailed prng base cap =
+  let v = Jord_util.Sample.pareto prng ~scale:base ~shape:1.6 in
+  Model.Compute (Float.min v cap)
+
+let leaf ~name ~mean_ns ?(state_bytes = 8 * 1024) () =
+  {
+    Model.name;
+    make_phases = (fun prng -> [ jittered prng mean_ns ]);
+    state_bytes;
+    code_bytes = 16 * 1024;
+  }

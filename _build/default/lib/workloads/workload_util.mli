@@ -1,0 +1,14 @@
+(** Shared helpers for building calibrated workload models. *)
+
+val jittered : Jord_util.Prng.t -> float -> Jord_faas.Model.phase
+(** A [Compute] phase of roughly the given nanoseconds, scaled by a
+    log-normal multiplier (sigma 0.35) to produce realistic service-time
+    spread. *)
+
+val heavy_tailed : Jord_util.Prng.t -> float -> float -> Jord_faas.Model.phase
+(** [heavy_tailed prng base cap]: Pareto-tailed compute phase with scale
+    [base], truncated at [cap] (the paper's Social/Media long tails). *)
+
+val leaf :
+  name:string -> mean_ns:float -> ?state_bytes:int -> unit -> Jord_faas.Model.fn
+(** A leaf function: one jittered compute phase, no nested invocations. *)

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Api Jord_arch Jord_faas Jord_sim Jord_util List Model Server

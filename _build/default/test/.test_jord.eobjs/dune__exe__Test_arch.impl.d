@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Cache Config Jord_arch List Mesi Option QCheck QCheck_alcotest Topology

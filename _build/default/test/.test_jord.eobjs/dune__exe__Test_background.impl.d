@@ -1,0 +1,1 @@
+test/test_background.ml: Alcotest Jord_baseline Jord_exp List Printf

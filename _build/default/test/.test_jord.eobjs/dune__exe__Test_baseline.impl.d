@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Jord_baseline Nightcore Pipe Printf Shm

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Jord_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Int Jord_util List QCheck QCheck_alcotest Set

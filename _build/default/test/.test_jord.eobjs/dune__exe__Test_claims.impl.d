@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Jord_exp List

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Jord_arch Jord_faas Jord_privlib Jord_sim Jord_vm List Model Printf Request Server Variant

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Float Jord_exp List Printf

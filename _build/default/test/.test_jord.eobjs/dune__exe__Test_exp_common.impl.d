@@ -1,0 +1,1 @@
+test/test_exp_common.ml: Alcotest Jord_exp Jord_faas List

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Filename Jord_exp List String Sys

@@ -1,0 +1,1 @@
+test/test_faas_parts.ml: Alcotest Array Bounded_queue Float Jord_arch Jord_faas Jord_sim Jord_util List Model Policy QCheck QCheck_alcotest Queue Request Result Variant

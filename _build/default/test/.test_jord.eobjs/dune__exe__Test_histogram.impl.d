@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Float Gen Histogram Jord_util List Printf Prng QCheck QCheck_alcotest Sample Stats

@@ -1,0 +1,1 @@
+test/test_histogram_extra.ml: Alcotest Float Histogram Jord_util Printf

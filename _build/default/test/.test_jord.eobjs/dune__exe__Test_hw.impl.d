@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Fault Hw Jord_arch Jord_vm List Mmu Perm Printf Size_class Va Vlb Vma_store Vte

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Jord_arch Jord_faas Jord_metrics Jord_vm Jord_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_listing1.ml: Alcotest Api Jord_arch Jord_faas Jord_privlib Jord_sim List Request Server

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Config Jord_arch Memsys Topology

@@ -1,0 +1,1 @@
+test/test_memsys_props.ml: Config Jord_arch List Memsys QCheck QCheck_alcotest Topology

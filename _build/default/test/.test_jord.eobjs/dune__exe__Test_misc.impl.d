@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format Jord_arch Jord_faas Jord_privlib Jord_sim Jord_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_model_extra.ml: Alcotest Jord_faas Result

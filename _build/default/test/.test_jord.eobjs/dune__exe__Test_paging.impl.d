@@ -1,0 +1,1 @@
+test/test_paging.ml: Alcotest Fault Gen Int Jord_arch Jord_exp Jord_privlib Jord_vm List Map Option Page_table Perm Printf QCheck QCheck_alcotest Tlb

@@ -1,0 +1,1 @@
+test/test_privlib.ml: Alcotest Fault Hw Jord_arch Jord_privlib Jord_vm List Perm Va Vma_store

@@ -1,0 +1,1 @@
+test/test_privlib_props.ml: Fault Hw Jord_arch Jord_privlib Jord_vm List Perm Printf QCheck QCheck_alcotest Va Vma_store

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Int Jord_util Printf Prng

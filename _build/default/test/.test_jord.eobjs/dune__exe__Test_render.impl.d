@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Jord_util List Render String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Jord_arch Jord_baseline Jord_faas Jord_privlib Jord_vm Model Printf Runtime Variant

@@ -1,0 +1,1 @@
+test/test_sample.ml: Alcotest Array Float Jord_util Printf Prng Sample

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Jord_arch Jord_faas Jord_privlib Jord_sim Jord_vm List Model Policy Request Server Variant

@@ -1,0 +1,1 @@
+test/test_server_props.ml: Float Hashtbl Jord_arch Jord_faas Jord_privlib Jord_sim Jord_util Jord_vm List Model Printf QCheck QCheck_alcotest Request Server

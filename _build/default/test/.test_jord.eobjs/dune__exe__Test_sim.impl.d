@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue Jord_sim List QCheck QCheck_alcotest Time

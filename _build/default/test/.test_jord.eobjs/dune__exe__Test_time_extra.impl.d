@@ -1,0 +1,1 @@
+test/test_time_extra.ml: Alcotest Float Jord_sim QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_topology_extra.ml: Alcotest Config Hashtbl Jord_arch List Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Jord_faas Jord_metrics Jord_util Jord_workloads List String

@@ -1,0 +1,1 @@
+test/test_va_extra.ml: Alcotest Jord_vm List Option Size_class Va

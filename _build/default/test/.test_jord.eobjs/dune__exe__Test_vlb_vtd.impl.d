@@ -1,0 +1,1 @@
+test/test_vlb_vtd.ml: Alcotest Jord_vm List Option QCheck QCheck_alcotest Vlb Vtd Vte

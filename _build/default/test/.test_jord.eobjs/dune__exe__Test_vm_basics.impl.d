@@ -1,0 +1,1 @@
+test/test_vm_basics.ml: Alcotest Jord_vm Option Perm Printf QCheck QCheck_alcotest Size_class Va Vte

@@ -1,0 +1,1 @@
+test/test_vma_stores.ml: Alcotest Gen Int Jord_vm List Map QCheck QCheck_alcotest Size_class Va Vma_btree Vma_store Vma_table Vte

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float Hashtbl Hipster Hotel Jord_arch Jord_faas Jord_metrics Jord_sim Jord_util Jord_workloads List Loadgen Media Option Printf Social

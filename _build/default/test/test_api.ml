@@ -1,0 +1,82 @@
+open Jord_faas
+
+let demo_app () =
+  Api.(
+    app "demo"
+    |> fn "leaf" ~exec_us:0.4
+    |> fn "mid"
+         ~phases:(fun p -> p |> compute_us 0.2 |> call "leaf" |> compute_us 0.1)
+    |> fn "front"
+         ~phases:(fun p ->
+           p |> compute_us 0.3 |> spawn "leaf" |> spawn "mid" |> join
+           |> compute_us 0.1)
+    |> entry ~weight:0.7 "front"
+    |> entry ~weight:0.3 "mid"
+    |> build)
+
+let test_builds_valid_app () =
+  let app = demo_app () in
+  Alcotest.(check string) "name" "demo" app.Model.app_name;
+  Alcotest.(check int) "three fns" 3 (List.length app.Model.fns);
+  Alcotest.(check int) "two entries" 2 (List.length app.Model.entries);
+  Alcotest.(check bool) "valid" true (Model.validate app = Ok ())
+
+let test_phase_order () =
+  let app = demo_app () in
+  let front = Model.find_fn app "front" in
+  match front.Model.make_phases (Jord_util.Prng.create ~seed:0) with
+  | [
+   Model.Compute c1;
+   Model.Invoke { target = t1; mode = m1; _ };
+   Model.Invoke { target = t2; mode = m2; _ };
+   Model.Wait;
+   Model.Compute c2;
+  ] ->
+      Alcotest.(check (float 1e-9)) "first compute" 300.0 c1;
+      Alcotest.(check (float 1e-9)) "last compute" 100.0 c2;
+      Alcotest.(check (pair string string)) "spawn order" ("leaf", "mid") (t1, t2);
+      Alcotest.(check bool) "both async" true (m1 = Model.Async && m2 = Model.Async)
+  | _ -> Alcotest.fail "unexpected phase shape"
+
+let test_invalid_rejected () =
+  Alcotest.(check bool) "unknown target" true
+    (match
+       Api.(
+         app "bad"
+         |> fn "f" ~phases:(fun p -> p |> call "ghost")
+         |> entry "f" |> build)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "no entries" true
+    (match Api.(app "bad2" |> fn "f" ~exec_us:1.0 |> build) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_runs_end_to_end () =
+  let app = demo_app () in
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config app in
+  let count = ref 0 in
+  Server.on_root_complete server (fun _ -> incr count);
+  for i = 0 to 29 do
+    Jord_sim.Engine.schedule_at (Server.engine server)
+      ~time:(Jord_sim.Time.of_ns (float_of_int i *. 1000.0))
+      (fun _ -> Server.submit server ())
+  done;
+  Server.run server;
+  Alcotest.(check int) "all complete" 30 !count
+
+let suite =
+  [
+    Alcotest.test_case "builds valid app" `Quick test_builds_valid_app;
+    Alcotest.test_case "phase order" `Quick test_phase_order;
+    Alcotest.test_case "invalid rejected" `Quick test_invalid_rejected;
+    Alcotest.test_case "runs end to end" `Quick test_runs_end_to_end;
+  ]

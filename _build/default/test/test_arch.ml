@@ -1,0 +1,109 @@
+open Jord_arch
+
+let default_topo () = Topology.create Config.default
+
+let test_config_scaling () =
+  let c = Config.with_cores Config.default 64 in
+  Alcotest.(check int) "cores" 64 c.Config.cores;
+  Alcotest.(check bool) "mesh holds cores" true (c.Config.mesh_cols * c.Config.mesh_rows >= 64);
+  let c2 = Config.with_sockets Config.default 2 in
+  Alcotest.(check int) "sockets" 2 c2.Config.sockets;
+  Alcotest.(check bool) "per-socket mesh holds half" true
+    (c2.Config.mesh_cols * c2.Config.mesh_rows >= 16)
+
+let test_instr_ns () =
+  Alcotest.(check (float 1e-9)) "4 instr at IPC 4 = 1 cycle" 0.25
+    (Config.instr_ns Config.default 4);
+  Alcotest.(check bool) "fpga slower per instr" true
+    (Config.instr_ns Config.fpga 100 > Config.instr_ns Config.default 100)
+
+let test_hops () =
+  let t = default_topo () in
+  Alcotest.(check int) "self" 0 (Topology.hops t 0 0);
+  Alcotest.(check int) "neighbor" 1 (Topology.hops t 0 1);
+  (* Core 0 is tile (0,0); core 31 is tile (7,3) in an 8x4 mesh. *)
+  Alcotest.(check int) "corner to corner" 10 (Topology.hops t 0 31);
+  Alcotest.(check int) "symmetric" (Topology.hops t 3 17) (Topology.hops t 17 3)
+
+let test_latency () =
+  let t = default_topo () in
+  Alcotest.(check (float 1e-9)) "same tile" 0.0 (Topology.latency_ns t ~src:5 ~dst:5);
+  (* 3 cycles/hop at 4 GHz = 0.75 ns per hop. *)
+  Alcotest.(check (float 1e-9)) "one hop" 0.75 (Topology.latency_ns t ~src:0 ~dst:1);
+  let two_socket = Topology.create (Config.with_sockets Config.default 2) in
+  let cross = Topology.latency_ns two_socket ~src:0 ~dst:31 in
+  Alcotest.(check bool) "cross socket includes link" true (cross >= 260.0)
+
+let test_slice_homing () =
+  let two_socket = Topology.create (Config.with_sockets Config.default 2) in
+  (* First-touch by a socket-1 core homes the line on socket 1. *)
+  let home = Topology.slice_of_line two_socket ~requester:20 0x12345 in
+  Alcotest.(check int) "home on requester socket" 1 (Topology.socket_of two_socket home);
+  let home0 = Topology.slice_of_line two_socket ~requester:3 0x12345 in
+  Alcotest.(check int) "socket 0" 0 (Topology.socket_of two_socket home0)
+
+let test_max_distance () =
+  let t = default_topo () in
+  let d = Topology.max_distance_ns t ~from:0 in
+  Alcotest.(check (float 1e-9)) "10 hops from corner" 7.5 d
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~size:1024 ~ways:2 ~line:64 in
+  Alcotest.(check int) "sets" 8 (Cache.sets c);
+  Alcotest.(check (option reject)) "miss" None
+    (Option.map (fun _ -> ()) (Cache.lookup c 5));
+  ignore (Cache.insert c 5 Mesi.Exclusive);
+  Alcotest.(check bool) "hit" true (Cache.lookup c 5 <> None);
+  Alcotest.(check int) "valid" 1 (Cache.count_valid c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~size:256 ~ways:2 ~line:64 in
+  (* 2 sets x 2 ways; lines 0,2,4 map to set 0. *)
+  ignore (Cache.insert c 0 Mesi.Shared);
+  ignore (Cache.insert c 2 Mesi.Shared);
+  ignore (Cache.lookup c 0);
+  (* 0 is now MRU; inserting 4 must evict 2. *)
+  (match Cache.insert c 4 Mesi.Shared with
+  | Some (victim, _) -> Alcotest.(check int) "LRU victim" 2 victim
+  | None -> Alcotest.fail "expected an eviction");
+  Alcotest.(check bool) "0 still present" true (Cache.peek c 0 <> None)
+
+let test_cache_invalidate () =
+  let c = Cache.create ~size:256 ~ways:2 ~line:64 in
+  ignore (Cache.insert c 7 Mesi.Modified);
+  Alcotest.(check bool) "invalidate hit" true (Cache.invalidate c 7);
+  Alcotest.(check bool) "gone" true (Cache.peek c 7 = None);
+  Alcotest.(check bool) "invalidate miss" false (Cache.invalidate c 7);
+  Alcotest.(check int) "valid count" 0 (Cache.count_valid c)
+
+let test_cache_set_state () =
+  let c = Cache.create ~size:256 ~ways:2 ~line:64 in
+  ignore (Cache.insert c 3 Mesi.Exclusive);
+  Cache.set_state c 3 Mesi.Modified;
+  Alcotest.(check bool) "M" true (Cache.peek c 3 = Some Mesi.Modified);
+  Cache.set_state c 3 Mesi.Invalid;
+  Alcotest.(check bool) "invalid frees way" true (Cache.peek c 3 = None)
+
+let prop_cache_valid_count =
+  QCheck.Test.make ~name:"cache valid count matches distinct resident lines"
+    QCheck.(list (int_bound 63))
+    (fun lines ->
+      let c = Cache.create ~size:4096 ~ways:4 ~line:64 in
+      List.iter (fun l -> ignore (Cache.insert c l Mesi.Shared)) lines;
+      let resident = List.length (List.sort_uniq compare (List.filter (fun l -> Cache.peek c l <> None) lines)) in
+      Cache.count_valid c = resident)
+
+let suite =
+  [
+    Alcotest.test_case "config scaling" `Quick test_config_scaling;
+    Alcotest.test_case "instr timing" `Quick test_instr_ns;
+    Alcotest.test_case "mesh hops" `Quick test_hops;
+    Alcotest.test_case "latency" `Quick test_latency;
+    Alcotest.test_case "NUMA slice homing" `Quick test_slice_homing;
+    Alcotest.test_case "max distance" `Quick test_max_distance;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "cache set_state" `Quick test_cache_set_state;
+    QCheck_alcotest.to_alcotest prop_cache_valid_count;
+  ]

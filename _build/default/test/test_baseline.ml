@@ -1,0 +1,43 @@
+open Jord_baseline
+
+let test_pipe_costs () =
+  let p = Pipe.default in
+  let small = Pipe.message_ns p ~bytes:64 ~wake:false in
+  let big = Pipe.message_ns p ~bytes:4096 ~wake:false in
+  Alcotest.(check bool) "bytes cost" true (big > small);
+  let woken = Pipe.message_ns p ~bytes:64 ~wake:true in
+  Alcotest.(check (float 1e-9)) "wakeup adds its cost" p.Pipe.wakeup_ns (woken -. small);
+  Alcotest.(check bool) "sender part smaller" true (Pipe.sender_ns p ~bytes:64 < small);
+  (* Two syscalls minimum: microseconds-scale, not nanoseconds. *)
+  Alcotest.(check bool) "syscall floor" true (small >= 2.0 *. p.Pipe.syscall_ns)
+
+let test_shm_costs () =
+  let s = Shm.default in
+  let t1 = Shm.transfer_ns s ~bytes:512 in
+  let t2 = Shm.transfer_ns s ~bytes:1024 in
+  Alcotest.(check bool) "monotone in bytes" true (t2 > t1);
+  Alcotest.(check bool) "base cost" true (Shm.transfer_ns s ~bytes:0 >= s.Shm.base_ns)
+
+let test_nightcore_invocation_overhead () =
+  let nc = Nightcore.default in
+  let per_invocation =
+    Nightcore.dispatch_ns nc
+    +. Nightcore.input_ns nc ~bytes:512
+    +. Nightcore.output_ns nc ~bytes:256
+    +. Nightcore.completion_ns nc
+  in
+  (* The paper's premise: NightCore's per-invocation overhead is in the
+     microseconds while Jord's is in the ~100 ns range. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "us-scale overhead (%.0f ns)" per_invocation)
+    true
+    (per_invocation > 3000.0 && per_invocation < 20000.0);
+  Alcotest.(check bool) "suspend/resume ctx switches" true
+    (Nightcore.suspend_ns nc > 500.0 && Nightcore.resume_ns nc > 500.0)
+
+let suite =
+  [
+    Alcotest.test_case "pipe costs" `Quick test_pipe_costs;
+    Alcotest.test_case "shm costs" `Quick test_shm_costs;
+    Alcotest.test_case "nightcore overhead scale" `Quick test_nightcore_invocation_overhead;
+  ]

@@ -1,0 +1,58 @@
+open Jord_util
+
+let check_int = Alcotest.(check int)
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (Bits.is_power_of_two 1);
+  Alcotest.(check bool) "64" true (Bits.is_power_of_two 64);
+  Alcotest.(check bool) "0" false (Bits.is_power_of_two 0);
+  Alcotest.(check bool) "-4" false (Bits.is_power_of_two (-4));
+  Alcotest.(check bool) "6" false (Bits.is_power_of_two 6)
+
+let test_ceil_pow2 () =
+  check_int "1" 1 (Bits.ceil_pow2 1);
+  check_int "5->8" 8 (Bits.ceil_pow2 5);
+  check_int "8->8" 8 (Bits.ceil_pow2 8);
+  check_int "1000->1024" 1024 (Bits.ceil_pow2 1000)
+
+let test_log2_exact () =
+  check_int "1" 0 (Bits.log2_exact 1);
+  check_int "4096" 12 (Bits.log2_exact 4096);
+  Alcotest.check_raises "non-pow2" (Invalid_argument "Bits.log2_exact") (fun () ->
+      ignore (Bits.log2_exact 6))
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Bits.ceil_div 7 2);
+  check_int "8/2" 4 (Bits.ceil_div 8 2);
+  check_int "0/5" 0 (Bits.ceil_div 0 5)
+
+let test_align_up () =
+  check_int "align 5 to 8" 8 (Bits.align_up 5 8);
+  check_int "align 16 to 8" 16 (Bits.align_up 16 8);
+  check_int "align 0" 0 (Bits.align_up 0 64)
+
+let test_fields () =
+  let v = Bits.insert 0 ~lo:8 ~width:5 ~field:0b10110 in
+  check_int "roundtrip" 0b10110 (Bits.extract v ~lo:8 ~width:5);
+  check_int "low bits untouched" 0 (Bits.extract v ~lo:0 ~width:8);
+  let v2 = Bits.insert v ~lo:8 ~width:5 ~field:0 in
+  check_int "clear" 0 v2
+
+let prop_extract_insert =
+  QCheck.Test.make ~name:"insert then extract is identity"
+    QCheck.(triple (int_bound ((1 lsl 20) - 1)) (int_bound 40) (int_bound 15))
+    (fun (v, lo, width) ->
+      let width = 1 + width in
+      let field = v land ((1 lsl width) - 1) in
+      Bits.extract (Bits.insert 0 ~lo ~width ~field) ~lo ~width = field)
+
+let suite =
+  [
+    Alcotest.test_case "is_power_of_two" `Quick test_power_of_two;
+    Alcotest.test_case "ceil_pow2" `Quick test_ceil_pow2;
+    Alcotest.test_case "log2_exact" `Quick test_log2_exact;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "align_up" `Quick test_align_up;
+    Alcotest.test_case "bit fields" `Quick test_fields;
+    QCheck_alcotest.to_alcotest prop_extract_insert;
+  ]

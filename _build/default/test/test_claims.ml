@@ -1,0 +1,12 @@
+(* The whole reproduction in one assertion: every headline claim of the
+   paper must hold on the reduced-scale programmatic checklist. *)
+
+let test_all_claims () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v.Jord_exp.Claims.claim ^ " [" ^ v.Jord_exp.Claims.evidence ^ "]")
+        true v.Jord_exp.Claims.pass)
+    (Jord_exp.Claims.run ~quick:true ())
+
+let suite = [ Alcotest.test_case "paper-claim checklist" `Slow test_all_claims ]

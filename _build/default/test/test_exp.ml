@@ -1,0 +1,73 @@
+(* Smoke tests of the experiment drivers: cheap configurations only, but
+   they pin the headline *shapes* so a regression in any layer that would
+   invalidate the reproduction fails the suite. *)
+
+let test_table4_shape () =
+  let rows = Jord_exp.Table4.rows ~iters:600 () in
+  Alcotest.(check int) "seven operations" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      let open Jord_exp.Table4 in
+      (* Nanosecond scale: everything within [0.5, 80] ns. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s sim %.1f ns" r.op r.sim_ns)
+        true
+        (r.sim_ns > 0.4 && r.sim_ns < 80.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fpga (%.1f) >= sim (%.1f)" r.op r.fpga_ns r.sim_ns)
+        true
+        (r.fpga_ns >= r.sim_ns *. 0.9))
+    rows;
+  (* The common-case lookup is the cheapest operation, ~2 ns. *)
+  let lookup = List.find (fun r -> r.Jord_exp.Table4.op = "VMA lookup") rows in
+  Alcotest.(check bool) "lookup ~2ns" true
+    (lookup.Jord_exp.Table4.sim_ns > 0.8 && lookup.Jord_exp.Table4.sim_ns < 5.0)
+
+let test_motivation_shape () =
+  let rows = Jord_exp.Motivation.run ~iters:30 () in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  List.iter
+    (fun r -> Alcotest.(check bool) (r.Jord_exp.Motivation.op ^ " jord wins") true (r.Jord_exp.Motivation.speedup > 5.0))
+    rows
+
+let test_sub_array_step () =
+  let rows = Jord_exp.Ablations.sub_array_overflow () in
+  let at n = List.assoc n rows in
+  Alcotest.(check bool) "within sub-array: free" true (at 20 < 0.1);
+  Alcotest.(check bool) "past sub-array: overflow chase" true (at 21 > at 20);
+  Alcotest.(check bool) "more sharers, same chase" true
+    (Float.abs (at 100 -. at 21) < 2.0)
+
+let test_vtd_fallback_monotone () =
+  let small = Jord_exp.Ablations.vtd_fallback ~sets:16 ~live_vtes:1024 in
+  let big = Jord_exp.Ablations.vtd_fallback ~sets:512 ~live_vtes:1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "small VTD falls back more (%.2f vs %.2f)" small big)
+    true (small > big);
+  Alcotest.(check (float 1e-9)) "big VTD tracks a small set" 0.0
+    (Jord_exp.Ablations.vtd_fallback ~sets:512 ~live_vtes:1000)
+
+let test_fig14_shapes () =
+  (* The cheapest full driver; asserts the three scalability claims. *)
+  let pts = Jord_exp.Fig14.run ~quick:true () in
+  let find label = List.find (fun p -> p.Jord_exp.Fig14.label = label) pts in
+  let open Jord_exp.Fig14 in
+  let c16 = find "16-core" and c256 = find "256-core" and s2 = find "2-socket" in
+  Alcotest.(check bool) "service grows modestly" true
+    (c256.service_us < 2.5 *. c16.service_us);
+  Alcotest.(check bool) "shootdown grows" true (c256.shootdown_ns > c16.shootdown_ns);
+  Alcotest.(check bool) "cross-socket shootdown jump" true
+    (s2.shootdown_ns > 5.0 *. c256.shootdown_ns);
+  Alcotest.(check bool) "dispatch explodes" true (c256.dispatch_us > 20.0 *. c16.dispatch_us);
+  Alcotest.(check bool) "2-socket dispatch worst" true (s2.dispatch_us > c256.dispatch_us);
+  Alcotest.(check bool) "2-socket dispatch ~10us scale" true
+    (s2.dispatch_us > 4.0 && s2.dispatch_us < 40.0)
+
+let suite =
+  [
+    Alcotest.test_case "table4 shape" `Slow test_table4_shape;
+    Alcotest.test_case "motivation shape" `Slow test_motivation_shape;
+    Alcotest.test_case "sub-array step" `Quick test_sub_array_step;
+    Alcotest.test_case "vtd fallback monotone" `Quick test_vtd_fallback_monotone;
+    Alcotest.test_case "fig14 shapes" `Slow test_fig14_shapes;
+  ]

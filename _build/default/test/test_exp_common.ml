@@ -1,0 +1,51 @@
+let test_throughput_under_slo () =
+  (* Synthetic points via recorders is heavyweight; exercise the fold with
+     Fig9-style data through the public helper on real recorders is covered
+     by integration tests. Here: the scale helper and spec integrity. *)
+  let spec = Jord_exp.Exp_common.hipster in
+  Alcotest.(check bool) "rates ascending" true
+    (let rec asc = function
+       | a :: (b :: _ as rest) -> a < b && asc rest
+       | _ -> true
+     in
+     asc spec.Jord_exp.Exp_common.rates);
+  let scaled = Jord_exp.Exp_common.scale 0.5 spec in
+  Alcotest.(check (float 1e-9)) "duration scaled"
+    (spec.Jord_exp.Exp_common.duration_us /. 2.0)
+    scaled.Jord_exp.Exp_common.duration_us;
+  Alcotest.(check bool) "warmup floor" true (scaled.Jord_exp.Exp_common.warmup >= 50)
+
+let test_all_specs_valid () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (spec.Jord_exp.Exp_common.name ^ " min_rate below sweep")
+        true
+        (spec.Jord_exp.Exp_common.min_rate < List.hd spec.Jord_exp.Exp_common.rates);
+      Alcotest.(check bool)
+        (spec.Jord_exp.Exp_common.name ^ " app valid")
+        true
+        (Jord_faas.Model.validate spec.Jord_exp.Exp_common.app = Ok ()))
+    Jord_exp.Exp_common.all
+
+let test_replicated_sweep () =
+  let spec =
+    {
+      (Jord_exp.Exp_common.scale 0.1 Jord_exp.Exp_common.hipster) with
+      Jord_exp.Exp_common.rates = [ 2.0 ];
+    }
+  in
+  let config = Jord_exp.Exp_common.config_for Jord_faas.Variant.Jord in
+  match Jord_exp.Exp_common.sweep_replicated spec ~config ~seeds:3 with
+  | [ (rate, p99, tput) ] ->
+      Alcotest.(check (float 1e-9)) "rate echoed" 2.0 rate;
+      Alcotest.(check bool) "p99 sane" true (p99 > 1.0 && p99 < 1000.0);
+      Alcotest.(check bool) "tput near offered" true (tput > 1.5 && tput < 2.5)
+  | _ -> Alcotest.fail "expected one point"
+
+let suite =
+  [
+    Alcotest.test_case "scale and ordering" `Quick test_throughput_under_slo;
+    Alcotest.test_case "all specs valid" `Quick test_all_specs_valid;
+    Alcotest.test_case "replicated sweep" `Slow test_replicated_sweep;
+  ]

@@ -1,0 +1,47 @@
+let test_csv_quoting () =
+  let out =
+    Jord_exp.Export.csv_of_rows ~header:[ "a"; "b" ]
+      ~rows:[ [ "plain"; "with,comma" ]; [ "with\"quote"; "multi\nline" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check string) "header" "a,b" (List.hd lines);
+  Alcotest.(check bool) "comma quoted" true
+    (String.length out > 0
+    && List.exists (fun l -> l = "plain,\"with,comma\"") lines);
+  Alcotest.(check bool) "quote doubled" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '"') lines)
+
+let test_write_file () =
+  let dir = Filename.temp_file "jordcsv" "" in
+  Sys.remove dir;
+  let path = Jord_exp.Export.write_file ~dir ~name:"x.csv" "a,b\n1,2\n" in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "content round trip" "a,b" line;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_table4_export () =
+  let dir = Filename.temp_file "jordcsv" "" in
+  Sys.remove dir;
+  (match Jord_exp.Export.table4 ~dir ~iters:200 () with
+  | [ path ] ->
+      let ic = open_in path in
+      let header = input_line ic in
+      let body = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "header" "operation,sim_ns,fpga_ns,paper_sim_ns,paper_fpga_ns"
+        header;
+      Alcotest.(check bool) "first row is the lookup" true
+        (String.length body > 10 && String.sub body 0 10 = "VMA lookup");
+      Sys.remove path
+  | _ -> Alcotest.fail "expected one file");
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "write file" `Quick test_write_file;
+    Alcotest.test_case "table4 export" `Slow test_table4_export;
+  ]

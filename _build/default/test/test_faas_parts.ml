@@ -1,0 +1,146 @@
+open Jord_faas
+
+let memsys () = Jord_arch.Memsys.create (Jord_arch.Topology.create Jord_arch.Config.default)
+
+let test_queue_fifo () =
+  let m = memsys () in
+  let q = Bounded_queue.create ~capacity:3 ~region:(1 lsl 50) in
+  Alcotest.(check bool) "empty" true (Bounded_queue.is_empty q);
+  ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 "a");
+  ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 "b");
+  ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 "c");
+  Alcotest.(check bool) "full" true (Bounded_queue.is_full q);
+  Alcotest.check_raises "overflow" (Invalid_argument "Bounded_queue.enqueue: full")
+    (fun () -> ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 "d"));
+  let pop () =
+    match Bounded_queue.dequeue q ~memsys:m ~core:1 with
+    | Some (v, _) -> v
+    | None -> "?"
+  in
+  Alcotest.(check string) "fifo a" "a" (pop ());
+  Alcotest.(check string) "fifo b" "b" (pop ());
+  ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 "e");
+  Alcotest.(check string) "fifo c" "c" (pop ());
+  Alcotest.(check string) "wraps" "e" (pop ());
+  Alcotest.(check bool) "drained" true (Bounded_queue.dequeue q ~memsys:m ~core:1 = None)
+
+let prop_queue_model =
+  QCheck.Test.make ~name:"bounded queue behaves like a FIFO model"
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let m = memsys () in
+      let q = Bounded_queue.create ~capacity:4 ~region:(1 lsl 50) in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              if Bounded_queue.is_full q then true
+              else begin
+                ignore (Bounded_queue.enqueue q ~memsys:m ~core:0 v);
+                Queue.push v model;
+                true
+              end
+          | None -> (
+              match Bounded_queue.dequeue q ~memsys:m ~core:0 with
+              | Some (v, _) -> (not (Queue.is_empty model)) && Queue.pop model = v
+              | None -> Queue.is_empty model))
+        ops
+      && Bounded_queue.length q = Queue.length model)
+
+let test_jbsq_picks_shortest () =
+  let prng = Jord_util.Prng.create ~seed:1 in
+  let lengths = [| 3; 1; 2 |] in
+  let scanned = ref 0 in
+  let pick =
+    Policy.pick Policy.Jbsq ~prng ~cursor:(ref 0)
+      ~lengths:(fun i -> lengths.(i))
+      ~full:(fun _ -> false)
+      ~n:3 ~scanned
+  in
+  Alcotest.(check (option int)) "shortest" (Some 1) pick;
+  Alcotest.(check int) "scanned all" 3 !scanned
+
+let test_jbsq_skips_full () =
+  let prng = Jord_util.Prng.create ~seed:1 in
+  let lengths = [| 0; 1; 2 |] in
+  let pick =
+    Policy.pick Policy.Jbsq ~prng ~cursor:(ref 0)
+      ~lengths:(fun i -> lengths.(i))
+      ~full:(fun i -> i = 0)
+      ~n:3 ~scanned:(ref 0)
+  in
+  Alcotest.(check (option int)) "skips the full shortest" (Some 1) pick
+
+let test_jbsq_all_full () =
+  let prng = Jord_util.Prng.create ~seed:1 in
+  let pick =
+    Policy.pick Policy.Jbsq ~prng ~cursor:(ref 0)
+      ~lengths:(fun _ -> 4)
+      ~full:(fun _ -> true)
+      ~n:3 ~scanned:(ref 0)
+  in
+  Alcotest.(check (option int)) "none" None pick
+
+let test_round_robin_cycles () =
+  let prng = Jord_util.Prng.create ~seed:1 in
+  let cursor = ref 0 in
+  let picks =
+    List.init 4 (fun _ ->
+        Policy.pick Policy.Round_robin ~prng ~cursor
+          ~lengths:(fun _ -> 0)
+          ~full:(fun _ -> false)
+          ~n:3 ~scanned:(ref 0))
+  in
+  Alcotest.(check (list (option int))) "cycle" [ Some 0; Some 1; Some 2; Some 0 ] picks
+
+let test_request_tree_accounting () =
+  let root, req = Request.make_root ~id:1 ~entry:"f" ~arrival:Jord_sim.Time.zero ~arg_bytes:64 in
+  let child = Request.make_child ~id:2 ~parent:req ~fn_name:"g" ~arg_bytes:32 in
+  let grandchild = Request.make_child ~id:3 ~parent:child ~fn_name:"h" ~arg_bytes:32 in
+  Alcotest.(check int) "tree size" 3 root.Request.invocations;
+  Alcotest.(check bool) "same root" true (grandchild.Request.root == root);
+  Alcotest.(check int) "depth" 2 grandchild.Request.depth;
+  root.Request.completed_at <- Jord_sim.Time.of_ns 500.0;
+  Alcotest.(check (float 1e-9)) "latency" 500.0 (Request.latency_ns root)
+
+let test_model_validate () =
+  let open Model in
+  let leaf = { name = "leaf"; make_phases = (fun _ -> [ compute 10.0 ]); state_bytes = 128; code_bytes = 128 } in
+  let caller =
+    { name = "caller"; make_phases = (fun _ -> [ invoke "leaf"; wait ]); state_bytes = 128; code_bytes = 128 }
+  in
+  let ok = { app_name = "ok"; fns = [ caller; leaf ]; entries = [ ("caller", 1.0) ] } in
+  Alcotest.(check bool) "valid app" true (validate ok = Ok ());
+  let unknown_target =
+    { ok with fns = [ { caller with make_phases = (fun _ -> [ invoke "ghost" ]) }; leaf ] }
+  in
+  Alcotest.(check bool) "unknown target" true (Result.is_error (validate unknown_target));
+  let cyclic_fn =
+    { name = "cyc"; make_phases = (fun _ -> [ invoke "cyc" ]); state_bytes = 128; code_bytes = 128 }
+  in
+  let cyclic = { app_name = "cyc"; fns = [ cyclic_fn ]; entries = [ ("cyc", 1.0) ] } in
+  Alcotest.(check bool) "cycle rejected" true (Result.is_error (validate cyclic));
+  let no_entry = { ok with entries = [] } in
+  Alcotest.(check bool) "empty entries" true (Result.is_error (validate no_entry));
+  Alcotest.(check bool) "mean invocations" true
+    (Float.abs (mean_invocations ok ~samples:100 ~seed:1 -. 2.0) < 1e-9)
+
+let test_variant_flags () =
+  Alcotest.(check bool) "jord isolated" true (Variant.isolated Variant.Jord);
+  Alcotest.(check bool) "bt isolated" true (Variant.isolated Variant.Jord_bt);
+  Alcotest.(check bool) "ni not" false (Variant.isolated Variant.Jord_ni);
+  Alcotest.(check bool) "nc pipes" true (Variant.uses_pipes Variant.Nightcore)
+
+let suite =
+  [
+    Alcotest.test_case "bounded queue fifo" `Quick test_queue_fifo;
+    QCheck_alcotest.to_alcotest prop_queue_model;
+    Alcotest.test_case "jbsq shortest" `Quick test_jbsq_picks_shortest;
+    Alcotest.test_case "jbsq skips full" `Quick test_jbsq_skips_full;
+    Alcotest.test_case "jbsq all full" `Quick test_jbsq_all_full;
+    Alcotest.test_case "round robin" `Quick test_round_robin_cycles;
+    Alcotest.test_case "request tree" `Quick test_request_tree_accounting;
+    Alcotest.test_case "model validate" `Quick test_model_validate;
+    Alcotest.test_case "variant flags" `Quick test_variant_flags;
+  ]

@@ -1,0 +1,41 @@
+(* Additional histogram edge cases. *)
+open Jord_util
+
+let test_record_n_negative () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative n" (Invalid_argument "Histogram.record_n") (fun () ->
+      Histogram.record_n h 5.0 (-1))
+
+let test_merge_mismatch () =
+  let a = Histogram.create ~sub_buckets:16 () in
+  let b = Histogram.create ~sub_buckets:32 () in
+  Alcotest.check_raises "mismatched configs"
+    (Invalid_argument "Histogram.merge_into: mismatched configuration") (fun () ->
+      Histogram.merge_into ~dst:a ~src:b)
+
+let test_create_invalid () =
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Histogram.create") (fun () ->
+      ignore (Histogram.create ~lowest:10.0 ~highest:5.0 ()))
+
+let test_extreme_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.record h (float_of_int i)
+  done;
+  let p0 = Histogram.percentile h 0.0 in
+  let p100 = Histogram.percentile h 100.0 in
+  Alcotest.(check bool) "p0 near min" true (p0 < 3.0);
+  (* p100 lands in the last non-empty bucket: within one bucket's
+     quantization (~3%) of the true maximum. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p100 near max (%.1f)" p100)
+    true
+    (Float.abs (p100 -. 1000.0) /. 1000.0 < 0.03)
+
+let suite =
+  [
+    Alcotest.test_case "record_n negative" `Quick test_record_n_negative;
+    Alcotest.test_case "merge mismatch" `Quick test_merge_mismatch;
+    Alcotest.test_case "create invalid" `Quick test_create_invalid;
+    Alcotest.test_case "extreme percentiles" `Quick test_extreme_percentiles;
+  ]

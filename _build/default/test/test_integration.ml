@@ -1,0 +1,136 @@
+(* Cross-library integration tests: run real workloads end to end on small
+   machines and check conservation laws and comparative behaviour. *)
+
+module Server = Jord_faas.Server
+module Variant = Jord_faas.Variant
+module R = Jord_metrics.Recorder
+
+let run ?(config = Server.default_config) ?(rate = 0.5) ?(duration = 1500.0) app =
+  Jord_workloads.Loadgen.run ~warmup:100 ~app ~config ~rate_mrps:rate
+    ~duration_us:duration ()
+
+let test_all_apps_drain () =
+  List.iter
+    (fun app ->
+      let server, recorder = run app in
+      Alcotest.(check int)
+        (app.Jord_faas.Model.app_name ^ " drains")
+        0
+        (Server.live_continuations server);
+      Alcotest.(check bool)
+        (app.Jord_faas.Model.app_name ^ " completed some")
+        true
+        (R.count recorder > 100))
+    [
+      Jord_workloads.Hipster.app;
+      Jord_workloads.Hotel.app;
+      Jord_workloads.Media.app;
+      Jord_workloads.Social.app;
+    ]
+
+let test_media_nested_depth () =
+  let _, recorder = run ~rate:0.3 Jord_workloads.Media.app in
+  let inv = R.mean_invocations recorder in
+  Alcotest.(check bool)
+    (Printf.sprintf "media ~12 invocations per request (%.1f)" inv)
+    true
+    (inv > 9.0 && inv < 16.0)
+
+let test_variant_ordering () =
+  (* At identical moderate load: NI <= Jord < NightCore on mean latency. *)
+  let mean variant =
+    let config = { Server.default_config with Server.variant } in
+    let _, r = run ~config ~rate:0.8 Jord_workloads.Hotel.app in
+    R.mean_us r
+  in
+  let ni = mean Variant.Jord_ni in
+  let jord = mean Variant.Jord in
+  let bt = mean Variant.Jord_bt in
+  let nc = mean Variant.Nightcore in
+  Alcotest.(check bool) (Printf.sprintf "NI (%.2f) <= Jord (%.2f)" ni jord) true (ni <= jord);
+  Alcotest.(check bool) (Printf.sprintf "Jord (%.2f) <= BT (%.2f)" jord bt) true (jord <= bt);
+  Alcotest.(check bool) (Printf.sprintf "BT (%.2f) < NC (%.2f)" bt nc) true (bt < nc)
+
+let test_jord_within_bound_of_ni () =
+  (* The headline claim at the request level: Jord's mean latency within
+     ~40% of Jord_NI at moderate load (the throughput gap is tighter, but
+     latency is the cheap proxy a unit test can check). *)
+  let mean variant =
+    let config = { Server.default_config with Server.variant } in
+    let _, r = run ~config ~rate:4.0 ~duration:2000.0 Jord_workloads.Hipster.app in
+    R.mean_us r
+  in
+  let ni = mean Variant.Jord_ni and jord = mean Variant.Jord in
+  Alcotest.(check bool)
+    (Printf.sprintf "Jord %.2fus vs NI %.2fus" jord ni)
+    true
+    (jord < ni *. 1.45)
+
+let test_isolation_overhead_scale () =
+  (* Per-invocation dispatch+isolation overhead lands in the paper's
+     few-hundred-ns regime (~360 ns/request in the paper; we accept a
+     window around it). *)
+  let _, r = run ~rate:4.0 ~duration:2000.0 Jord_workloads.Hipster.app in
+  let b = R.mean_breakdown r in
+  let per_invocation =
+    (b.R.isolation_ns +. b.R.dispatch_ns) /. R.mean_invocations r
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f ns per invocation" per_invocation)
+    true
+    (per_invocation > 80.0 && per_invocation < 600.0)
+
+let test_vlb_stats_active () =
+  let server, _ = run ~rate:2.0 Jord_workloads.Hipster.app in
+  let hw = Server.hw server in
+  Alcotest.(check bool) "walks happened" true (Jord_vm.Hw.walk_count hw > 0);
+  Alcotest.(check bool) "shootdowns happened" true (Jord_vm.Hw.shootdown_count hw > 0);
+  (* The walk penalty should sit in the paper's ~2-20 ns range on average. *)
+  let avg =
+    Jord_vm.Hw.walk_ns_total hw /. float_of_int (Jord_vm.Hw.walk_count hw)
+  in
+  Alcotest.(check bool) (Printf.sprintf "avg walk %.1f ns" avg) true (avg > 0.5 && avg < 25.0)
+
+let test_tiny_vlb_slower () =
+  let run_with entries =
+    let config =
+      { Server.default_config with Server.i_vlb_entries = entries; d_vlb_entries = entries }
+    in
+    let _, r = run ~config ~rate:4.0 ~duration:2000.0 Jord_workloads.Media.app in
+    R.mean_us r
+  in
+  let tiny = run_with 1 and big = run_with 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-entry (%.2fus) slower than 16-entry (%.2fus)" tiny big)
+    true (tiny > big)
+
+let test_multi_socket_runs () =
+  let machine =
+    Jord_arch.Config.with_cores (Jord_arch.Config.with_sockets Jord_arch.Config.default 2) 64
+  in
+  let config = { Server.default_config with Server.machine; orchestrators = 2 } in
+  let server, recorder = run ~config ~rate:1.0 Jord_workloads.Hipster.app in
+  Alcotest.(check bool) "completes across sockets" true (R.count recorder > 200);
+  Alcotest.(check int) "drains" 0 (Server.live_continuations server)
+
+let test_seed_changes_results () =
+  let with_seed seed =
+    let config = { Server.default_config with Server.seed } in
+    let _, r = run ~config Jord_workloads.Hipster.app in
+    R.mean_us r
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    (Float.abs (with_seed 1 -. with_seed 2) > 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "all apps drain" `Slow test_all_apps_drain;
+    Alcotest.test_case "media nested depth" `Slow test_media_nested_depth;
+    Alcotest.test_case "variant latency ordering" `Slow test_variant_ordering;
+    Alcotest.test_case "Jord near NI" `Slow test_jord_within_bound_of_ni;
+    Alcotest.test_case "isolation overhead scale" `Slow test_isolation_overhead_scale;
+    Alcotest.test_case "VLB stats active" `Slow test_vlb_stats_active;
+    Alcotest.test_case "tiny VLB slower" `Slow test_tiny_vlb_slower;
+    Alcotest.test_case "multi-socket runs" `Slow test_multi_socket_runs;
+    Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_results;
+  ]

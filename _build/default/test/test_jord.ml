@@ -1,0 +1,45 @@
+(* Aggregated test entry point: one Alcotest section per subsystem. *)
+let () =
+  Alcotest.run "jord"
+    [
+      ("util.bits", Test_bits.suite);
+      ("util.prng", Test_prng.suite);
+      ("util.sample", Test_sample.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.histogram", Test_histogram.suite);
+      ("util.histogram.extra", Test_histogram_extra.suite);
+      ("util.bitset", Test_bitset.suite);
+      ("sim", Test_sim.suite);
+      ("sim.time.extra", Test_time_extra.suite);
+      ("arch", Test_arch.suite);
+      ("arch.topology.extra", Test_topology_extra.suite);
+      ("arch.memsys", Test_memsys.suite);
+      ("vm.basics", Test_vm_basics.suite);
+      ("vm.va.extra", Test_va_extra.suite);
+      ("vm.stores", Test_vma_stores.suite);
+      ("vm.vlb+vtd", Test_vlb_vtd.suite);
+      ("vm.hw", Test_hw.suite);
+      ("privlib", Test_privlib.suite);
+      ("privlib.props", Test_privlib_props.suite);
+      ("paging", Test_paging.suite);
+      ("faas.parts", Test_faas_parts.suite);
+      ("faas.model.extra", Test_model_extra.suite);
+      ("faas.api", Test_api.suite);
+      ("faas.runtime", Test_runtime.suite);
+      ("faas.listing1", Test_listing1.suite);
+      ("faas.server", Test_server.suite);
+      ("faas.server.props", Test_server_props.suite);
+      ("baseline", Test_baseline.suite);
+      ("background", Test_background.suite);
+      ("workloads", Test_workloads.suite);
+      ("render", Test_render.suite);
+      ("memsys.props", Test_memsys_props.suite);
+      ("integration", Test_integration.suite);
+      ("cluster", Test_cluster.suite);
+      ("misc", Test_misc.suite);
+      ("exp", Test_exp.suite);
+      ("exp.common", Test_exp_common.suite);
+      ("exp.claims", Test_claims.suite);
+      ("trace", Test_trace.suite);
+      ("export", Test_export.suite);
+    ]

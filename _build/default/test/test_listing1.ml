@@ -1,0 +1,137 @@
+(* Listing 1 of the paper, reproduced literally: SrcFunc populates two
+   ArgBufs, invokes Tgt1 asynchronously (keeping the cookie), invokes Tgt2
+   synchronously, waits on the cookie, then mmaps and munmaps a dynamic
+   buffer before producing its output. *)
+
+open Jord_faas
+module Time = Jord_sim.Time
+
+let tgt1_ns = 3000.0 (* deliberately slow: the cookie wait must cover it *)
+let tgt2_ns = 300.0
+
+let listing1_app =
+  Api.(
+    app "listing1"
+    |> fn "Tgt1" ~exec_us:(tgt1_ns /. 1000.0)
+    |> fn "Tgt2" ~exec_us:(tgt2_ns /. 1000.0)
+    |> fn "SrcFunc"
+         ~phases:(fun p ->
+           p
+           |> compute_ns 200.0 (* pre(req->in1), pre(req->in2) *)
+           |> spawn ~cookie:1 ~arg_bytes:256 "Tgt1" (* c = async(Tgt1, r1) *)
+           |> call ~arg_bytes:256 "Tgt2" (* call(Tgt2, r2) *)
+           |> join_cookie 1 (* wait(c) *)
+           |> scratch 0x1000 (* mmap(0, 0x1000, ...) ... munmap *)
+           |> compute_ns 150.0 (* post(buf, r1->out, r2->out) *))
+    |> entry "SrcFunc" |> build)
+
+let run ?(n = 20) () =
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config listing1_app in
+  let roots = ref [] in
+  Server.on_root_complete server (fun r -> roots := r :: !roots);
+  let engine = Server.engine server in
+  for i = 0 to n - 1 do
+    Jord_sim.Engine.schedule_at engine
+      ~time:(Time.of_ns (float_of_int i *. 8000.0))
+      (fun _ -> Server.submit server ())
+  done;
+  Server.run server;
+  (server, !roots)
+
+let test_completes () =
+  let server, roots = run () in
+  Alcotest.(check int) "all complete" 20 (List.length roots);
+  Alcotest.(check int) "drained" 0 (Server.live_continuations server);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "three invocations" 3 r.Request.invocations;
+      Alcotest.(check (float 1.0)) "exec conserved"
+        (200.0 +. tgt1_ns +. tgt2_ns +. 150.0)
+        r.Request.exec_ns)
+    roots
+
+let test_cookie_wait_covers_slow_child () =
+  (* End-to-end latency must cover the slow async child: SrcFunc cannot
+     finish before Tgt1 does, even though Tgt2 (the sync call) is fast. *)
+  let _, roots = run () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "latency covers Tgt1" true
+        (Request.latency_ns r >= 200.0 +. tgt1_ns +. 150.0))
+    roots
+
+let test_wait_for_already_done_is_cheap () =
+  (* Reverse case: the async child is fast and the sync call is slow, so by
+     the time wait(c) runs the cookie is already complete — no extra
+     suspension happens (PD ops: 3 invocations x 10 baseline, plus exactly
+     one cexit+center pair for the sync call, none for the wait). *)
+  let fast_async =
+    Api.(
+      app "fastasync"
+      |> fn "quick" ~exec_us:0.05
+      |> fn "slow" ~exec_us:5.0
+      |> fn "src"
+           ~phases:(fun p ->
+             p |> spawn ~cookie:7 "quick" |> call "slow" |> join_cookie 7)
+      |> entry "src" |> build)
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config fast_async in
+  let priv = Server.privlib server in
+  Jord_privlib.Privlib.reset_accounting priv;
+  let count = ref 0 in
+  Server.on_root_complete server (fun _ -> incr count);
+  Jord_sim.Engine.schedule_at (Server.engine server) ~time:Time.zero (fun _ ->
+      Server.submit server ());
+  Server.run server;
+  Alcotest.(check int) "completed" 1 !count;
+  (* 3 invocations x (cget+ccall+creturn+cput) = 12, plus one cexit+center
+     for the sync call = 14. A suspension at wait(c) would add 2 more. *)
+  Alcotest.(check int) "no extra suspension at wait(c)" 14
+    (Jord_privlib.Privlib.call_count priv Jord_privlib.Privlib.Pd_mgmt)
+
+let test_unknown_cookie_noop () =
+  let app =
+    Api.(
+      app "nocookie"
+      |> fn "leaf" ~exec_us:0.2
+      |> fn "src" ~phases:(fun p -> p |> spawn "leaf" |> join_cookie 99 |> join)
+      |> entry "src" |> build)
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config app in
+  let count = ref 0 in
+  Server.on_root_complete server (fun _ -> incr count);
+  Jord_sim.Engine.schedule_at (Server.engine server) ~time:Time.zero (fun _ ->
+      Server.submit server ());
+  Server.run server;
+  Alcotest.(check int) "unknown cookie ignored, Wait still joins" 1 !count
+
+let suite =
+  [
+    Alcotest.test_case "listing 1 completes" `Quick test_completes;
+    Alcotest.test_case "cookie wait covers slow child" `Quick
+      test_cookie_wait_covers_slow_child;
+    Alcotest.test_case "wait on done cookie is cheap" `Quick
+      test_wait_for_already_done_is_cheap;
+    Alcotest.test_case "unknown cookie no-op" `Quick test_unknown_cookie_noop;
+  ]

@@ -1,0 +1,76 @@
+(* Cross-cutting odds and ends: FPGA-profile server, allocation statistics,
+   time pretty-printing, os_facade alignment. *)
+
+let test_server_on_fpga_profile () =
+  (* The 2-core OpenXiangShan-like machine still runs the full stack: one
+     orchestrator, one executor. *)
+  let config =
+    {
+      Jord_faas.Server.default_config with
+      machine = Jord_arch.Config.fpga;
+      orchestrators = 1;
+    }
+  in
+  let server = Jord_faas.Server.create config Jord_workloads.Hipster.app in
+  let count = ref 0 in
+  Jord_faas.Server.on_root_complete server (fun _ -> incr count);
+  let engine = Jord_faas.Server.engine server in
+  for i = 0 to 29 do
+    Jord_sim.Engine.schedule_at engine
+      ~time:(Jord_sim.Time.of_ns (float_of_int i *. 20_000.0))
+      (fun _ -> Jord_faas.Server.submit server ())
+  done;
+  Jord_faas.Server.run server;
+  Alcotest.(check int) "completes on the FPGA machine" 30 !count
+
+let test_allocation_distribution () =
+  (* After a workload run, ArgBuf allocations dominate and most are small —
+     the paper's sizing argument for small size classes. *)
+  let server, _ =
+    Jord_workloads.Loadgen.run ~warmup:0 ~app:Jord_workloads.Hipster.app
+      ~config:Jord_faas.Server.default_config ~rate_mrps:1.0 ~duration_us:1000.0 ()
+  in
+  let fl = Jord_privlib.Privlib.free_lists (Jord_faas.Server.privlib server) in
+  let share = Jord_privlib.Free_list.small_allocation_share fl ~bytes:1024 in
+  (* Our flow allocates exactly one <=1 KiB ArgBuf and one stack/heap VMA
+     per invocation, so the small share sits at ~50% (the paper's 99%
+     reflects its apps' finer-grained VMAs). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "small allocations around half (%.0f%%)" (100.0 *. share))
+    true
+    (share >= 0.40 && share <= 0.70);
+  let by_class = Jord_privlib.Free_list.allocations_by_class fl in
+  Alcotest.(check bool) "several classes in use" true (List.length by_class >= 3);
+  Alcotest.(check bool) "counts positive" true
+    (List.for_all (fun (_, n) -> n > 0) by_class)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Jord_sim.Time.pp t in
+  Alcotest.(check string) "ns" "5.0ns" (s (Jord_sim.Time.of_ns 5.0));
+  Alcotest.(check string) "us" "2.50us" (s (Jord_sim.Time.of_us 2.5));
+  Alcotest.(check string) "ms" "3.000ms" (s (Jord_sim.Time.of_us 3000.0))
+
+let test_os_facade_alignment () =
+  let os = Jord_privlib.Os_facade.create () in
+  let a = Jord_privlib.Os_facade.reserve_chunk os ~bytes:4096 in
+  Alcotest.(check int) "aligned" 0 (a mod 4096);
+  let b = Jord_privlib.Os_facade.reserve_chunk os ~bytes:100 in
+  Alcotest.(check int) "rounded to pow2 alignment" 0 (b mod 128);
+  Alcotest.(check bool) "disjoint" true (b >= a + 4096);
+  Alcotest.(check bool) "reserved grows" true
+    (Jord_privlib.Os_facade.reserved_bytes os >= 4096 + 128)
+
+let test_variant_and_policy_names () =
+  Alcotest.(check string) "jord" "Jord" (Jord_faas.Variant.name Jord_faas.Variant.Jord);
+  Alcotest.(check string) "nc" "NightCore"
+    (Jord_faas.Variant.name Jord_faas.Variant.Nightcore);
+  Alcotest.(check string) "jbsq" "JBSQ" (Jord_faas.Policy.name Jord_faas.Policy.Jbsq)
+
+let suite =
+  [
+    Alcotest.test_case "server on FPGA profile" `Quick test_server_on_fpga_profile;
+    Alcotest.test_case "allocation distribution" `Quick test_allocation_distribution;
+    Alcotest.test_case "time pretty-printing" `Quick test_time_pp;
+    Alcotest.test_case "os facade alignment" `Quick test_os_facade_alignment;
+    Alcotest.test_case "names" `Quick test_variant_and_policy_names;
+  ]

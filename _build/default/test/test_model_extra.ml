@@ -1,0 +1,52 @@
+(* Model validation edge cases beyond the basic suite. *)
+module Model = Jord_faas.Model
+
+let fn name phases =
+  { Model.name; make_phases = (fun _ -> phases); state_bytes = 128; code_bytes = 128 }
+
+let test_mutual_recursion_rejected () =
+  let a = fn "a" [ Model.invoke "b" ] in
+  let b = fn "b" [ Model.invoke "a" ] in
+  let app = { Model.app_name = "mut"; fns = [ a; b ]; entries = [ ("a", 1.0) ] } in
+  Alcotest.(check bool) "cycle across two functions" true
+    (Result.is_error (Model.validate app))
+
+let test_diamond_dag_ok () =
+  (* a -> {b, c} -> d: shared descendants are fine, only cycles are not. *)
+  let d = fn "d" [ Model.compute 1.0 ] in
+  let b = fn "b" [ Model.invoke "d" ] in
+  let c = fn "c" [ Model.invoke "d" ] in
+  let a = fn "a" [ Model.invoke "b"; Model.invoke "c" ] in
+  let app = { Model.app_name = "dia"; fns = [ a; b; c; d ]; entries = [ ("a", 1.0) ] } in
+  Alcotest.(check bool) "diamond valid" true (Model.validate app = Ok ());
+  Alcotest.(check (float 0.01)) "5 invocations" 5.0
+    (Model.mean_invocations app ~samples:50 ~seed:1)
+
+let test_negative_weight_rejected () =
+  let a = fn "a" [ Model.compute 1.0 ] in
+  let app = { Model.app_name = "neg"; fns = [ a ]; entries = [ ("a", -1.0) ] } in
+  Alcotest.(check bool) "negative weight" true (Result.is_error (Model.validate app))
+
+let test_wait_for_and_scratch_validate () =
+  let leafy = fn "leafy" [ Model.compute 1.0 ] in
+  let a =
+    fn "a"
+      [ Model.invoke ~mode:Model.Async ~cookie:1 "leafy"; Model.wait_for 1; Model.scratch 256 ]
+  in
+  let app = { Model.app_name = "ck"; fns = [ a; leafy ]; entries = [ ("a", 1.0) ] } in
+  Alcotest.(check bool) "cookie phases validate" true (Model.validate app = Ok ())
+
+let test_find_fn_unknown () =
+  let a = fn "a" [] in
+  let app = { Model.app_name = "x"; fns = [ a ]; entries = [ ("a", 1.0) ] } in
+  Alcotest.check_raises "unknown fn" (Invalid_argument "Model.find_fn: unknown function \"zz\"")
+    (fun () -> ignore (Model.find_fn app "zz"))
+
+let suite =
+  [
+    Alcotest.test_case "mutual recursion rejected" `Quick test_mutual_recursion_rejected;
+    Alcotest.test_case "diamond DAG ok" `Quick test_diamond_dag_ok;
+    Alcotest.test_case "negative weight rejected" `Quick test_negative_weight_rejected;
+    Alcotest.test_case "cookie/scratch validate" `Quick test_wait_for_and_scratch_validate;
+    Alcotest.test_case "find_fn unknown" `Quick test_find_fn_unknown;
+  ]

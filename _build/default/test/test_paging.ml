@@ -1,0 +1,151 @@
+open Jord_vm
+
+(* --- page table --- *)
+
+let test_pt_map_walk () =
+  let pt = Page_table.create () in
+  let touched = Page_table.map pt ~va:0x40000000 ~phys:0x1000 ~perm:Perm.rw in
+  (* First map allocates the three intermediate tables + the leaf. *)
+  Alcotest.(check int) "four entries written" 4 (List.length touched);
+  (match Page_table.walk pt ~va:0x40000123 with
+  | Some (phys, perm), reads ->
+      Alcotest.(check int) "offset preserved" 0x1123 phys;
+      Alcotest.(check bool) "perm" true (Perm.equal perm Perm.rw);
+      Alcotest.(check int) "4-level walk" 4 (List.length reads)
+  | None, _ -> Alcotest.fail "walk failed");
+  (* A second page under the same tables only writes the leaf. *)
+  let touched2 = Page_table.map pt ~va:0x40001000 ~phys:0x2000 ~perm:Perm.r in
+  Alcotest.(check int) "one entry written" 1 (List.length touched2);
+  Alcotest.(check int) "two pages" 2 (Page_table.mapped_pages pt)
+
+let test_pt_unmap_protect () =
+  let pt = Page_table.create () in
+  ignore (Page_table.map pt ~va:0x1000 ~phys:0x9000 ~perm:Perm.rw);
+  ignore (Page_table.protect pt ~va:0x1000 ~perm:Perm.r);
+  (match Page_table.walk pt ~va:0x1000 with
+  | Some (_, perm), _ -> Alcotest.(check bool) "downgraded" true (Perm.equal perm Perm.r)
+  | None, _ -> Alcotest.fail "walk failed");
+  ignore (Page_table.unmap pt ~va:0x1000);
+  (match Page_table.walk pt ~va:0x1000 with
+  | None, _ -> ()
+  | Some _, _ -> Alcotest.fail "still mapped");
+  Alcotest.check_raises "double unmap" (Invalid_argument "Page_table.unmap: not mapped")
+    (fun () -> ignore (Page_table.unmap pt ~va:0x1000));
+  Alcotest.check_raises "unaligned" (Invalid_argument "Page_table: unaligned VA")
+    (fun () -> ignore (Page_table.map pt ~va:0x1234 ~phys:0 ~perm:Perm.r))
+
+let prop_pt_model =
+  QCheck.Test.make ~name:"page table agrees with a Map model" ~count:60
+    QCheck.(list_of_size Gen.(0 -- 120) (pair bool (int_bound 63)))
+    (fun ops ->
+      let module M = Map.Make (Int) in
+      let pt = Page_table.create () in
+      let model = ref M.empty in
+      List.iter
+        (fun (add, slot) ->
+          let va = 0x100000 + (slot * Page_table.page_bytes) in
+          if add then begin
+            if not (M.mem va !model) then begin
+              ignore (Page_table.map pt ~va ~phys:(va * 2) ~perm:Perm.rw);
+              model := M.add va (va * 2) !model
+            end
+          end
+          else if M.mem va !model then begin
+            ignore (Page_table.unmap pt ~va);
+            model := M.remove va !model
+          end)
+        ops;
+      Page_table.mapped_pages pt = M.cardinal !model
+      && M.for_all
+           (fun va phys ->
+             match Page_table.walk pt ~va with
+             | Some (p, _), _ -> p = phys
+             | None, _ -> false)
+           !model)
+
+(* --- TLB --- *)
+
+let test_tlb_hierarchy () =
+  let tlb = Tlb.create ~l1_entries:2 ~l2_entries:8 ~l2_ways:2 () in
+  Alcotest.(check (option reject)) "cold" None
+    (Option.map (fun _ -> ()) (Tlb.lookup tlb ~va:0x1000));
+  Tlb.fill tlb ~va:0x1000 ~phys:0x8000 ~perm:Perm.rw;
+  (match Tlb.lookup tlb ~va:0x1abc with
+  | Some (phys, _) -> Alcotest.(check int) "page base" 0x8000 phys
+  | None -> Alcotest.fail "expected hit");
+  (* Overflow L1 (2 entries): the first page falls back to L2 and refills. *)
+  Tlb.fill tlb ~va:0x2000 ~phys:0x9000 ~perm:Perm.rw;
+  Tlb.fill tlb ~va:0x3000 ~phys:0xA000 ~perm:Perm.rw;
+  (match Tlb.lookup tlb ~va:0x1000 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "L2 should still hold the first page");
+  Alcotest.(check bool) "invalidate_page" true (Tlb.invalidate_page tlb ~va:0x1000);
+  Alcotest.(check bool) "gone" true (Tlb.lookup tlb ~va:0x1000 = None);
+  Tlb.flush tlb;
+  Alcotest.(check int) "flushed" 0 (Tlb.occupancy tlb);
+  Alcotest.(check int) "flush counted" 1 (Tlb.stats tlb).Tlb.flushes
+
+(* --- OS paging + motivation-scale costs --- *)
+
+let make_os () =
+  let memsys = Jord_arch.Memsys.create (Jord_arch.Topology.create Jord_arch.Config.default) in
+  Jord_privlib.Os_paging.create ~memsys ()
+
+let test_os_paging_roundtrip () =
+  let os = make_os () in
+  let va, mmap_ns = Jord_privlib.Os_paging.mmap os ~core:0 ~bytes:8192 ~perm:Perm.rw in
+  Alcotest.(check bool) "mmap pays syscalls" true (mmap_ns > 800.0);
+  let phys, walk_ns = Jord_privlib.Os_paging.translate os ~core:0 ~va ~access:Perm.Read in
+  Alcotest.(check bool) "walk charged" true (walk_ns > 0.0);
+  Alcotest.(check bool) "phys" true (phys > 0);
+  let _, hit_ns = Jord_privlib.Os_paging.translate os ~core:0 ~va ~access:Perm.Read in
+  Alcotest.(check (float 1e-9)) "TLB hit free" 0.0 hit_ns;
+  (* mprotect interrupts every other core: microseconds. *)
+  let prot_ns = Jord_privlib.Os_paging.mprotect os ~core:0 ~va ~bytes:8192 ~perm:Perm.r in
+  Alcotest.(check bool)
+    (Printf.sprintf "shootdown-scale mprotect (%.0f ns)" prot_ns)
+    true (prot_ns > 4000.0);
+  (match Jord_privlib.Os_paging.translate os ~core:0 ~va ~access:Perm.Write with
+  | exception Jord_vm.Fault.Fault (Fault.Permission _) -> ()
+  | _ -> Alcotest.fail "write must fault after mprotect(r)");
+  let unmap_ns = Jord_privlib.Os_paging.munmap os ~core:0 ~va ~bytes:8192 in
+  Alcotest.(check bool) "unmap also shoots down" true (unmap_ns > 4000.0);
+  match Jord_privlib.Os_paging.translate os ~core:0 ~va ~access:Perm.Read with
+  | exception Jord_vm.Fault.Fault (Fault.Unmapped _) -> ()
+  | _ -> Alcotest.fail "unmapped VA must fault"
+
+let test_shootdown_flushes_remote_tlbs () =
+  let os = make_os () in
+  let va, _ = Jord_privlib.Os_paging.mmap os ~core:0 ~bytes:4096 ~perm:Perm.rw in
+  (* Core 7 warms its TLB. *)
+  ignore (Jord_privlib.Os_paging.translate os ~core:7 ~va ~access:Perm.Read);
+  ignore (Jord_privlib.Os_paging.mprotect os ~core:0 ~va ~bytes:4096 ~perm:Perm.r);
+  (* Core 7 must re-walk (its TLB was flushed by the IPI). *)
+  let _, walk_ns = Jord_privlib.Os_paging.translate os ~core:7 ~va ~access:Perm.Read in
+  Alcotest.(check bool) "remote TLB flushed" true (walk_ns > 0.0)
+
+let test_motivation_gap () =
+  let rows = Jord_exp.Motivation.run ~iters:40 () in
+  List.iter
+    (fun r ->
+      let open Jord_exp.Motivation in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: paged %.0f ns vs jord %.0f ns" r.op r.paged_ns r.jord_ns)
+        true
+        (r.speedup > 10.0))
+    rows;
+  (* Permission changes specifically: 2-3 orders of magnitude. *)
+  let prot = List.nth rows 1 in
+  Alcotest.(check bool) "mprotect gap > 100x" true (prot.Jord_exp.Motivation.speedup > 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "page table map/walk" `Quick test_pt_map_walk;
+    Alcotest.test_case "page table unmap/protect" `Quick test_pt_unmap_protect;
+    QCheck_alcotest.to_alcotest prop_pt_model;
+    Alcotest.test_case "tlb hierarchy" `Quick test_tlb_hierarchy;
+    Alcotest.test_case "os paging roundtrip" `Quick test_os_paging_roundtrip;
+    Alcotest.test_case "shootdown flushes remote TLBs" `Quick
+      test_shootdown_flushes_remote_tlbs;
+    Alcotest.test_case "motivation gap" `Quick test_motivation_gap;
+  ]

@@ -1,0 +1,73 @@
+open Jord_util
+
+let test_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Prng.create ~seed:9 in
+  let b = Prng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "split stream distinct" true (!matches < 4)
+
+let test_int_bounds () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_float_bounds () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float p 3.0 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_uniformity () =
+  (* Chi-square-ish sanity: all 16 buckets populated within 3x of each
+     other over 32k draws. *)
+  let p = Prng.create ~seed:11 in
+  let buckets = Array.make 16 0 in
+  for _ = 1 to 32_768 do
+    let b = Prng.int p 16 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let mn = Array.fold_left Int.min max_int buckets in
+  let mx = Array.fold_left Int.max 0 buckets in
+  Alcotest.(check bool)
+    (Printf.sprintf "bucket spread min=%d max=%d" mn mx)
+    true
+    (mn > 1500 && mx < 2700)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniformity" `Quick test_uniformity;
+  ]

@@ -1,0 +1,41 @@
+open Jord_util
+
+let test_table_alignment () =
+  let out =
+    Render.table ~title:"T" ~header:[ "a"; "bbbb" ]
+      ~rows:[ [ "xxxxx"; "y" ]; [ "z" ] ] ()
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | title :: header :: sep :: r1 :: r2 :: _ ->
+      Alcotest.(check string) "title" "T" title;
+      Alcotest.(check int) "rows align with header" (String.length header)
+        (String.length r1);
+      Alcotest.(check int) "short row padded" (String.length r1) (String.length r2);
+      Alcotest.(check bool) "separator dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "contains data" true
+    (String.length out > 0 && String.index_opt out 'x' <> None)
+
+let test_series_union () =
+  let out =
+    Render.series ~title:"S" ~x_label:"x" ~y_label:"y"
+      [ ("a", [ (1.0, 10.0); (2.0, 20.0) ]); ("b", [ (2.0, 7.0); (3.0, 8.0) ]) ]
+  in
+  (* x = 1, 2, 3 rows; missing points are "-". *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "title+header+sep+3 rows (+trailing)" 7 (List.length lines);
+  Alcotest.(check bool) "missing marker present" true
+    (List.exists (fun l -> String.length l > 0 && String.contains l '-') lines)
+
+let test_float_formats () =
+  Alcotest.(check string) "f1" "3.1" (Render.f1 3.14159);
+  Alcotest.(check string) "f2" "3.14" (Render.f2 3.14159);
+  Alcotest.(check string) "f3" "3.142" (Render.f3 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "series union" `Quick test_series_union;
+    Alcotest.test_case "float formats" `Quick test_float_formats;
+  ]

@@ -1,0 +1,77 @@
+open Jord_util
+
+let mean_of n f =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let close msg ~tolerance expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%f - %f| < %f" msg actual expected tolerance)
+    true
+    (Float.abs (actual -. expected) < tolerance)
+
+let test_exponential_mean () =
+  let p = Prng.create ~seed:3 in
+  let m = mean_of 50_000 (fun () -> Sample.exponential p ~mean:250.0) in
+  close "exponential mean" ~tolerance:10.0 250.0 m
+
+let test_exponential_positive () =
+  let p = Prng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "positive" true (Sample.exponential p ~mean:1.0 > 0.0)
+  done
+
+let test_uniform_range () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Sample.uniform p ~lo:2.0 ~hi:5.0 in
+    Alcotest.(check bool) "in range" true (v >= 2.0 && v < 5.0)
+  done
+
+let test_gaussian_moments () =
+  let p = Prng.create ~seed:6 in
+  let m = mean_of 50_000 (fun () -> Sample.gaussian p ~mean:10.0 ~stddev:2.0) in
+  close "gaussian mean" ~tolerance:0.1 10.0 m
+
+let test_lognormal_positive () =
+  let p = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "positive" true (Sample.lognormal p ~mu:0.0 ~sigma:0.5 > 0.0)
+  done
+
+let test_pareto_bounded_below () =
+  let p = Prng.create ~seed:8 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "above scale" true (Sample.pareto p ~scale:4.0 ~shape:1.5 >= 4.0)
+  done
+
+let test_poisson_mean () =
+  let p = Prng.create ~seed:9 in
+  let m = mean_of 20_000 (fun () -> float_of_int (Sample.poisson p ~mean:3.0)) in
+  close "poisson mean" ~tolerance:0.15 3.0 m
+
+let test_categorical () =
+  let p = Prng.create ~seed:10 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Sample.categorical p [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  close "weight-2 bucket" ~tolerance:600.0 15000.0 (float_of_int counts.(1));
+  Alcotest.check_raises "all-zero weights" (Invalid_argument "Sample.categorical")
+    (fun () -> ignore (Sample.categorical p [| 0.0; 0.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "gaussian mean" `Quick test_gaussian_moments;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "pareto bounded below" `Quick test_pareto_bounded_below;
+    Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+    Alcotest.test_case "categorical weights" `Quick test_categorical;
+  ]

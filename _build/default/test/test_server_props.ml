@@ -1,0 +1,133 @@
+(* Property tests over randomly generated applications: whatever the call
+   graph (within validity constraints), the server must complete every
+   request, conserve the invocation count, sum execution time exactly, and
+   leak nothing. *)
+
+open Jord_faas
+module Time = Jord_sim.Time
+
+(* Generate a random layered DAG app: [n_fns] functions in layers; each
+   function only invokes strictly deeper functions (guaranteeing validity),
+   with random sync/async mixes and compute segments. *)
+type spec = { n_fns : int; seeds : int list }
+
+let gen_spec =
+  QCheck.Gen.(
+    map2
+      (fun n_fns seeds -> { n_fns = 2 + n_fns; seeds })
+      (int_bound 5)
+      (list_size (return 6) int))
+
+let arb_spec =
+  QCheck.make ~print:(fun s -> Printf.sprintf "{n_fns=%d}" s.n_fns) gen_spec
+
+let build_app spec =
+  let prng = Jord_util.Prng.create ~seed:(Hashtbl.hash spec.seeds) in
+  let name i = Printf.sprintf "fn%d" i in
+  let fns =
+    List.init spec.n_fns (fun i ->
+        (* Choose a static phase list per function (deterministic per app):
+           compute segments interleaved with calls into deeper functions. *)
+        let deeper = spec.n_fns - i - 1 in
+        let calls =
+          if deeper = 0 then []
+          else
+            List.init
+              (Jord_util.Prng.int prng 3)
+              (fun _ ->
+                let target = i + 1 + Jord_util.Prng.int prng deeper in
+                let mode = if Jord_util.Prng.bool prng then Model.Sync else Model.Async in
+                Model.invoke ~mode ~arg_bytes:(128 + Jord_util.Prng.int prng 512)
+                  (name target))
+        in
+        let exec_ns = 50.0 +. Jord_util.Prng.float prng 400.0 in
+        let phases =
+          (Model.compute exec_ns :: calls)
+          @ (if calls <> [] then [ Model.wait ] else [])
+          @ [ Model.compute 30.0 ]
+        in
+        {
+          Model.name = name i;
+          make_phases = (fun _ -> phases);
+          state_bytes = 1024;
+          code_bytes = 1024;
+        })
+  in
+  let expected_exec fn_phases =
+    List.fold_left
+      (fun acc -> function Model.Compute ns -> acc +. ns | _ -> acc)
+      0.0 fn_phases
+  in
+  ignore expected_exec;
+  { Model.app_name = "random"; fns; entries = [ (name 0, 1.0) ] }
+
+(* Walk the static phase lists to predict the tree's invocation count and
+   total compute. *)
+let rec predict app name =
+  let fn = Model.find_fn app name in
+  let phases = fn.Model.make_phases (Jord_util.Prng.create ~seed:0) in
+  List.fold_left
+    (fun (count, exec) phase ->
+      match phase with
+      | Model.Compute ns -> (count, exec +. ns)
+      | Model.Invoke { target; _ } ->
+          let c, e = predict app target in
+          (count + c, exec +. e)
+      | Model.Wait | Model.Wait_for _ -> (count, exec)
+      | Model.Scratch _ -> (count, exec))
+    (1, 0.0) phases
+
+let run_app app n =
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config app in
+  let roots = ref [] in
+  Server.on_root_complete server (fun r -> roots := r :: !roots);
+  let engine = Server.engine server in
+  for i = 0 to n - 1 do
+    Jord_sim.Engine.schedule_at engine
+      ~time:(Time.of_ns (float_of_int i *. 800.0))
+      (fun _ -> Server.submit server ())
+  done;
+  Server.run server;
+  (server, !roots)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"random apps: completion, invocation and exec conservation"
+    ~count:25 arb_spec
+    (fun spec ->
+      let app = build_app spec in
+      (match Model.validate app with Ok () -> () | Error e -> failwith e);
+      let server, roots = run_app app 12 in
+      let expected_count, expected_exec = predict app "fn0" in
+      List.length roots = 12
+      && Server.live_continuations server = 0
+      && List.for_all
+           (fun r ->
+             r.Request.invocations = expected_count
+             && Float.abs (r.Request.exec_ns -. expected_exec) < 1e-6
+             && Request.latency_ns r >= expected_exec *. 0.99
+             && r.Request.isolation_ns > 0.0)
+           roots)
+
+let prop_no_leaks =
+  QCheck.Test.make ~name:"random apps: no PD or VMA leaks" ~count:15 arb_spec
+    (fun spec ->
+      let app = build_app spec in
+      let server, _ = run_app app 10 in
+      let priv = Server.privlib server in
+      Jord_privlib.Pd.live_count (Jord_privlib.Privlib.pds priv) = 0
+      (* 3 bootstrap VMAs + one code VMA per function remain. *)
+      && Jord_vm.Vma_store.count (Jord_vm.Hw.store (Server.hw server))
+         = 3 + List.length app.Model.fns)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_conservation;
+    QCheck_alcotest.to_alcotest prop_no_leaks;
+  ]

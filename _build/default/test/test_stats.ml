@@ -1,0 +1,54 @@
+open Jord_util
+
+let feq msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let test_mean_stddev () =
+  feq "mean" 3.0 (Stats.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "mean empty" 0.0 (Stats.mean [||]);
+  feq "stddev" (sqrt 2.0) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "stddev single" 0.0 (Stats.stddev [| 7.0 |])
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  feq "p0 = min" 10.0 (Stats.percentile xs 0.0);
+  feq "p100 = max" 40.0 (Stats.percentile xs 100.0);
+  feq "p50 interpolates" 25.0 (Stats.percentile xs 50.0);
+  (* Unsorted input must give the same result. *)
+  feq "unsorted" 25.0 (Stats.percentile [| 40.0; 10.0; 30.0; 20.0 |] 50.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+let test_summary () =
+  let s = Stats.summarize [| 5.0; 1.0; 3.0 |] in
+  Alcotest.(check int) "count" 3 s.Stats.count;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 5.0 s.Stats.max;
+  feq "p50" 3.0 s.Stats.p50
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p"
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0)) (pair (int_bound 100) (int_bound 100)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list (List.map Float.abs xs) in
+      let lo = Float.of_int (Int.min p1 p2) and hi = Float.of_int (Int.max p1 p2) in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile stays within [min, max]"
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0)) (int_bound 100))
+    (fun (xs, p) ->
+      let xs = Array.of_list (List.map Float.abs xs) in
+      let v = Stats.percentile xs (float_of_int p) in
+      let mn = Array.fold_left Float.min infinity xs in
+      let mx = Array.fold_left Float.max neg_infinity xs in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean and stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summary" `Quick test_summary;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_bounded;
+  ]

@@ -1,0 +1,104 @@
+module Trace = Jord_faas.Trace
+module Json = Jord_util.Json
+
+let test_json_emission () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.String "x\"y\\z\n");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ]);
+      ]
+  in
+  Alcotest.(check string) "rendered"
+    "{\"a\":1,\"b\":\"x\\\"y\\\\z\\n\",\"c\":[true,null,2.5]}" (Json.to_string j)
+
+let test_json_escape_control () =
+  Alcotest.(check string) "control chars" "\\u0001" (Json.escape "\001")
+
+let emit tr i kind =
+  Trace.emit tr ~at_ps:(i * 1000) ~kind ~req_id:i ~root_id:0 ~fn:"f" ~core:(i mod 4) ()
+
+let test_ring_buffer () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    emit tr i Trace.Start
+  done;
+  Alcotest.(check int) "retains capacity" 4 (Trace.length tr);
+  Alcotest.(check int) "counts all" 10 (Trace.total_emitted tr);
+  let evs = Trace.events tr in
+  Alcotest.(check (list int)) "keeps the newest, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Trace.req_id) evs)
+
+let test_ring_below_capacity () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 0 to 2 do
+    emit tr i Trace.Arrive
+  done;
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2 ]
+    (List.map (fun e -> e.Trace.req_id) (Trace.events tr))
+
+let test_chrome_json_shape () =
+  let tr = Trace.create () in
+  emit tr 0 Trace.Arrive;
+  Trace.emit tr ~at_ps:5000 ~kind:Trace.Segment ~req_id:1 ~root_id:0 ~fn:"g" ~core:2
+    ~dur_ps:2500 ();
+  let out = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length out > 0
+    && String.sub out 0 15 = "{\"traceEvents\":");
+  (* Span events carry ph=X and a duration. *)
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "span" true (contains "\"ph\":\"X\"" out);
+  Alcotest.(check bool) "instant" true (contains "\"ph\":\"i\"" out);
+  Alcotest.(check bool) "dur" true (contains "\"dur\":" out)
+
+let test_text_log () =
+  let tr = Trace.create () in
+  for i = 0 to 5 do
+    emit tr i Trace.Dispatch
+  done;
+  let all = Trace.to_text tr in
+  Alcotest.(check int) "six lines" 6
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' all)));
+  let limited = Trace.to_text ~limit:2 tr in
+  Alcotest.(check int) "limited" 2
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' limited)))
+
+let test_server_emits () =
+  let app = Jord_workloads.Hipster.app in
+  let tr = Trace.create () in
+  let _, recorder =
+    Jord_workloads.Loadgen.run ~warmup:0 ~tracer:tr ~app
+      ~config:Jord_faas.Server.default_config ~rate_mrps:0.5 ~duration_us:200.0 ()
+  in
+  let n = Jord_metrics.Recorder.count recorder in
+  Alcotest.(check bool) "ran" true (n > 20);
+  let evs = Trace.events tr in
+  let by k = List.length (List.filter (fun e -> e.Trace.kind = k) evs) in
+  Alcotest.(check int) "one arrive per external" (by Trace.Arrive)
+    (List.length (List.filter (fun e -> e.Trace.kind = Trace.Arrive) evs));
+  Alcotest.(check bool) "starts >= arrivals (nested)" true (by Trace.Start >= by Trace.Arrive);
+  Alcotest.(check bool) "dispatches recorded" true (by Trace.Dispatch > 0);
+  Alcotest.(check bool) "completes match starts" true (by Trace.Complete = by Trace.Start);
+  (* Timestamps are monotone. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Trace.at_ps <= b.Trace.at_ps && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone timestamps" true (monotone evs)
+
+let suite =
+  [
+    Alcotest.test_case "json emission" `Quick test_json_emission;
+    Alcotest.test_case "json escape" `Quick test_json_escape_control;
+    Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "ring below capacity" `Quick test_ring_below_capacity;
+    Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+    Alcotest.test_case "text log" `Quick test_text_log;
+    Alcotest.test_case "server emits" `Quick test_server_emits;
+  ]

@@ -1,0 +1,50 @@
+(* Extra VA-encoding edge cases: boundaries of the field layout. *)
+open Jord_vm
+
+let cfg = Va.default_config
+
+let test_largest_class_roundtrip () =
+  (* 4 GiB class: the offset field spans 32 bits. *)
+  let sc = Size_class.of_index 25 in
+  let offset = Size_class.bytes sc - 1 in
+  let va = Va.encode cfg sc ~index:3 ~offset in
+  Alcotest.(check (option (triple int int int))) "decoded"
+    (Some (25, 3, offset))
+    (Option.map
+       (fun (sc, i, o) -> (Size_class.to_index sc, i, o))
+       (Va.decode cfg va))
+
+let test_encode_bounds () =
+  let sc = Size_class.of_index 0 in
+  Alcotest.check_raises "offset beyond class" (Invalid_argument "Va.encode: offset")
+    (fun () -> ignore (Va.encode cfg sc ~index:0 ~offset:128));
+  Alcotest.check_raises "negative offset" (Invalid_argument "Va.encode: offset")
+    (fun () -> ignore (Va.encode cfg sc ~index:0 ~offset:(-1)));
+  Alcotest.check_raises "index beyond budget" (Invalid_argument "Va.encode: index")
+    (fun () -> ignore (Va.encode cfg sc ~index:(Va.slots_per_class cfg) ~offset:0))
+
+let test_distinct_classes_never_collide () =
+  (* Same index, every pair of classes: VAs and VTE addresses differ. *)
+  let vas =
+    List.init Size_class.count (fun c ->
+        Va.encode cfg (Size_class.of_index c) ~index:5 ~offset:0)
+  in
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  Alcotest.(check bool) "VAs distinct" true (distinct vas);
+  let vtes = List.map (Va.vte_addr_of_va cfg) vas in
+  Alcotest.(check bool) "VTE addrs distinct" true (distinct vtes)
+
+let test_table_capacity_respected () =
+  (* The interleaving never exceeds the table. *)
+  let sc = Size_class.of_index (Size_class.count - 1) in
+  let index = Va.slots_per_class cfg - 1 in
+  let idx = Va.vte_index cfg sc ~index in
+  Alcotest.(check bool) "within capacity" true (idx < cfg.Va.table_capacity)
+
+let suite =
+  [
+    Alcotest.test_case "largest class roundtrip" `Quick test_largest_class_roundtrip;
+    Alcotest.test_case "encode bounds" `Quick test_encode_bounds;
+    Alcotest.test_case "classes never collide" `Quick test_distinct_classes_never_collide;
+    Alcotest.test_case "table capacity respected" `Quick test_table_capacity_respected;
+  ]

@@ -1,0 +1,114 @@
+open Jord_workloads
+module Model = Jord_faas.Model
+
+let apps = [ Hipster.app; Hotel.app; Media.app; Social.app ]
+
+let test_apps_validate () =
+  List.iter
+    (fun app ->
+      match Model.validate app with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (app.Model.app_name ^ ": " ^ e))
+    apps
+
+let test_nesting_degrees () =
+  (* Paper: ~3 nested invocations per request for Hipster/Hotel/Social,
+     ~12 for Media; ReadPage issues >100. *)
+  let mean app = Model.mean_invocations app ~samples:4000 ~seed:5 -. 1.0 in
+  let hip = mean Hipster.app in
+  Alcotest.(check bool) (Printf.sprintf "hipster ~3 (%.2f)" hip) true (hip > 2.0 && hip < 4.0);
+  let hot = mean Hotel.app in
+  Alcotest.(check bool) (Printf.sprintf "hotel ~3 (%.2f)" hot) true (hot > 2.0 && hot < 4.0);
+  let soc = mean Social.app in
+  Alcotest.(check bool) (Printf.sprintf "social ~3 (%.2f)" soc) true (soc > 2.0 && soc < 4.5);
+  let med = mean Media.app in
+  Alcotest.(check bool) (Printf.sprintf "media ~11 (%.2f)" med) true (med > 9.0 && med < 14.0);
+  (* ReadPage alone: >100 nested invocations. *)
+  let prng = Jord_util.Prng.create ~seed:1 in
+  let rp = Model.find_fn Media.app Media.read_page in
+  let nested =
+    List.length
+      (List.filter
+         (function
+           | Model.Invoke _ -> true
+           | Model.Compute _ | Model.Wait | Model.Wait_for _ | Model.Scratch _ -> false)
+         (rp.Model.make_phases prng))
+  in
+  Alcotest.(check bool) (Printf.sprintf "RP > 100 (%d)" nested) true (nested > 100)
+
+let test_entry_mix () =
+  let prng = Jord_util.Prng.create ~seed:9 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let e = Model.pick_entry Hipster.app prng in
+    Hashtbl.replace counts e (1 + Option.value ~default:0 (Hashtbl.find_opt counts e))
+  done;
+  let gc = Option.value ~default:0 (Hashtbl.find_opt counts Hipster.get_cart) in
+  Alcotest.(check bool) "GC ~45%" true (gc > 4100 && gc < 4900);
+  let pv = Option.value ~default:0 (Hashtbl.find_opt counts Hipster.product_view) in
+  Alcotest.(check bool) "PV ~25%" true (pv > 2100 && pv < 2900)
+
+let test_phase_instantiation_varies () =
+  let prng = Jord_util.Prng.create ~seed:13 in
+  let fn = Model.find_fn Hipster.app Hipster.get_cart in
+  let exec phases =
+    List.fold_left
+      (fun acc -> function Model.Compute ns -> acc +. ns | _ -> acc)
+      0.0 phases
+  in
+  let a = exec (fn.Model.make_phases prng) in
+  let b = exec (fn.Model.make_phases prng) in
+  Alcotest.(check bool) "sampled times differ" true (Float.abs (a -. b) > 1e-9)
+
+let test_loadgen_rate () =
+  let config =
+    {
+      Jord_faas.Server.default_config with
+      machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server, recorder =
+    Loadgen.run ~warmup:0 ~app:Hipster.app ~config ~rate_mrps:0.5 ~duration_us:2000.0 ()
+  in
+  ignore server;
+  let n = Jord_metrics.Recorder.count recorder in
+  (* Poisson with mean 1000 arrivals: allow 4 sigma. *)
+  Alcotest.(check bool) (Printf.sprintf "~1000 arrivals (%d)" n) true (n > 850 && n < 1150)
+
+let test_recorder () =
+  let r = Jord_metrics.Recorder.create ~warmup:2 () in
+  let feed lat_ns =
+    let root, _ =
+      Jord_faas.Request.make_root ~id:0 ~entry:"f" ~arrival:Jord_sim.Time.zero
+        ~arg_bytes:64
+    in
+    root.Jord_faas.Request.completed_at <- Jord_sim.Time.of_ns lat_ns;
+    root.Jord_faas.Request.finished <- true;
+    root.Jord_faas.Request.exec_ns <- lat_ns /. 2.0;
+    Jord_metrics.Recorder.observe r root
+  in
+  feed 1000.0;
+  feed 1000.0;
+  (* Warmup discards the first two. *)
+  Alcotest.(check int) "warmup discarded" 0 (Jord_metrics.Recorder.count r);
+  List.iter feed [ 1000.0; 2000.0; 3000.0; 4000.0 ];
+  Alcotest.(check int) "counted" 4 (Jord_metrics.Recorder.count r);
+  Alcotest.(check (float 0.2)) "mean us" 2.5 (Jord_metrics.Recorder.mean_us r);
+  Alcotest.(check bool) "p50 sane" true
+    (Jord_metrics.Recorder.p50_us r >= 1.9 && Jord_metrics.Recorder.p50_us r <= 3.1);
+  let b = Jord_metrics.Recorder.mean_breakdown r in
+  Alcotest.(check (float 1.0)) "exec breakdown" 1250.0 b.Jord_metrics.Recorder.exec_ns;
+  match Jord_metrics.Recorder.by_entry r with
+  | [ ("f", 4, _, _) ] -> ()
+  | _ -> Alcotest.fail "by_entry"
+
+let suite =
+  [
+    Alcotest.test_case "apps validate" `Quick test_apps_validate;
+    Alcotest.test_case "nesting degrees" `Quick test_nesting_degrees;
+    Alcotest.test_case "entry mix" `Quick test_entry_mix;
+    Alcotest.test_case "instantiation varies" `Quick test_phase_instantiation_varies;
+    Alcotest.test_case "loadgen rate" `Slow test_loadgen_rate;
+    Alcotest.test_case "recorder" `Quick test_recorder;
+  ]
