@@ -6,10 +6,13 @@
      bench/main.exe                 run everything (full fidelity)
      bench/main.exe --quick         shorter simulations
      bench/main.exe table4 fig9 ... run selected experiments
-     bench/main.exe micro           only the Bechamel microbenchmarks *)
+     bench/main.exe micro           only the Bechamel microbenchmarks
+     bench/main.exe --metrics-dir=D dump each figure point's machine
+                                    counters as D/<point>.prom *)
 
 let quick = ref false
 let seeds = ref 1
+let metrics_dir = ref None
 
 let section title =
   let bar = String.make 74 '=' in
@@ -98,8 +101,19 @@ let micro () =
     Jord_privlib.Privlib.create ~hw ~os:(Jord_privlib.Os_facade.create ())
   in
   let counter = ref 0 in
+  (* Telemetry hot-path instruments: these bound the overhead an owned
+     counter/histogram adds when updated from simulation code (pull
+     collectors add literally nothing until snapshot). *)
+  let reg = Jord_telemetry.Registry.create () in
+  let tel_counter = Jord_telemetry.Registry.counter reg "bench_ctr_total" in
+  let tel_hist = Jord_telemetry.Registry.histogram reg "bench_hist_ns" in
   let tests =
     [
+      Test.make ~name:"telemetry counter inc"
+        (Staged.stage (fun () -> Jord_telemetry.Registry.Counter.inc tel_counter));
+      Test.make ~name:"telemetry histogram observe"
+        (Staged.stage (fun () ->
+             Jord_telemetry.Registry.Hist.observe tel_hist 1234.5));
       Test.make ~name:"plain-list lookup"
         (Staged.stage (fun () -> ignore (Jord_vm.Vma_table.lookup plain ~va:probe)));
       Test.make ~name:"b-tree lookup"
@@ -167,9 +181,23 @@ let () =
           seeds := int_of_string (String.sub a 8 (String.length a - 8));
           false
         end
+        else if String.length a > 14 && String.sub a 0 14 = "--metrics-dir=" then begin
+          metrics_dir := Some (String.sub a 14 (String.length a - 14));
+          false
+        end
         else true)
       args
   in
+  (match !metrics_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Jord_exp.Exp_common.metrics_sink :=
+        Some
+          (fun ~name reg ->
+            Jord_telemetry.Export.write_file
+              ~path:(Filename.concat dir (name ^ ".prom"))
+              (Jord_telemetry.Export.to_prometheus reg)));
   let known = List.map fst experiments @ [ "micro" ] in
   List.iter
     (fun a ->

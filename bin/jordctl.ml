@@ -32,6 +32,16 @@ let policies =
 let experiments =
   [ "table4"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "background"; "motivation"; "claims"; "ablation" ]
 
+(* A float that must be strictly positive (sampling intervals). *)
+let pos_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | Some _ -> Error (`Msg "must be > 0")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected a float" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
 (* --- run --- *)
 
 let run_cmd =
@@ -74,7 +84,23 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto).")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the machine's metric registry (and sampled time series) after the run.")
+  in
+  let metrics_format =
+    let fmt = Arg.enum [ ("prom", `Prom); ("jsonl", `Jsonl); ("csv", `Csv) ] in
+    Arg.(value & opt (some fmt) None
+         & info [ "metrics-format" ] ~docv:"FMT"
+             ~doc:"Export format: prom, jsonl or csv (default: by FILE extension, else prom).")
+  in
+  let sample_us =
+    Arg.(value & opt pos_float 40.0
+         & info [ "sample-us" ] ~docv:"US"
+             ~doc:"Simulated-time sampling interval for the gauge time series.")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us =
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -96,10 +122,49 @@ let run_cmd =
     let tracer =
       Option.map (fun _ -> Jord_faas.Trace.create ()) trace_file
     in
+    (* Telemetry: register the whole machine in a fresh registry and ride a
+       simulated-time sampler on the server's engine; both are exported
+       after the run when --metrics-out is given. *)
+    let registry = Jord_telemetry.Registry.create () in
+    let sampler_ref = ref None in
+    let on_server server =
+      if metrics_out <> None then begin
+        Jord_faas.Server.register_metrics server registry;
+        let sampler =
+          Jord_telemetry.Sampler.create
+            ~engine:(Jord_faas.Server.engine server)
+            ~interval_us:sample_us ()
+        in
+        Jord_faas.Server.attach_sampler server sampler;
+        Jord_telemetry.Sampler.start sampler;
+        sampler_ref := Some sampler
+      end
+    in
     let server, recorder =
-      Jord_workloads.Loadgen.run ?tracer ~warmup ~app ~config ~rate_mrps:rate
+      Jord_workloads.Loadgen.run ?tracer ~on_server ~warmup ~app ~config ~rate_mrps:rate
         ~duration_us:duration ~seed ()
     in
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let fmt =
+          match metrics_format with
+          | Some `Prom -> Jord_telemetry.Export.Prometheus
+          | Some `Jsonl -> Jord_telemetry.Export.Jsonl
+          | Some `Csv -> Jord_telemetry.Export.Csv
+          | None -> Jord_telemetry.Export.format_for_path path
+        in
+        let body =
+          Jord_telemetry.Export.export fmt ?sampler:!sampler_ref registry
+        in
+        Jord_telemetry.Export.write_file ~path body;
+        Printf.printf "metrics: %d families%s -> %s\n"
+          (Jord_telemetry.Registry.family_count registry)
+          (match !sampler_ref with
+          | Some s ->
+              Printf.sprintf ", %d samples" (Jord_telemetry.Sampler.samples_taken s)
+          | None -> "")
+          path);
     (match (trace_file, tracer) with
     | Some path, Some tr ->
         let oc = open_out path in
@@ -142,7 +207,76 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one simulation and print a summary")
     Term.(
       const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
-      $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file)
+      $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ metrics_out
+      $ metrics_format $ sample_us)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let app_t =
+    Arg.(value & opt (enum workloads) Jord_workloads.Hipster.app
+         & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload: hipster, hotel, media or social.")
+  in
+  let variant =
+    Arg.(value & opt (enum variants) Jord_faas.Variant.Jord
+         & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc:"System variant: jord, ni, bt or nightcore.")
+  in
+  let rate =
+    Arg.(value & opt float 1.0
+         & info [ "r"; "rate" ] ~docv:"MRPS" ~doc:"Offered load in million requests per second.")
+  in
+  let duration =
+    Arg.(value & opt float 2000.0
+         & info [ "d"; "duration" ] ~docv:"US" ~doc:"Arrival window in microseconds.")
+  in
+  let sample_us =
+    Arg.(value & opt pos_float 40.0
+         & info [ "sample-us" ] ~docv:"US" ~doc:"Sampling interval over simulated time.")
+  in
+  let filter =
+    Arg.(value & opt (some string) None
+         & info [ "f"; "filter" ] ~docv:"SUBSTR"
+             ~doc:"Only show metric families whose name contains SUBSTR.")
+  in
+  let run app variant rate duration sample_us filter =
+    let config = { Jord_faas.Server.default_config with variant } in
+    let registry = Jord_telemetry.Registry.create () in
+    let sampler_ref = ref None in
+    let on_server server =
+      Jord_faas.Server.register_metrics server registry;
+      let sampler =
+        Jord_telemetry.Sampler.create
+          ~engine:(Jord_faas.Server.engine server)
+          ~interval_us:sample_us ()
+      in
+      Jord_faas.Server.attach_sampler server sampler;
+      Jord_telemetry.Sampler.start sampler;
+      sampler_ref := Some sampler
+    in
+    let _server, _recorder =
+      Jord_workloads.Loadgen.run ~on_server ~warmup:200 ~app ~config ~rate_mrps:rate
+        ~duration_us:duration ()
+    in
+    Printf.printf "%s on %s @ %.2f MRPS for %.0f simulated us\n\n"
+      app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) rate duration;
+    let name_filter =
+      Option.map (fun sub name ->
+          let n = String.length sub in
+          let len = String.length name in
+          let rec at i = i + n <= len && (String.sub name i n = sub || at (i + 1)) in
+          at 0)
+        filter
+    in
+    print_string (Jord_telemetry.Timeline.render_snapshot ?filter:name_filter registry);
+    match !sampler_ref with
+    | Some sampler when Jord_telemetry.Sampler.samples_taken sampler > 0 ->
+        print_newline ();
+        print_string (Jord_telemetry.Timeline.render_series sampler)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run one simulation and show its full metric snapshot + timelines")
+    Term.(const run $ app_t $ variant $ rate $ duration $ sample_us $ filter)
 
 (* --- exp --- *)
 
@@ -282,4 +416,6 @@ let list_cmd =
 let () =
   let doc = "Jord: single-address-space FaaS (ISCA'25) — reproduction driver" in
   let info = Cmd.info "jordctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; exp_cmd; export_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; export_cmd; list_cmd ]))

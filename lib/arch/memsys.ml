@@ -178,6 +178,27 @@ let read_block t ~core ~addr ~bytes =
     !total
   end
 
+(* Pull-based telemetry: closures read the live stats record at snapshot
+   time, so the coherence hot path carries no extra work. *)
+let register_metrics t ?(labels = []) reg =
+  let open Jord_telemetry.Registry in
+  let c name help extra fn = counter_fn reg ~help ~labels:(labels @ extra) name fn in
+  let s = t.stats in
+  c "jord_mem_hits_total" "Cache hits by level" [ ("level", "l1") ] (fun () ->
+      float_of_int s.l1_hits);
+  c "jord_mem_hits_total" "Cache hits by level" [ ("level", "llc") ] (fun () ->
+      float_of_int s.llc_hits);
+  c "jord_mem_l1_misses_total" "L1 misses (directory consulted)" [] (fun () ->
+      float_of_int s.l1_misses);
+  c "jord_mem_dram_fills_total" "Lines filled from DRAM" [] (fun () ->
+      float_of_int s.dram_fills);
+  c "jord_mem_forwards_total" "Cache-to-cache transfers from a remote owner" []
+    (fun () -> float_of_int s.forwards);
+  c "jord_mem_upgrades_total" "S->M upgrades requiring invalidations" [] (fun () ->
+      float_of_int s.upgrades);
+  c "jord_mem_invalidations_total" "Remote L1 lines invalidated" [] (fun () ->
+      float_of_int s.invalidations)
+
 let sharers t ~addr = Directory.sharers t.dir (line_of t addr)
 
 let home_of t ~addr ~requester =

@@ -40,6 +40,12 @@ val read_block : t -> core:int -> addr:int -> bytes:int -> float
     overlapped misses (memory-level parallelism models all but the first
     line at a fraction of full latency). *)
 
+val register_metrics :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit
+(** Register the MESI/cache traffic counters ([jord_mem_*] families) as
+    pull collectors over {!stats}; [labels] (e.g. a server id) are
+    prepended to every instance. Zero hot-path cost. *)
+
 val sharers : t -> addr:int -> int list
 (** Cores whose L1 may hold the address' line — the directory's view, used by
     the VTD when it must fall back on the coherence directory (victim-cache

@@ -61,10 +61,31 @@ let scale f spec =
 
 let config_for variant = { Server.default_config with Server.variant }
 
+(* When set (bench --metrics-dir), every simulated point dumps its machine
+   counters through this sink, named after the figure point. *)
+let metrics_sink : (name:string -> Jord_telemetry.Registry.t -> unit) option ref =
+  ref None
+
+let point_name spec ~config ~rate_mrps ~seed_offset =
+  Printf.sprintf "%s_%s_r%g%s"
+    (String.lowercase_ascii spec.name)
+    (Variant.name config.Server.variant)
+    rate_mrps
+    (if seed_offset = 0 then "" else Printf.sprintf "_s%d" seed_offset)
+
 let run_point ?(seed_offset = 0) spec ~config ~rate_mrps =
   let config = { config with Server.seed = config.Server.seed + (1000 * seed_offset) } in
-  Jord_workloads.Loadgen.run ~warmup:spec.warmup ~app:spec.app ~config ~rate_mrps
-    ~duration_us:spec.duration_us ~seed:(7 + (100 * seed_offset)) ()
+  let server, recorder =
+    Jord_workloads.Loadgen.run ~warmup:spec.warmup ~app:spec.app ~config ~rate_mrps
+      ~duration_us:spec.duration_us ~seed:(7 + (100 * seed_offset)) ()
+  in
+  (match !metrics_sink with
+  | None -> ()
+  | Some sink ->
+      let reg = Jord_telemetry.Registry.create () in
+      Server.register_metrics server reg;
+      sink ~name:(point_name spec ~config ~rate_mrps ~seed_offset) reg);
+  (server, recorder)
 
 let slo_cache : (string, float) Hashtbl.t = Hashtbl.create 8
 

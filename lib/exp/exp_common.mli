@@ -25,6 +25,12 @@ val scale : float -> spec -> spec
 
 val config_for : Jord_faas.Variant.t -> Jord_faas.Server.config
 
+val metrics_sink : (name:string -> Jord_telemetry.Registry.t -> unit) option ref
+(** When set, {!run_point} snapshots the simulated machine's full metric
+    registry after each point and hands it to the sink under a
+    "<spec>_<variant>_r<rate>[_s<seed>]" name (the bench harness's
+    [--metrics-dir] turns these into one exposition file per point). *)
+
 val run_point :
   ?seed_offset:int ->
   spec ->

@@ -43,3 +43,17 @@ let run ?until t = Jord_sim.Engine.run ?until t.engine
 
 let forwarded t =
   Array.fold_left (fun acc s -> acc + Server.forwarded_out s) 0 t.servers
+
+(* Per-server instances of every family, distinguished by a server=<i>
+   label (the observability layer's instance convention). *)
+let register_metrics t ?(labels = []) reg =
+  Array.iteri
+    (fun i s ->
+      Server.register_metrics s ~labels:(labels @ [ ("server", string_of_int i) ]) reg)
+    t.servers
+
+let attach_sampler t ?(labels = []) sampler =
+  Array.iteri
+    (fun i s ->
+      Server.attach_sampler s ~labels:(labels @ [ ("server", string_of_int i) ]) sampler)
+    t.servers

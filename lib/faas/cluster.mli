@@ -34,3 +34,13 @@ val run : ?until:Jord_sim.Time.t -> t -> unit
 
 val forwarded : t -> int
 (** Total requests shipped between servers. *)
+
+val register_metrics :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit
+(** {!Server.register_metrics} on every member, each labeled
+    [server=<index>] (plus the caller's [labels]). *)
+
+val attach_sampler :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Sampler.t -> unit
+(** {!Server.attach_sampler} on every member with [server=<index>] labels;
+    all series share the cluster's single simulated timeline. *)

@@ -91,6 +91,8 @@ type t = {
   mutable completed : int;
   mutable live_conts : int;
   mutable dropped : int;
+  mutable arrivals : int;
+  mutable queue_full_retries : int;
   mutable forward_cb : (Request.t -> unit) option;
   mutable forwarded_out : int;
   mutable received_in : int;
@@ -124,6 +126,8 @@ let dispatch_ns_total t = t.dispatch_ns
 let completed_roots t = t.completed
 let live_continuations t = t.live_conts
 let dropped_requests t = t.dropped
+let arrivals t = t.arrivals
+let queue_full_retries t = t.queue_full_retries
 let set_forward t cb = t.forward_cb <- cb
 let set_tracer t tr = t.tracer <- tr
 let charge_core t core ns = t.core_busy_ps.(core) <- t.core_busy_ps.(core) +. (ns *. 1000.0)
@@ -598,6 +602,7 @@ and dispatch_one t orch engine =
           root.Request.dispatch_ns <- root.Request.dispatch_ns +. scan_ns +. instr_ns;
           t.dispatch_ns <- t.dispatch_ns +. scan_ns +. instr_ns;
           orch.pending_retries <- orch.pending_retries + 1;
+          t.queue_full_retries <- t.queue_full_retries + 1;
           match t.forward_cb with
           | Some forward
             when orch.pending_retries > t.cfg.forward_after
@@ -755,6 +760,8 @@ let create ?engine cfg app =
       completed = 0;
       live_conts = 0;
       dropped = 0;
+      arrivals = 0;
+      queue_full_retries = 0;
       forward_cb = None;
       forwarded_out = 0;
       received_in = 0;
@@ -768,6 +775,7 @@ let create ?engine cfg app =
   t
 
 let submit t ?entry () =
+  t.arrivals <- t.arrivals + 1;
   let entry = match entry with Some e -> e | None -> Model.pick_entry t.app t.prng in
   let arg_bytes = 512 in
   let _, req =
@@ -789,6 +797,84 @@ let submit t ?entry () =
   end
 
 let run ?until t = Engine.run ?until t.engine
+
+(* --- Telemetry --- *)
+
+let queue_depths t =
+  Array.fold_left
+    (fun (sum, mx) e ->
+      let d = Bounded_queue.length e.equeue in
+      (sum + d, Int.max mx d))
+    (0, 0) t.all_execs
+
+(* One registry call wires the whole machine: the server's own control-plane
+   counters plus the VM, memory-system and PrivLib families underneath it. *)
+let register_metrics t ?(labels = []) reg =
+  let open Jord_telemetry.Registry in
+  let c name help fn = counter_fn reg ~help ~labels name fn in
+  let g name help fn = gauge_fn reg ~help ~labels name fn in
+  c "jord_server_arrivals_total" "External requests submitted" (fun () ->
+      float_of_int t.arrivals);
+  c "jord_server_dispatches_total" "JBSQ dispatch operations" (fun () ->
+      float_of_int t.dispatch_count);
+  c "jord_server_dispatch_ns_total" "Cumulative dispatch latency (ns)" (fun () ->
+      t.dispatch_ns);
+  c "jord_server_completed_total" "Root requests completed" (fun () ->
+      float_of_int t.completed);
+  c "jord_server_drops_total" "External requests shed (queue cap)" (fun () ->
+      float_of_int t.dropped);
+  c "jord_server_queue_full_retries_total"
+    "Dispatch scans that found every executor queue full" (fun () ->
+      float_of_int t.queue_full_retries);
+  c "jord_server_forwarded_out_total" "Internal requests shipped to another server"
+    (fun () -> float_of_int t.forwarded_out);
+  c "jord_server_received_in_total" "Forwarded requests accepted from other servers"
+    (fun () -> float_of_int t.received_in);
+  g "jord_server_live_continuations" "Running or suspended continuations" (fun () ->
+      float_of_int t.live_conts);
+  gauge_fn reg ~help:"Deepest executor queue"
+    ~labels:(labels @ [ ("agg", "max") ])
+    "jord_executor_queue_depth" (fun () -> float_of_int (snd (queue_depths t)));
+  Jord_vm.Hw.register_metrics t.hw ~labels reg;
+  Jord_arch.Memsys.register_metrics t.memsys ~labels reg;
+  Jord_privlib.Privlib.register_metrics t.priv ~labels reg
+
+(* Sampled time series over simulated time: queue depths, continuation
+   population, per-role busy fraction (a delta gauge: busy time accrued
+   since the previous tick over the tick's span), VLB occupancy. *)
+let attach_sampler t ?(labels = []) sampler =
+  let track ?(extra = []) name fn =
+    Jord_telemetry.Sampler.track sampler ~labels:(labels @ extra) name fn
+  in
+  track "jord_executor_queue_depth" ~extra:[ ("agg", "mean") ] (fun () ->
+      let sum, _ = queue_depths t in
+      float_of_int sum /. float_of_int (Int.max 1 (Array.length t.all_execs)));
+  track "jord_executor_queue_depth" ~extra:[ ("agg", "max") ] (fun () ->
+      float_of_int (snd (queue_depths t)));
+  track "jord_server_live_continuations" (fun () -> float_of_int t.live_conts);
+  track "jord_server_suspended_continuations" (fun () ->
+      float_of_int (Array.fold_left (fun acc e -> acc + e.suspended) 0 t.all_execs));
+  let busy_fraction cores =
+    let last_busy = ref 0.0 and last_now = ref (float_of_int (Engine.now t.engine)) in
+    fun () ->
+      let busy = List.fold_left (fun acc c -> acc +. t.core_busy_ps.(c)) 0.0 cores in
+      let now = float_of_int (Engine.now t.engine) in
+      let span = now -. !last_now and delta = busy -. !last_busy in
+      last_busy := busy;
+      last_now := now;
+      if span <= 0.0 then 0.0
+      else Float.min 1.0 (delta /. span /. float_of_int (List.length cores))
+  in
+  let ocores = Array.to_list (Array.map (fun o -> o.ocore) t.orchs) in
+  let ecores = Array.to_list (Array.map (fun e -> e.ecore) t.all_execs) in
+  track "jord_core_busy_fraction" ~extra:[ ("role", "orchestrator") ]
+    (busy_fraction ocores);
+  track "jord_core_busy_fraction" ~extra:[ ("role", "executor") ]
+    (busy_fraction ecores);
+  track "jord_vlb_occupancy_fraction" ~extra:[ ("vlb", "i") ] (fun () ->
+      Jord_vm.Hw.vlb_occupancy t.hw ~kind:`Instr);
+  track "jord_vlb_occupancy_fraction" ~extra:[ ("vlb", "d") ] (fun () ->
+      Jord_vm.Hw.vlb_occupancy t.hw ~kind:`Data)
 
 (* Worst-case dispatch microbenchmark (Fig. 14): every executor re-acquired
    its queue-length line since the last scan, so each JBSQ read is a remote

@@ -82,6 +82,29 @@ val receive_forwarded : t -> Request.t -> unit
 val forwarded_out : t -> int
 val received_in : t -> int
 
+val arrivals : t -> int
+(** External requests submitted (dropped ones included). *)
+
+val queue_full_retries : t -> int
+(** Dispatch scans that found every managed executor queue full (the
+    precondition for forwarding). *)
+
+val register_metrics :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit
+(** Register the whole machine's metric families — the server's
+    control-plane counters ([jord_server_*], [jord_executor_queue_depth])
+    plus the VM ([jord_vlb_*], [jord_vtw_*], [jord_vtd_*],
+    [jord_faults_total]), memory-system ([jord_mem_*]) and PrivLib
+    ([jord_privlib_*]) families underneath it — as pull collectors.
+    [labels] (e.g. [("server", "0")]) are prepended to every instance. *)
+
+val attach_sampler :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Sampler.t -> unit
+(** Track this server's time-varying gauges (executor queue depths,
+    continuation population, per-role core busy fraction, VLB occupancy)
+    on a simulated-time sampler. The busy-fraction series are delta
+    gauges: utilization over the sampling interval, not since boot. *)
+
 val set_tracer : t -> Trace.t option -> unit
 (** Attach an execution tracer; [None] (the default) disables emission. *)
 

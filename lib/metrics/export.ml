@@ -1,0 +1,313 @@
+module Json = Jord_util.Json
+
+(* --- shared rendering helpers --- *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labelset labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+      ^ "}"
+
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let le_str b = if b = infinity then "+Inf" else num b
+
+(* --- Prometheus text exposition --- *)
+
+let to_prometheus ?sampler reg =
+  let buf = Buffer.create 4096 in
+  let seen_type = Hashtbl.create 32 in
+  let type_header name kind help =
+    if not (Hashtbl.mem seen_type name) then begin
+      Hashtbl.add seen_type name ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s : Registry.sample) ->
+      match s.Registry.value with
+      | Registry.Counter_v v ->
+          type_header s.name "counter" s.help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" s.name (labelset s.labels) (num v))
+      | Registry.Gauge_v v ->
+          type_header s.name "gauge" s.help;
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" s.name (labelset s.labels) (num v))
+      | Registry.Histogram_v { buckets; count; sum } ->
+          type_header s.name "histogram" s.help;
+          List.iter
+            (fun (b, c) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" s.name
+                   (labelset (s.labels @ [ ("le", le_str b) ]))
+                   c))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" s.name (labelset s.labels) (num sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" s.name (labelset s.labels) count))
+    (Registry.snapshot reg);
+  (match sampler with
+  | None -> ()
+  | Some sampler ->
+      List.iter
+        (fun (sr : Sampler.series) ->
+          type_header sr.Sampler.name "gauge" "sampled time series (simulated time)";
+          Array.iter
+            (fun (t_us, v) ->
+              (* Prometheus timestamps are integer milliseconds; simulated
+                 microseconds map 1:1 onto them to keep sub-ms resolution. *)
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %s %d\n" sr.Sampler.name
+                   (labelset sr.Sampler.labels) (num v)
+                   (int_of_float (Float.round t_us))))
+            sr.Sampler.points)
+        (Sampler.series sampler));
+  Buffer.contents buf
+
+(* --- JSONL --- *)
+
+let labels_obj labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let to_jsonl ?sampler reg =
+  let buf = Buffer.create 4096 in
+  let line j =
+    Json.to_buffer buf j;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let base ty =
+        [
+          ("type", Json.String ty);
+          ("name", Json.String s.Registry.name);
+          ("labels", labels_obj s.Registry.labels);
+        ]
+      in
+      match s.Registry.value with
+      | Registry.Counter_v v -> line (Json.Obj (base "counter" @ [ ("value", Json.Float v) ]))
+      | Registry.Gauge_v v -> line (Json.Obj (base "gauge" @ [ ("value", Json.Float v) ]))
+      | Registry.Histogram_v { buckets; count; sum } ->
+          line
+            (Json.Obj
+               (base "histogram"
+               @ [
+                   ("count", Json.Int count);
+                   ("sum", Json.Float sum);
+                   ( "buckets",
+                     Json.List
+                       (List.map
+                          (fun (b, c) ->
+                            Json.Obj
+                              [
+                                ( "le",
+                                  if b = infinity then Json.String "+Inf" else Json.Float b );
+                                ("count", Json.Int c);
+                              ])
+                          buckets) );
+                 ])))
+    (Registry.snapshot reg);
+  (match sampler with
+  | None -> ()
+  | Some sampler ->
+      List.iter
+        (fun (sr : Sampler.series) ->
+          Array.iter
+            (fun (t_us, v) ->
+              line
+                (Json.Obj
+                   [
+                     ("type", Json.String "point");
+                     ("name", Json.String sr.Sampler.name);
+                     ("labels", labels_obj sr.Sampler.labels);
+                     ("t_us", Json.Float t_us);
+                     ("value", Json.Float v);
+                   ]))
+            sr.Sampler.points)
+        (Sampler.series sampler));
+  Buffer.contents buf
+
+(* --- CSV --- *)
+
+let csv_labels labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let csv_cell s =
+  if String.exists (function ',' | '"' | '\n' -> true | _ -> false) s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv ?sampler reg =
+  let buf = Buffer.create 4096 in
+  let row kind name labels t_us value =
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map csv_cell [ kind; name; csv_labels labels; t_us; value ]));
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf "kind,name,labels,t_us,value\n";
+  List.iter
+    (fun (s : Registry.sample) ->
+      match s.Registry.value with
+      | Registry.Counter_v v -> row "counter" s.name s.labels "" (num v)
+      | Registry.Gauge_v v -> row "gauge" s.name s.labels "" (num v)
+      | Registry.Histogram_v { buckets; count; sum } ->
+          List.iter
+            (fun (b, c) ->
+              row "histogram_bucket" s.name
+                (s.labels @ [ ("le", le_str b) ])
+                "" (string_of_int c))
+            buckets;
+          row "histogram_sum" s.name s.labels "" (num sum);
+          row "histogram_count" s.name s.labels "" (string_of_int count))
+    (Registry.snapshot reg);
+  (match sampler with
+  | None -> ()
+  | Some sampler ->
+      List.iter
+        (fun (sr : Sampler.series) ->
+          Array.iter
+            (fun (t_us, v) ->
+              row "point" sr.Sampler.name sr.Sampler.labels (Printf.sprintf "%.3f" t_us)
+                (num v))
+            sr.Sampler.points)
+        (Sampler.series sampler));
+  Buffer.contents buf
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+type format = Prometheus | Jsonl | Csv
+
+let format_of_string = function
+  | "prom" | "prometheus" -> Some Prometheus
+  | "jsonl" | "json" -> Some Jsonl
+  | "csv" -> Some Csv
+  | _ -> None
+
+let format_for_path path =
+  match String.rindex_opt path '.' with
+  | None -> Prometheus
+  | Some i -> (
+      match format_of_string (String.sub path (i + 1) (String.length path - i - 1)) with
+      | Some f -> f
+      | None -> Prometheus)
+
+let export fmt ?sampler reg =
+  match fmt with
+  | Prometheus -> to_prometheus ?sampler reg
+  | Jsonl -> to_jsonl ?sampler reg
+  | Csv -> to_csv ?sampler reg
+
+(* --- Prometheus parsing (for round-trip tests and the CI smoke) --- *)
+
+type prom_line = { name : string; labels : Registry.labels; value : float }
+
+let parse_prom_line line =
+  let n = String.length line in
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let rec skip_ws i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i in
+  let i = skip_ws 0 in
+  let j = ref i in
+  while !j < n && is_name_char line.[!j] do incr j done;
+  if !j = i then Error ("bad metric name: " ^ line)
+  else begin
+    let name = String.sub line i (!j - i) in
+    let labels = ref [] in
+    let k = ref !j in
+    let err = ref None in
+    if !k < n && line.[!k] = '{' then begin
+      incr k;
+      let fin = ref false in
+      while (not !fin) && !err = None do
+        let s = skip_ws !k in
+        if s < n && line.[s] = '}' then begin
+          k := s + 1;
+          fin := true
+        end
+        else begin
+          let e = ref s in
+          while !e < n && is_name_char line.[!e] do incr e done;
+          if !e = s || !e >= n || line.[!e] <> '=' || !e + 1 >= n || line.[!e + 1] <> '"'
+          then err := Some ("bad label at: " ^ line)
+          else begin
+            let key = String.sub line s (!e - s) in
+            let buf = Buffer.create 16 in
+            let p = ref (!e + 2) in
+            let closed = ref false in
+            while (not !closed) && !err = None do
+              if !p >= n then err := Some ("unterminated label value: " ^ line)
+              else
+                match line.[!p] with
+                | '"' ->
+                    closed := true;
+                    incr p
+                | '\\' when !p + 1 < n ->
+                    (match line.[!p + 1] with
+                    | 'n' -> Buffer.add_char buf '\n'
+                    | c -> Buffer.add_char buf c);
+                    p := !p + 2
+                | c ->
+                    Buffer.add_char buf c;
+                    incr p
+            done;
+            if !err = None then begin
+              labels := (key, Buffer.contents buf) :: !labels;
+              let s = skip_ws !p in
+              if s < n && line.[s] = ',' then k := s + 1 else k := s
+            end
+          end
+        end
+      done
+    end;
+    match !err with
+    | Some e -> Error e
+    | None -> (
+        let rest = String.trim (String.sub line !k (n - !k)) in
+        match String.split_on_char ' ' rest with
+        | v :: _ -> (
+            let v = if v = "+Inf" then "infinity" else v in
+            match float_of_string_opt v with
+            | Some value -> Ok { name; labels = List.rev !labels; value }
+            | None -> Error ("bad value in: " ^ line))
+        | [] -> Error ("missing value in: " ^ line))
+  end
+
+let parse_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ -> acc
+      | Ok out ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then acc
+          else
+            (match parse_prom_line line with
+            | Ok l -> Ok (l :: out)
+            | Error e -> Error e))
+    (Ok []) lines
+  |> Result.map List.rev

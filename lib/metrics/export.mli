@@ -1,0 +1,42 @@
+(** Machine-readable telemetry export: Prometheus text exposition format,
+    JSONL and CSV.
+
+    Every format carries the registry snapshot; when a {!Sampler} is
+    given its time series ride along too (Prometheus lines gain explicit
+    millisecond timestamps; JSONL and CSV gain point records). A small
+    Prometheus parser is included so tests — and the CI smoke — can
+    round-trip what we emit. *)
+
+val to_prometheus : ?sampler:Sampler.t -> Registry.t -> string
+(** [# HELP]/[# TYPE] headers per family; histograms expand into
+    [_bucket{le=...}], [_sum] and [_count] lines. Sampled points are
+    appended as timestamped gauge lines. *)
+
+val to_jsonl : ?sampler:Sampler.t -> Registry.t -> string
+(** One JSON object per line: [{"type":"counter"|"gauge","name":...,
+    "labels":{...},"value":...}], histograms with bucket arrays, and
+    [{"type":"point",...,"t_us":...}] for sampled series. *)
+
+val to_csv : ?sampler:Sampler.t -> Registry.t -> string
+(** Header [kind,name,labels,t_us,value]; labels are rendered as
+    [k=v;k2=v2]. Histogram buckets become [histogram_bucket] rows with an
+    [le] pseudo-label. *)
+
+val write_file : path:string -> string -> unit
+(** Write (truncating) [path]. *)
+
+type format = Prometheus | Jsonl | Csv
+
+val format_of_string : string -> format option
+(** ["prom"|"prometheus"], ["jsonl"|"json"], ["csv"]. *)
+
+val format_for_path : string -> format
+(** Infer from the file extension; defaults to Prometheus. *)
+
+val export : format -> ?sampler:Sampler.t -> Registry.t -> string
+
+type prom_line = { name : string; labels : Registry.labels; value : float }
+
+val parse_prometheus : string -> (prom_line list, string) result
+(** Parse the sample lines of a Prometheus text exposition ([# ] comment
+    lines are skipped, timestamps are accepted and dropped). *)

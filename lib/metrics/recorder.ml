@@ -74,8 +74,13 @@ let first_counted_at t = t.first_at
 let last_counted_at t = t.last_at
 
 let throughput_mrps t =
-  let span_us = Jord_sim.Time.to_us Jord_sim.Time.(t.last_at - t.first_at) in
-  if span_us <= 0.0 then 0.0 else float_of_int (t.total.n - 1) /. span_us
+  (* Fewer than two counted completions span no time: the rate is
+     undefined, and (n-1)/span would divide by zero (or go negative when
+     everything fell inside warmup). Report 0 instead. *)
+  if t.total.n < 2 then 0.0
+  else
+    let span_us = Jord_sim.Time.to_us Jord_sim.Time.(t.last_at - t.first_at) in
+    if span_us <= 0.0 then 0.0 else float_of_int (t.total.n - 1) /. span_us
 
 let percentile_us t p = Jord_util.Histogram.percentile t.hist p /. 1000.0
 let p99_us t = percentile_us t 99.0
@@ -86,13 +91,17 @@ let cdf t =
   List.map (fun (v, f) -> (v /. 1000.0, f)) (Jord_util.Histogram.cdf t.hist)
 
 let breakdown_of acc =
-  let n = float_of_int (Int.max 1 acc.n) in
-  {
-    exec_ns = acc.exec /. n;
-    isolation_ns = acc.iso /. n;
-    dispatch_ns = acc.disp /. n;
-    comm_ns = acc.comm /. n;
-  }
+  (* All-zero when nothing was counted (run shorter than warmup) rather
+     than 0/0 = nan leaking into figure tables. *)
+  if acc.n = 0 then { exec_ns = 0.0; isolation_ns = 0.0; dispatch_ns = 0.0; comm_ns = 0.0 }
+  else
+    let n = float_of_int acc.n in
+    {
+      exec_ns = acc.exec /. n;
+      isolation_ns = acc.iso /. n;
+      dispatch_ns = acc.disp /. n;
+      comm_ns = acc.comm /. n;
+    }
 
 let mean_breakdown t = breakdown_of t.total
 

@@ -1,0 +1,160 @@
+type labels = (string * string) list
+
+type kind = Counter_kind | Gauge_kind | Histogram_kind
+
+module Counter = struct
+  type t = { mutable v : float }
+
+  let inc c = c.v <- c.v +. 1.0
+
+  let add c x =
+    if x < 0.0 then invalid_arg "Registry.Counter.add: negative increment";
+    c.v <- c.v +. x
+
+  let value c = c.v
+end
+
+module Hist = struct
+  type t = {
+    bounds : float array; (* sorted upper bounds, exclusive of +inf *)
+    counts : int array; (* length bounds + 1; last is the +inf bucket *)
+    mutable n : int;
+    mutable total : float;
+  }
+
+  (* Powers of 4 from 1 to 4^15 (~1.07e9): 16 buckets covering sub-ns to
+     second-scale latencies in ns with a worst-case 4x quantization. *)
+  let default_bounds = Array.init 16 (fun i -> 4.0 ** float_of_int i)
+
+  let create bounds =
+    let bounds = Array.of_list (List.sort_uniq compare bounds) in
+    if Array.length bounds = 0 then invalid_arg "Registry.histogram: no buckets";
+    { bounds; counts = Array.make (Array.length bounds + 1) 0; n = 0; total = 0.0 }
+
+  let observe h x =
+    let n = Array.length h.bounds in
+    let rec find i = if i >= n || x <= h.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.n <- h.n + 1;
+    h.total <- h.total +. x
+
+  let count h = h.n
+  let sum h = h.total
+
+  let buckets h =
+    let acc = ref 0 in
+    let finite =
+      Array.to_list
+        (Array.mapi
+           (fun i b ->
+             acc := !acc + h.counts.(i);
+             (b, !acc))
+           h.bounds)
+    in
+    finite @ [ (infinity, h.n) ]
+end
+
+type value =
+  | Counter_v of float
+  | Gauge_v of float
+  | Histogram_v of { buckets : (float * int) list; count : int; sum : float }
+
+type sample = { name : string; help : string; labels : labels; value : value }
+
+type instrument =
+  | Owned_counter of Counter.t
+  | Owned_hist of Hist.t
+  | Pull of (unit -> float)
+
+type family = {
+  fname : string;
+  fkind : kind;
+  fhelp : string;
+  mutable instances : (labels * instrument) list; (* reverse registration order *)
+}
+
+type t = { mutable fams : family list (* reverse registration order *) }
+
+let create () = { fams = [] }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let family t ~name ~kind ~help =
+  match List.find_opt (fun f -> f.fname = name) t.fams with
+  | Some f ->
+      if f.fkind <> kind then
+        invalid_arg ("Registry: " ^ name ^ " re-registered with a different kind");
+      f
+  | None ->
+      if not (valid_name name) then invalid_arg ("Registry: invalid metric name " ^ name);
+      let f = { fname = name; fkind = kind; fhelp = help; instances = [] } in
+      t.fams <- f :: t.fams;
+      f
+
+let add_instance f ~labels instr =
+  f.instances <- (labels, instr) :: List.remove_assoc labels f.instances;
+  instr
+
+let counter t ?(help = "") ?(labels = []) name =
+  let f = family t ~name ~kind:Counter_kind ~help in
+  match List.assoc_opt labels f.instances with
+  | Some (Owned_counter c) -> c
+  | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not an owned counter")
+  | None -> (
+      match add_instance f ~labels (Owned_counter { Counter.v = 0.0 }) with
+      | Owned_counter c -> c
+      | _ -> assert false)
+
+let histogram t ?(help = "") ?(labels = []) ?buckets name =
+  let f = family t ~name ~kind:Histogram_kind ~help in
+  match List.assoc_opt labels f.instances with
+  | Some (Owned_hist h) -> h
+  | Some _ -> invalid_arg ("Registry: " ^ name ^ " is not a histogram")
+  | None ->
+      let h =
+        match buckets with
+        | Some bs -> Hist.create bs
+        | None -> Hist.create (Array.to_list Hist.default_bounds)
+      in
+      ignore (add_instance f ~labels (Owned_hist h));
+      h
+
+let counter_fn t ?(help = "") ?(labels = []) name fn =
+  let f = family t ~name ~kind:Counter_kind ~help in
+  ignore (add_instance f ~labels (Pull fn))
+
+let gauge_fn t ?(help = "") ?(labels = []) name fn =
+  let f = family t ~name ~kind:Gauge_kind ~help in
+  ignore (add_instance f ~labels (Pull fn))
+
+let family_count t = List.length t.fams
+
+let families t =
+  List.rev_map (fun f -> (f.fname, f.fkind, f.fhelp)) t.fams
+
+let sample_of f (labels, instr) =
+  let value =
+    match (instr, f.fkind) with
+    | Owned_counter c, _ -> Counter_v (Counter.value c)
+    | Owned_hist h, _ ->
+        Histogram_v { buckets = Hist.buckets h; count = Hist.count h; sum = Hist.sum h }
+    | Pull fn, Counter_kind -> Counter_v (fn ())
+    | Pull fn, (Gauge_kind | Histogram_kind) -> Gauge_v (fn ())
+  in
+  { name = f.fname; help = f.fhelp; labels; value }
+
+let snapshot t =
+  List.concat_map
+    (fun f -> List.rev_map (sample_of f) f.instances)
+    (List.rev t.fams)
+
+let find t ~name ~labels =
+  match List.find_opt (fun f -> f.fname = name) t.fams with
+  | None -> None
+  | Some f -> Option.map (fun i -> sample_of f (labels, snd i))
+                (List.find_opt (fun (l, _) -> l = labels) f.instances)

@@ -1,0 +1,84 @@
+(** Named, labeled metric families: counters, gauges and log-scale
+    histograms.
+
+    The registry is the single naming authority of the telemetry layer
+    (see docs/observability.md for the metric catalog and label
+    conventions). Two styles of instrument coexist:
+
+    - {e owned} instruments ({!counter}, {!histogram}) hand the caller a
+      handle whose update is a plain O(1) field write — safe on simulation
+      hot paths;
+    - {e collected} instruments ({!counter_fn}, {!gauge_fn}) register a
+      closure that is only evaluated at {!snapshot} time, so instrumenting
+      a subsystem that already keeps mutable statistics costs nothing on
+      the hot path at all.
+
+    A {e family} is one metric name; instances of a family differ by their
+    label sets (e.g. [jord_vlb_hits_total{vlb="i"}] and [{vlb="d"}]). *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs, e.g. [[("vlb", "i")]]. Order is preserved on export. *)
+
+type kind = Counter_kind | Gauge_kind | Histogram_kind
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> float -> unit
+  (** O(1); negative increments are rejected with [Invalid_argument]. *)
+
+  val value : t -> float
+end
+
+module Hist : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** O(number of buckets), bounded by the fixed bucket ladder. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, cumulative_count)] pairs, ending with [(infinity, count)]. *)
+end
+
+type value =
+  | Counter_v of float
+  | Gauge_v of float
+  | Histogram_v of { buckets : (float * int) list; count : int; sum : float }
+
+type sample = { name : string; help : string; labels : labels; value : value }
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> Counter.t
+(** Create (or fetch, for an existing name+labels pair) an owned counter. *)
+
+val histogram :
+  t -> ?help:string -> ?labels:labels -> ?buckets:float list -> string -> Hist.t
+(** Owned log-scale histogram. [buckets] are the upper bounds (default:
+    powers of 4 from 1 to [4^15], suiting nanosecond latencies). *)
+
+val counter_fn : t -> ?help:string -> ?labels:labels -> string -> (unit -> float) -> unit
+(** Register a pull-collected counter: the closure is read at snapshot
+    time and must be monotone over a run (e.g. a stats-record field). *)
+
+val gauge_fn : t -> ?help:string -> ?labels:labels -> string -> (unit -> float) -> unit
+(** Register a pull-collected gauge (an instantaneous level). *)
+
+val family_count : t -> int
+(** Number of distinct metric names registered. *)
+
+val families : t -> (string * kind * string) list
+(** [(name, kind, help)] in registration order. *)
+
+val snapshot : t -> sample list
+(** Evaluate every instrument. Families appear in registration order,
+    instances in registration order within a family. *)
+
+val find : t -> name:string -> labels:labels -> sample option
+(** Snapshot a single instrument (mainly for tests). *)

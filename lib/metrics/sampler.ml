@@ -1,0 +1,78 @@
+module Time = Jord_sim.Time
+module Engine = Jord_sim.Engine
+
+type tracked = {
+  name : string;
+  labels : Registry.labels;
+  read : unit -> float;
+  ring : (float * float) array;
+  mutable next : int;
+  mutable total : int;
+}
+
+type series = { name : string; labels : Registry.labels; points : (float * float) array }
+
+type t = {
+  engine : Engine.t;
+  ival : float;
+  capacity : int;
+  mutable tracks : tracked list; (* reverse registration order *)
+  mutable rounds : int;
+  mutable running : bool;
+}
+
+let create ?(capacity = 4096) ~engine ~interval_us () =
+  if capacity <= 0 then invalid_arg "Sampler.create: capacity";
+  if interval_us <= 0.0 then invalid_arg "Sampler.create: interval";
+  { engine; ival = interval_us; capacity; tracks = []; rounds = 0; running = false }
+
+let interval_us t = t.ival
+
+let track t ?(labels = []) name read =
+  t.tracks <-
+    { name; labels; read; ring = Array.make t.capacity (0.0, 0.0); next = 0; total = 0 }
+    :: t.tracks
+
+let record tr ~at_us v =
+  tr.ring.(tr.next) <- (at_us, v);
+  tr.next <- (tr.next + 1) mod Array.length tr.ring;
+  tr.total <- tr.total + 1
+
+let sample_now t =
+  let at_us = Time.to_us (Engine.now t.engine) in
+  List.iter (fun tr -> record tr ~at_us (tr.read ())) t.tracks;
+  t.rounds <- t.rounds + 1
+
+let samples_taken t = t.rounds
+
+let stop t = t.running <- false
+
+let start ?until t =
+  t.running <- true;
+  let step = Time.of_us t.ival in
+  let within time = match until with None -> true | Some u -> time <= u in
+  let rec tick engine =
+    if t.running then begin
+      sample_now t;
+      (* Reschedule only while the machine itself still has work: a lone
+         sampler event must not keep the simulation running forever. *)
+      let next = Time.(Engine.now engine + step) in
+      if Engine.pending engine > 0 && within next then
+        Engine.schedule_at engine ~time:next tick
+    end
+  in
+  let first = Time.(Engine.now t.engine + step) in
+  if within first then Engine.schedule_at t.engine ~time:first tick
+
+let series t =
+  List.rev_map
+    (fun tr ->
+      let cap = Array.length tr.ring in
+      let n = Int.min tr.total cap in
+      let first = if tr.total <= cap then 0 else tr.next in
+      {
+        name = tr.name;
+        labels = tr.labels;
+        points = Array.init n (fun i -> tr.ring.((first + i) mod cap));
+      })
+    t.tracks

@@ -1,0 +1,58 @@
+module Render = Jord_util.Render
+
+let labels_str = function
+  | [] -> "-"
+  | labels -> String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let render_series ?(width = 40) sampler =
+  let rows =
+    List.map
+      (fun (sr : Sampler.series) ->
+        let vs = Array.to_list (Array.map snd sr.Sampler.points) in
+        let n = List.length vs in
+        let mn = List.fold_left Float.min infinity vs in
+        let mx = List.fold_left Float.max neg_infinity vs in
+        let mean = if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 vs /. float_of_int n in
+        let last = match List.rev vs with v :: _ -> v | [] -> 0.0 in
+        [
+          sr.Sampler.name;
+          labels_str sr.Sampler.labels;
+          string_of_int n;
+          (if n = 0 then "-" else Render.f2 mn);
+          Render.f2 mean;
+          (if n = 0 then "-" else Render.f2 mx);
+          Render.f2 last;
+          Render.sparkline ~width vs;
+        ])
+      (Sampler.series sampler)
+  in
+  Render.table
+    ~title:
+      (Printf.sprintf "sampled series (every %.1f us of simulated time)"
+         (Sampler.interval_us sampler))
+    ~header:[ "series"; "labels"; "pts"; "min"; "mean"; "max"; "last"; "timeline" ]
+    ~rows ()
+
+let render_snapshot ?(filter = fun _ -> true) reg =
+  let rows =
+    List.filter_map
+      (fun (s : Registry.sample) ->
+        if not (filter s.Registry.name) then None
+        else
+          match s.Registry.value with
+          | Registry.Counter_v v ->
+              Some [ s.name; labels_str s.labels; "counter"; Render.f2 v ]
+          | Registry.Gauge_v v ->
+              Some [ s.name; labels_str s.labels; "gauge"; Render.f2 v ]
+          | Registry.Histogram_v { count; sum; _ } ->
+              Some
+                [
+                  s.name;
+                  labels_str s.labels;
+                  "histogram";
+                  Printf.sprintf "n=%d mean=%s" count
+                    (Render.f2 (if count = 0 then 0.0 else sum /. float_of_int count));
+                ])
+      (Registry.snapshot reg)
+  in
+  Render.table ~header:[ "metric"; "labels"; "kind"; "value" ] ~rows ()

@@ -1,0 +1,11 @@
+(** ASCII timeline view of sampled series and registry snapshots, built on
+    {!Jord_util.Render} (tables + sparklines) for the [jordctl stats]
+    summary and quick terminal inspection. *)
+
+val render_series : ?width:int -> Sampler.t -> string
+(** One row per tracked series: name, labels, point count, min / mean /
+    max / last value, and a sparkline over simulated time. *)
+
+val render_snapshot : ?filter:(string -> bool) -> Registry.t -> string
+(** Counters and gauges as an aligned table (histograms summarize to
+    count/mean/p-ish sum). [filter] selects metric names (default all). *)

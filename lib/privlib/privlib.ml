@@ -2,6 +2,53 @@ module Vm = Jord_vm
 
 type category = Vma_mgmt | Pd_mgmt
 
+type op =
+  | Op_mmap
+  | Op_munmap
+  | Op_mprotect
+  | Op_pmove
+  | Op_pcopy
+  | Op_cget
+  | Op_cput
+  | Op_ccall
+  | Op_creturn
+  | Op_cexit
+  | Op_center
+
+let all_ops =
+  [
+    Op_mmap; Op_munmap; Op_mprotect; Op_pmove; Op_pcopy; Op_cget; Op_cput;
+    Op_ccall; Op_creturn; Op_cexit; Op_center;
+  ]
+
+let op_index = function
+  | Op_mmap -> 0
+  | Op_munmap -> 1
+  | Op_mprotect -> 2
+  | Op_pmove -> 3
+  | Op_pcopy -> 4
+  | Op_cget -> 5
+  | Op_cput -> 6
+  | Op_ccall -> 7
+  | Op_creturn -> 8
+  | Op_cexit -> 9
+  | Op_center -> 10
+
+let op_name = function
+  | Op_mmap -> "mmap"
+  | Op_munmap -> "munmap"
+  | Op_mprotect -> "mprotect"
+  | Op_pmove -> "pmove"
+  | Op_pcopy -> "pcopy"
+  | Op_cget -> "cget"
+  | Op_cput -> "cput"
+  | Op_ccall -> "ccall"
+  | Op_creturn -> "creturn"
+  | Op_cexit -> "cexit"
+  | Op_center -> "center"
+
+let n_ops = List.length all_ops
+
 type t = {
   hw : Vm.Hw.t;
   os : Os_facade.t;
@@ -13,6 +60,8 @@ type t = {
   mutable pd_ns : float;
   mutable vma_calls : int;
   mutable pd_calls : int;
+  op_calls : int array; (* per-op call counts, indexed by op_index *)
+  op_ns : float array; (* per-op cumulative latency *)
 }
 
 (* Straight-line instruction budgets for each API body (gate entry, policy
@@ -57,25 +106,67 @@ let leave t ~core = Vm.Mmu.exit_privileged (mmu t ~core)
    leave the core privileged. *)
 let with_gate t ~core f =
   let gate_ns = enter t ~core in
-  Fun.protect ~finally:(fun () -> leave t ~core) (fun () -> f gate_ns)
+  Fun.protect
+    ~finally:(fun () -> leave t ~core)
+    (fun () ->
+      try f gate_ns
+      with Vm.Fault.Fault fl as exn ->
+        (* Policy rejections are faults too: count them with the hardware's
+           fault classes so telemetry sees the whole fault surface. *)
+        Vm.Hw.note_fault t.hw fl;
+        raise exn)
 
-let account t cat ns =
-  match cat with
+let account t cat op ns =
+  (match cat with
   | Vma_mgmt ->
       t.vma_ns <- t.vma_ns +. ns;
       t.vma_calls <- t.vma_calls + 1
   | Pd_mgmt ->
       t.pd_ns <- t.pd_ns +. ns;
-      t.pd_calls <- t.pd_calls + 1
+      t.pd_calls <- t.pd_calls + 1);
+  let i = op_index op in
+  t.op_calls.(i) <- t.op_calls.(i) + 1;
+  t.op_ns.(i) <- t.op_ns.(i) +. ns
 
 let time_in t = function Vma_mgmt -> t.vma_ns | Pd_mgmt -> t.pd_ns
 let call_count t = function Vma_mgmt -> t.vma_calls | Pd_mgmt -> t.pd_calls
+let op_count t op = t.op_calls.(op_index op)
+let op_ns t op = t.op_ns.(op_index op)
+
+let op_stats t =
+  List.map (fun op -> (op, op_count t op, op_ns t op)) all_ops
 
 let reset_accounting t =
   t.vma_ns <- 0.0;
   t.pd_ns <- 0.0;
   t.vma_calls <- 0;
-  t.pd_calls <- 0
+  t.pd_calls <- 0;
+  Array.fill t.op_calls 0 n_ops 0;
+  Array.fill t.op_ns 0 n_ops 0.0
+
+(* Telemetry wiring: per-op call counts and cumulative in-PrivLib time, as
+   pull collectors over the accounting arrays (Table 1 / Fig. 11 signals). *)
+let register_metrics t ?(labels = []) reg =
+  let open Jord_telemetry.Registry in
+  List.iter
+    (fun op ->
+      let l = labels @ [ ("op", op_name op) ] in
+      counter_fn reg ~help:"PrivLib calls by API" ~labels:l "jord_privlib_calls_total"
+        (fun () -> float_of_int (op_count t op));
+      counter_fn reg ~help:"Cumulative time inside PrivLib by API (ns)" ~labels:l
+        "jord_privlib_ns_total" (fun () -> op_ns t op))
+    all_ops;
+  List.iter
+    (fun (cat, name) ->
+      let l = labels @ [ ("category", name) ] in
+      counter_fn reg ~help:"PrivLib calls by category" ~labels:l
+        "jord_privlib_category_calls_total" (fun () -> float_of_int (call_count t cat));
+      counter_fn reg ~help:"Cumulative PrivLib time by category (ns)" ~labels:l
+        "jord_privlib_category_ns_total" (fun () -> time_in t cat))
+    [ (Vma_mgmt, "vma_mgmt"); (Pd_mgmt, "pd_mgmt") ];
+  gauge_fn reg ~help:"Outstanding VMA grants across non-root PDs" ~labels
+    "jord_privlib_outstanding_grants" (fun () ->
+      float_of_int (Hashtbl.fold (fun _ v acc -> acc + v) t.grants 0))
 
 (* Find the VTE covering [va], charging the lookup, with policy check: the
    subject PD must hold some permission on the VMA — and acting on behalf of
@@ -140,7 +231,7 @@ let mmap t ~core ~bytes ~perm ?(privileged = false) ?(global_perm = None) () =
         +. alloc_ns
         +. Vm.Hw.charge_footprint t.hw ~core fp
       in
-      account t Vma_mgmt lat;
+      account t Vma_mgmt Op_mmap lat;
       (base, lat))
 
 let munmap t ~core ~va =
@@ -169,7 +260,7 @@ let munmap t ~core ~va =
         +. Vm.Hw.charge_footprint t.hw ~core fp
         +. sd +. free_ns
       in
-      account t Vma_mgmt lat;
+      account t Vma_mgmt Op_munmap lat;
       lat)
 
 (* Shared tail of the three permission-updating calls: charge the structure
@@ -189,10 +280,10 @@ let mprotect t ~core ?pd ~va ~perm () =
         +. lookup_ns
         +. update_vte t ~core ~base:(Vm.Vte.base vte)
       in
-      account t Vma_mgmt lat;
+      account t Vma_mgmt Op_mprotect lat;
       lat)
 
-let transfer t ~core ~src_pd ~va ~dst_pd ~perm ~keep_src ~instrs =
+let transfer t ~core ~src_pd ~va ~dst_pd ~perm ~keep_src ~instrs ~op =
   with_gate t ~core (fun gate_ns ->
       check_dst_pd t dst_pd;
       let src_pd = match src_pd with Some p -> p | None -> caller_pd t ~core in
@@ -213,14 +304,16 @@ let transfer t ~core ~src_pd ~va ~dst_pd ~perm ~keep_src ~instrs =
         +. lookup_ns
         +. update_vte t ~core ~base:(Vm.Vte.base vte)
       in
-      account t Vma_mgmt lat;
+      account t Vma_mgmt op lat;
       lat)
 
 let pmove t ~core ?src_pd ~va ~dst_pd ~perm () =
   transfer t ~core ~src_pd ~va ~dst_pd ~perm ~keep_src:false ~instrs:pmove_instrs
+    ~op:Op_pmove
 
 let pcopy t ~core ~va ~dst_pd ~perm =
   transfer t ~core ~src_pd:None ~va ~dst_pd ~perm ~keep_src:true ~instrs:pcopy_instrs
+    ~op:Op_pcopy
 
 let require_executor t ~core what =
   if caller_pd t ~core <> 0 then
@@ -231,7 +324,7 @@ let cget t ~core =
       require_executor t ~core "cget";
       let id, alloc_ns = Pd.alloc t.pds ~memsys:(Vm.Hw.memsys t.hw) ~core in
       let lat = gate_ns +. Vm.Hw.instr_ns t.hw (gate_instrs + cget_instrs) +. alloc_ns in
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_cget lat;
       (id, lat))
 
 let cput t ~core ~pd =
@@ -242,7 +335,7 @@ let cput t ~core ~pd =
           (Vm.Fault.Bad_handle "cput: PD still holds VMA permissions");
       let free_ns = Pd.free t.pds ~memsys:(Vm.Hw.memsys t.hw) ~core pd in
       let lat = gate_ns +. Vm.Hw.instr_ns t.hw (gate_instrs + cput_instrs) +. free_ns in
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_cput lat;
       lat)
 
 (* Context switches: save/restore of the register file to/from the PD's
@@ -264,7 +357,7 @@ let ccall t ~core ~pd =
       Pd.set_status t.pds pd (Pd.Running core);
       let lat = gate_ns +. switch_cost t ~core ~pd ~instrs:ccall_instrs in
       Vm.Mmu.write_ucid (mmu t ~core) pd;
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_ccall lat;
       lat)
 
 let current_running_pd t ~core what =
@@ -284,7 +377,7 @@ let creturn t ~core =
       Pd.set_status t.pds pd Pd.Idle;
       let lat = gate_ns +. switch_cost t ~core ~pd ~instrs:creturn_instrs in
       Vm.Mmu.write_ucid (mmu t ~core) 0;
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_creturn lat;
       lat)
 
 let cexit t ~core =
@@ -293,7 +386,7 @@ let cexit t ~core =
       Pd.set_status t.pds pd Pd.Suspended;
       let lat = gate_ns +. switch_cost t ~core ~pd ~instrs:cexit_instrs in
       Vm.Mmu.write_ucid (mmu t ~core) 0;
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_cexit lat;
       lat)
 
 let center t ~core ~pd =
@@ -306,7 +399,7 @@ let center t ~core ~pd =
       Pd.set_status t.pds pd (Pd.Running core);
       let lat = gate_ns +. switch_cost t ~core ~pd ~instrs:center_instrs in
       Vm.Mmu.write_ucid (mmu t ~core) pd;
-      account t Pd_mgmt lat;
+      account t Pd_mgmt Op_center lat;
       lat)
 
 let create ~hw ~os =
@@ -322,6 +415,8 @@ let create ~hw ~os =
       pd_ns = 0.0;
       vma_calls = 0;
       pd_calls = 0;
+      op_calls = Array.make n_ops 0;
+      op_ns = Array.make n_ops 0.0;
     }
   in
   (* OS bootstrap: PrivLib's own code, stack and heap live in privileged

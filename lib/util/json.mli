@@ -1,4 +1,6 @@
-(** Minimal JSON emission (no parsing) for trace and result export. *)
+(** Minimal JSON emission and parsing for trace and telemetry export.
+    The parser exists so the exporters' round-trip tests (and downstream
+    tooling smoke checks) can consume exactly what we emit. *)
 
 type t =
   | Null
@@ -14,3 +16,11 @@ val escape : string -> string
 
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (full grammar; numbers without '.', exponent and
+    within [int] range parse as [Int], the rest as [Float]). Trailing
+    non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — field lookup; [None] on non-objects. *)

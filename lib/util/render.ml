@@ -44,6 +44,37 @@ let table ?title ~header ~rows () =
     rows;
   Buffer.contents buf
 
+(* ASCII sparkline: resample [values] into [width] columns (mean per
+   column) and map each onto a 8-level ramp scaled to [min, max]. *)
+let spark_ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let sparkline ?(width = 40) values =
+  match values with
+  | [] -> ""
+  | values ->
+      let v = Array.of_list values in
+      let n = Array.length v in
+      let width = Int.min width n in
+      let lo = Array.fold_left Float.min v.(0) v in
+      let hi = Array.fold_left Float.max v.(0) v in
+      let span = hi -. lo in
+      String.init width (fun col ->
+          let first = col * n / width and last = ((col + 1) * n / width) - 1 in
+          let last = Int.max first last in
+          let sum = ref 0.0 in
+          for i = first to last do
+            sum := !sum +. v.(i)
+          done;
+          let mean = !sum /. float_of_int (last - first + 1) in
+          let level =
+            if span <= 0.0 then if hi > 0.0 then Array.length spark_ramp - 1 else 0
+            else
+              Int.min
+                (Array.length spark_ramp - 1)
+                (int_of_float ((mean -. lo) /. span *. float_of_int (Array.length spark_ramp - 1) +. 0.5))
+          in
+          spark_ramp.(level))
+
 let series ?title ~x_label ~y_label named =
   (* Union of x values across all series, sorted. *)
   let module FSet = Set.Make (Float) in

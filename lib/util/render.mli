@@ -18,6 +18,11 @@ val series :
 (** Render named (x, y) series in columns: one x column and one column per
     series, aligned on the union of x values. Missing points print as "-". *)
 
+val sparkline : ?width:int -> float list -> string
+(** Render values as a one-line ASCII sparkline on an 8-level character
+    ramp, resampled to at most [width] (default 40) columns. A flat
+    non-zero series renders at full level; an empty series renders as "". *)
+
 val f1 : float -> string
 val f2 : float -> string
 val f3 : float -> string

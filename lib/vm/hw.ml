@@ -8,7 +8,19 @@ type t = {
   mutable shootdown_ns : float;
   mutable walks : int;
   mutable walk_ns : float;
+  faults : int array; (* indexed by fault_class *)
 }
+
+(* Fault accounting: translation/protection faults by class, counted where
+   the machine raises them (the telemetry layer reads these by label). *)
+let fault_classes = [| "unmapped"; "permission"; "privileged"; "gate"; "policy" |]
+
+let fault_class = function
+  | Fault.Unmapped _ -> 0
+  | Fault.Permission _ -> 1
+  | Fault.Privileged_access _ -> 2
+  | Fault.Gate_violation _ -> 3
+  | Fault.Bad_handle _ -> 4
 
 let create ?(i_entries = 16) ?(d_entries = 16) ~memsys ~store ~va_cfg () =
   let cores = Jord_arch.Topology.cores (Jord_arch.Memsys.topology memsys) in
@@ -22,6 +34,7 @@ let create ?(i_entries = 16) ?(d_entries = 16) ~memsys ~store ~va_cfg () =
     shootdown_ns = 0.0;
     walks = 0;
     walk_ns = 0.0;
+    faults = Array.make (Array.length fault_classes) 0;
   }
 
 let memsys t = t.memsys
@@ -44,11 +57,33 @@ let vlb_totals t =
       (h + i.Vlb.hits + d.Vlb.hits, m + i.Vlb.misses + d.Vlb.misses))
     (0, 0) t.mmus
 
+(* Per-kind VLB totals (I vs D) across every core. *)
+let vlb_totals_by_kind t =
+  Array.fold_left
+    (fun ((ih, im), (dh, dm)) mmu ->
+      let i = Vlb.stats (Mmu.i_vlb mmu) and d = Vlb.stats (Mmu.d_vlb mmu) in
+      ((ih + i.Vlb.hits, im + i.Vlb.misses), (dh + d.Vlb.hits, dm + d.Vlb.misses)))
+    ((0, 0), (0, 0))
+    t.mmus
+
+let vlb_shootdown_drops t =
+  Array.fold_left
+    (fun acc mmu ->
+      acc
+      + (Vlb.stats (Mmu.i_vlb mmu)).Vlb.shootdowns
+      + (Vlb.stats (Mmu.d_vlb mmu)).Vlb.shootdowns)
+    0 t.mmus
+
+let fault_count t = Array.fold_left ( + ) 0 t.faults
+
+let note_fault t f = t.faults.(fault_class f) <- t.faults.(fault_class f) + 1
+
 let reset_counters t =
   t.shootdowns <- 0;
   t.shootdown_ns <- 0.0;
   t.walks <- 0;
-  t.walk_ns <- 0.0
+  t.walk_ns <- 0.0;
+  Array.fill t.faults 0 (Array.length t.faults) 0
 
 let vlb_of mmu = function `Instr -> Mmu.i_vlb mmu | `Data -> Mmu.d_vlb mmu
 
@@ -109,7 +144,7 @@ let check_perm t ~core ~mmu ~va ~access vte =
    refills after the bubble. *)
 let ivlb_stall_cycles = 14
 
-let translate t ~core ~va ~access ~kind =
+let translate_unchecked t ~core ~va ~access ~kind =
   let mmu = t.mmus.(core) in
   let vlb = vlb_of mmu kind in
   let vte, walk_lat =
@@ -126,6 +161,12 @@ let translate t ~core ~va ~access ~kind =
   in
   let perm_lat = check_perm t ~core ~mmu ~va ~access vte in
   (vte, walk_lat +. perm_lat)
+
+let translate t ~core ~va ~access ~kind =
+  try translate_unchecked t ~core ~va ~access ~kind
+  with Fault.Fault f as exn ->
+    note_fault t f;
+    raise exn
 
 let access t ~core ~va ~access:acc ~kind ~bytes =
   let vte, lat = translate t ~core ~va ~access:acc ~kind in
@@ -176,6 +217,66 @@ let shootdown t ~core ~va =
   Vtd.note_write t.vtd ~vte_addr:tag;
   t.shootdown_ns <- t.shootdown_ns +. !worst;
   !worst
+
+(* Mean occupancy fraction of one VLB kind across every core — a sampled
+   gauge (VLB pressure over time). *)
+let vlb_occupancy t ~kind =
+  let pick_vlb mmu = match kind with `Instr -> Mmu.i_vlb mmu | `Data -> Mmu.d_vlb mmu in
+  let n = Array.length t.mmus in
+  if n = 0 then 0.0
+  else
+    Array.fold_left
+      (fun acc mmu ->
+        let vlb = pick_vlb mmu in
+        acc
+        +. (float_of_int (Vlb.occupancy vlb) /. float_of_int (Int.max 1 (Vlb.capacity vlb))))
+      0.0 t.mmus
+    /. float_of_int n
+
+(* Telemetry wiring (pull-based; see docs/observability.md for the metric
+   catalog). Every closure reads counters this module already maintains. *)
+let register_metrics t ?(labels = []) reg =
+  let open Jord_telemetry.Registry in
+  let c name help extra fn = counter_fn reg ~help ~labels:(labels @ extra) name fn in
+  let g name help extra fn = gauge_fn reg ~help ~labels:(labels @ extra) name fn in
+  let vlb part pick =
+    c "jord_vlb_hits_total" "VLB hits by kind" [ ("vlb", part) ] (fun () ->
+        float_of_int (fst (pick (vlb_totals_by_kind t))));
+    c "jord_vlb_misses_total" "VLB misses by kind" [ ("vlb", part) ] (fun () ->
+        float_of_int (snd (pick (vlb_totals_by_kind t))))
+  in
+  vlb "i" fst;
+  vlb "d" snd;
+  c "jord_vlb_shootdowns_total" "T-bit shootdown operations" [] (fun () ->
+      float_of_int t.shootdowns);
+  c "jord_vlb_shootdown_ns_total" "Cumulative shootdown latency (ns)" [] (fun () ->
+      t.shootdown_ns);
+  c "jord_vlb_shootdown_invalidations_total"
+    "VLB entries dropped by shootdown messages" [] (fun () ->
+      float_of_int (vlb_shootdown_drops t));
+  c "jord_vtw_walks_total" "VMA-table walks (VLB misses served)" [] (fun () ->
+      float_of_int t.walks);
+  c "jord_vtw_walk_ns_total" "Cumulative walk latency (ns)" [] (fun () -> t.walk_ns);
+  let vs = Vtd.stats t.vtd in
+  c "jord_vtd_registrations_total" "T-bit reads registered in the VTD" [] (fun () ->
+      float_of_int vs.Vtd.registrations);
+  c "jord_vtd_evictions_total" "VTD entries evicted (capacity)" [] (fun () ->
+      float_of_int vs.Vtd.evictions);
+  c "jord_vtd_shootdowns_total" "VTE-write shootdowns by resolution path"
+    [ ("path", "tracked") ] (fun () -> float_of_int vs.Vtd.tracked_shootdowns);
+  c "jord_vtd_shootdowns_total" "VTE-write shootdowns by resolution path"
+    [ ("path", "fallback") ] (fun () -> float_of_int vs.Vtd.fallback_shootdowns);
+  g "jord_vtd_tracked_entries" "Live VTD entries" [] (fun () ->
+      float_of_int (Vtd.tracked t.vtd));
+  Array.iteri
+    (fun i cls ->
+      c "jord_faults_total" "Translation/protection faults by class"
+        [ ("class", cls) ] (fun () -> float_of_int t.faults.(i)))
+    fault_classes;
+  g "jord_vlb_occupancy_fraction" "Mean VLB occupancy across cores"
+    [ ("vlb", "i") ] (fun () -> vlb_occupancy t ~kind:`Instr);
+  g "jord_vlb_occupancy_fraction" "Mean VLB occupancy across cores"
+    [ ("vlb", "d") ] (fun () -> vlb_occupancy t ~kind:`Data)
 
 let warm t ~core ~va ~kind =
   let mmu = t.mmus.(core) in

@@ -81,4 +81,23 @@ val walk_ns_total : t -> float
 val vlb_totals : t -> int * int
 (** (hits, misses) summed over every core's I- and D-VLB. *)
 
+val vlb_totals_by_kind : t -> (int * int) * (int * int)
+(** ((I hits, I misses), (D hits, D misses)) summed over every core. *)
+
+val fault_count : t -> int
+(** Translation/protection faults raised through this machine. *)
+
+val note_fault : t -> Fault.t -> unit
+(** Count a fault raised outside {!translate} (PrivLib policy checks). *)
+
+val vlb_occupancy : t -> kind:[ `Instr | `Data ] -> float
+(** Mean occupancy fraction (0..1) of the given VLB kind across cores —
+    sampled over simulated time by the telemetry layer. *)
+
+val register_metrics :
+  t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit
+(** Register the VM-layer metric families ([jord_vlb_*], [jord_vtw_*],
+    [jord_vtd_*], [jord_faults_total]) as pull collectors; [labels] are
+    prepended to every instance. Zero hot-path cost. *)
+
 val reset_counters : t -> unit

@@ -36,8 +36,10 @@ let start ~server ~rate_mrps ~duration ~seed =
 
 let submitted t = t.submitted
 
-let run ?(warmup = 2000) ?tracer ~app ~config ~rate_mrps ~duration_us ?(seed = 7) () =
+let run ?(warmup = 2000) ?tracer ?on_server ~app ~config ~rate_mrps ~duration_us
+    ?(seed = 7) () =
   let server = Server.create config app in
+  (match on_server with Some f -> f server | None -> ());
   (match tracer with Some tr -> Server.set_tracer server (Some tr) | None -> ());
   let recorder = Jord_metrics.Recorder.create ~warmup () in
   Server.on_root_complete server (Jord_metrics.Recorder.observe recorder);

@@ -21,6 +21,7 @@ val submitted : t -> int
 val run :
   ?warmup:int ->
   ?tracer:Jord_faas.Trace.t ->
+  ?on_server:(Jord_faas.Server.t -> unit) ->
   app:Jord_faas.Model.app ->
   config:Jord_faas.Server.config ->
   rate_mrps:float ->
@@ -30,4 +31,6 @@ val run :
   Jord_faas.Server.t * Jord_metrics.Recorder.t
 (** Convenience harness: build a server for [app], attach a recorder, drive
     the load to completion (arrivals stop after [duration_us]; the engine
-    then drains), and return both. *)
+    then drains), and return both. [on_server] runs right after the server
+    is built and before any load — the hook where telemetry (a registry or
+    a {!Jord_telemetry.Sampler} on the server's engine) gets attached. *)

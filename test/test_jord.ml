@@ -41,5 +41,6 @@ let () =
       ("exp.common", Test_exp_common.suite);
       ("exp.claims", Test_claims.suite);
       ("trace", Test_trace.suite);
+      ("telemetry", Test_telemetry.suite);
       ("export", Test_export.suite);
     ]

@@ -1,0 +1,374 @@
+(* Telemetry layer: registry semantics, simulated-time sampling, exporter
+   round-trips (parse what we emit) and the recorder's degenerate-run
+   guards. *)
+
+module Registry = Jord_telemetry.Registry
+module Sampler = Jord_telemetry.Sampler
+module Export = Jord_telemetry.Export
+module Json = Jord_util.Json
+module Engine = Jord_sim.Engine
+module Time = Jord_sim.Time
+
+(* --- Registry --- *)
+
+let test_counter_basics () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"h" "t_total" in
+  Registry.Counter.inc c;
+  Registry.Counter.add c 2.5;
+  Alcotest.(check (float 1e-9)) "value" 3.5 (Registry.Counter.value c);
+  (try
+     Registry.Counter.add c (-1.0);
+     Alcotest.fail "negative add accepted"
+   with Invalid_argument _ -> ())
+
+let test_labels_are_instances () =
+  let reg = Registry.create () in
+  let a = Registry.counter reg ~labels:[ ("vlb", "i") ] "hits_total" in
+  let b = Registry.counter reg ~labels:[ ("vlb", "d") ] "hits_total" in
+  Registry.Counter.inc a;
+  Registry.Counter.inc b;
+  Registry.Counter.inc b;
+  Alcotest.(check int) "one family" 1 (Registry.family_count reg);
+  (match Registry.find reg ~name:"hits_total" ~labels:[ ("vlb", "d") ] with
+  | Some { Registry.value = Registry.Counter_v v; _ } ->
+      Alcotest.(check (float 1e-9)) "d instance" 2.0 v
+  | _ -> Alcotest.fail "missing instance");
+  (* Same name+labels returns the same handle. *)
+  let a' = Registry.counter reg ~labels:[ ("vlb", "i") ] "hits_total" in
+  Registry.Counter.inc a';
+  Alcotest.(check (float 1e-9)) "shared handle" 2.0 (Registry.Counter.value a)
+
+let test_kind_conflict_rejected () =
+  let reg = Registry.create () in
+  let (_ : Registry.Counter.t) = Registry.counter reg "x_total" in
+  (try
+     let (_ : Registry.Hist.t) = Registry.histogram reg "x_total" in
+     Alcotest.fail "kind conflict accepted"
+   with Invalid_argument _ -> ());
+  try
+    let (_ : Registry.Counter.t) = Registry.counter reg "bad name!" in
+    Alcotest.fail "invalid name accepted"
+  with Invalid_argument _ -> ()
+
+let test_histogram_buckets () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~buckets:[ 10.0; 100.0; 1000.0 ] "lat_ns" in
+  List.iter (Registry.Hist.observe h) [ 5.0; 50.0; 500.0; 5000.0 ];
+  Alcotest.(check int) "count" 4 (Registry.Hist.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5555.0 (Registry.Hist.sum h);
+  (match Registry.Hist.buckets h with
+  | [ (b1, 1); (b2, 2); (b3, 3); (binf, 4) ] ->
+      Alcotest.(check (float 1e-9)) "b1" 10.0 b1;
+      Alcotest.(check (float 1e-9)) "b2" 100.0 b2;
+      Alcotest.(check (float 1e-9)) "b3" 1000.0 b3;
+      Alcotest.(check bool) "+Inf last" true (binf = infinity)
+  | _ -> Alcotest.fail "bucket shape")
+
+let test_pull_collectors () =
+  let reg = Registry.create () in
+  let backing = ref 0 in
+  Registry.counter_fn reg "pull_total" (fun () -> float_of_int !backing);
+  Registry.gauge_fn reg "pull_level" (fun () -> float_of_int (2 * !backing));
+  backing := 21;
+  (match Registry.find reg ~name:"pull_total" ~labels:[] with
+  | Some { Registry.value = Registry.Counter_v v; _ } ->
+      Alcotest.(check (float 1e-9)) "counter reads live" 21.0 v
+  | _ -> Alcotest.fail "missing pull counter");
+  match Registry.find reg ~name:"pull_level" ~labels:[] with
+  | Some { Registry.value = Registry.Gauge_v v; _ } ->
+      Alcotest.(check (float 1e-9)) "gauge reads live" 42.0 v
+  | _ -> Alcotest.fail "missing pull gauge"
+
+(* --- Sampler --- *)
+
+(* Keep the engine alive with a heartbeat event chain so the sampler keeps
+   rescheduling itself (it stops when it is the only pending event). *)
+let with_busy_engine ~until_us f =
+  let engine = Engine.create () in
+  let rec beat eng =
+    if Time.to_us (Engine.now eng) < until_us then
+      Engine.schedule eng ~after:(Time.of_us 5.0) beat
+  in
+  Engine.schedule engine ~after:(Time.of_us 5.0) beat;
+  f engine;
+  Engine.run engine
+
+let test_sampler_collects () =
+  let tick = ref 0.0 in
+  let sampler = ref None in
+  with_busy_engine ~until_us:1000.0 (fun engine ->
+      let s = Sampler.create ~engine ~interval_us:50.0 () in
+      Sampler.track s "level" (fun () ->
+          tick := !tick +. 1.0;
+          !tick);
+      Sampler.start s;
+      sampler := Some s);
+  let s = Option.get !sampler in
+  Alcotest.(check bool) "at least 10 rounds" true (Sampler.samples_taken s >= 10);
+  match Sampler.series s with
+  | [ { Sampler.name = "level"; points; _ } ] ->
+      Alcotest.(check bool) "points recorded" true (Array.length points >= 10);
+      Array.iteri
+        (fun i (t_us, _) ->
+          if i > 0 then
+            Alcotest.(check bool) "times increase" true (t_us > fst points.(i - 1)))
+        points
+  | _ -> Alcotest.fail "series shape"
+
+let test_sampler_ring_wraparound () =
+  let sampler = ref None in
+  with_busy_engine ~until_us:2000.0 (fun engine ->
+      let s = Sampler.create ~capacity:8 ~engine ~interval_us:50.0 () in
+      Sampler.track s "t" (fun () -> 1.0);
+      Sampler.start s;
+      sampler := Some s);
+  let s = Option.get !sampler in
+  Alcotest.(check bool) "overflowed" true (Sampler.samples_taken s > 8);
+  match Sampler.series s with
+  | [ { Sampler.points; _ } ] ->
+      Alcotest.(check int) "capacity kept" 8 (Array.length points);
+      (* The retained window is the newest samples, oldest first. *)
+      let newest = fst points.(7) in
+      let oldest = fst points.(0) in
+      Alcotest.(check bool) "kept the tail" true (oldest < newest && newest > 400.0)
+  | _ -> Alcotest.fail "series shape"
+
+let test_sampler_never_keeps_engine_alive () =
+  let engine = Engine.create () in
+  let s = Sampler.create ~engine ~interval_us:10.0 () in
+  Sampler.track s "x" (fun () -> 0.0);
+  Sampler.start s;
+  (* No other events: the first tick fires, sees an idle engine, and does
+     not reschedule — run terminates. *)
+  Engine.run engine;
+  Alcotest.(check bool) "terminated quickly" true (Sampler.samples_taken s <= 1)
+
+(* --- Exporters --- *)
+
+let sample_registry () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"c help" ~labels:[ ("op", "mmap") ] "ops_total" in
+  Registry.Counter.add c 7.0;
+  Registry.gauge_fn reg ~help:"g help" "depth" (fun () -> 2.5);
+  let h = Registry.histogram reg ~buckets:[ 10.0; 100.0 ] "lat_ns" in
+  Registry.Hist.observe h 5.0;
+  Registry.Hist.observe h 50.0;
+  reg
+
+let test_prometheus_round_trip () =
+  let reg = sample_registry () in
+  let text = Export.to_prometheus reg in
+  match Export.parse_prometheus text with
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+  | Ok lines ->
+      let value name labels =
+        match
+          List.find_opt
+            (fun l -> l.Export.name = name && l.Export.labels = labels)
+            lines
+        with
+        | Some l -> l.Export.value
+        | None -> Alcotest.fail (Printf.sprintf "no line %s" name)
+      in
+      Alcotest.(check (float 1e-9)) "counter" 7.0 (value "ops_total" [ ("op", "mmap") ]);
+      Alcotest.(check (float 1e-9)) "gauge" 2.5 (value "depth" []);
+      Alcotest.(check (float 1e-9)) "hist count" 2.0 (value "lat_ns_count" []);
+      Alcotest.(check (float 1e-9)) "hist sum" 55.0 (value "lat_ns_sum" []);
+      Alcotest.(check (float 1e-9)) "bucket 10" 1.0 (value "lat_ns_bucket" [ ("le", "10") ]);
+      Alcotest.(check (float 1e-9)) "bucket +Inf" 2.0
+        (value "lat_ns_bucket" [ ("le", "+Inf") ])
+
+let test_prometheus_label_escaping () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~labels:[ ("fn", "a\"b\\c\nd") ] "weird_total" in
+  Registry.Counter.inc c;
+  match Export.parse_prometheus (Export.to_prometheus reg) with
+  | Error e -> Alcotest.fail e
+  | Ok [ line ] ->
+      Alcotest.(check string) "label round-trips" "a\"b\\c\nd"
+        (List.assoc "fn" line.Export.labels)
+  | Ok _ -> Alcotest.fail "expected one line"
+
+let test_jsonl_round_trip () =
+  let reg = sample_registry () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Export.to_jsonl reg))
+  in
+  Alcotest.(check int) "one object per instrument" 3 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error e -> Alcotest.fail (Printf.sprintf "bad JSONL line %S: %s" line e))
+      lines
+  in
+  let counter =
+    List.find
+      (fun j -> Json.member "name" j = Some (Json.String "ops_total"))
+      parsed
+  in
+  Alcotest.(check bool) "typed" true
+    (Json.member "type" counter = Some (Json.String "counter"));
+  (match Json.member "value" counter with
+  | Some (Json.Float v) -> Alcotest.(check (float 1e-9)) "value" 7.0 v
+  | Some (Json.Int v) -> Alcotest.(check int) "value" 7 v
+  | _ -> Alcotest.fail "no value");
+  match Json.member "labels" counter with
+  | Some labels ->
+      Alcotest.(check bool) "labels kept" true
+        (Json.member "op" labels = Some (Json.String "mmap"))
+  | None -> Alcotest.fail "no labels"
+
+let test_csv_shape () =
+  let reg = sample_registry () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Export.to_csv reg))
+  in
+  (match lines with
+  | header :: _ -> Alcotest.(check string) "header" "kind,name,labels,t_us,value" header
+  | [] -> Alcotest.fail "empty csv");
+  (* counter + gauge + (3 bucket rows incl. +Inf, sum, count) + header. *)
+  Alcotest.(check int) "rows" 8 (List.length lines)
+
+let test_format_selection () =
+  Alcotest.(check bool) "prom" true (Export.format_of_string "prom" = Some Export.Prometheus);
+  Alcotest.(check bool) "jsonl" true (Export.format_of_string "jsonl" = Some Export.Jsonl);
+  Alcotest.(check bool) "unknown" true (Export.format_of_string "xml" = None);
+  Alcotest.(check bool) "by path" true (Export.format_for_path "m.csv" = Export.Csv);
+  Alcotest.(check bool) "default" true (Export.format_for_path "metrics" = Export.Prometheus)
+
+(* --- Json parser --- *)
+
+let test_json_parser () =
+  (match Json.of_string "{\"a\": [1, 2.5, \"x\\\"y\", null, true]}" with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f; Json.String s; Json.Null; Json.Bool true ]) ]) ->
+      Alcotest.(check (float 1e-9)) "float" 2.5 f;
+      Alcotest.(check string) "escape" "x\"y" s
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing accepted");
+  match Json.of_string "[1e3, -4]" with
+  | Ok (Json.List [ Json.Float f; Json.Int i ]) ->
+      Alcotest.(check (float 1e-9)) "exponent" 1000.0 f;
+      Alcotest.(check int) "negative" (-4) i
+  | Ok _ -> Alcotest.fail "wrong number shape"
+  | Error e -> Alcotest.fail e
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Jord_util.Render.sparkline []);
+  let ramp = Jord_util.Render.sparkline [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "one cell per point" 4 (String.length ramp);
+  Alcotest.(check bool) "rises" true (ramp.[0] <> ramp.[3])
+
+(* --- Recorder guards --- *)
+
+let test_recorder_degenerate_runs () =
+  (* Everything inside warmup: no counted completions at all. *)
+  let r = Jord_metrics.Recorder.create ~warmup:10 () in
+  let observe_at i =
+    let root, _ =
+      Jord_faas.Request.make_root ~id:i ~entry:"f" ~arrival:(Time.of_us (float_of_int i))
+        ~arg_bytes:64
+    in
+    root.Jord_faas.Request.completed_at <- Time.of_us (float_of_int i +. 1.0);
+    root.Jord_faas.Request.finished <- true;
+    root.Jord_faas.Request.exec_ns <- 100.0;
+    Jord_metrics.Recorder.observe r root
+  in
+  List.iter observe_at [ 0; 1; 2 ];
+  Alcotest.(check int) "nothing counted" 0 (Jord_metrics.Recorder.count r);
+  Alcotest.(check (float 1e-9)) "throughput guarded" 0.0
+    (Jord_metrics.Recorder.throughput_mrps r);
+  Alcotest.(check (float 1e-9)) "mean guarded" 0.0 (Jord_metrics.Recorder.mean_us r);
+  let b = Jord_metrics.Recorder.mean_breakdown r in
+  Alcotest.(check (float 1e-9)) "breakdown exec" 0.0 b.Jord_metrics.Recorder.exec_ns;
+  Alcotest.(check (float 1e-9)) "breakdown iso" 0.0 b.Jord_metrics.Recorder.isolation_ns;
+  (* Exactly one counted completion: a rate over a zero span is still 0. *)
+  List.iter observe_at (List.init 8 (fun i -> 3 + i));
+  Alcotest.(check int) "one counted" 1 (Jord_metrics.Recorder.count r);
+  Alcotest.(check (float 1e-9)) "single-point rate" 0.0
+    (Jord_metrics.Recorder.throughput_mrps r);
+  let b = Jord_metrics.Recorder.mean_breakdown r in
+  Alcotest.(check (float 1e-9)) "breakdown now real" 100.0 b.Jord_metrics.Recorder.exec_ns
+
+(* --- Whole-machine integration --- *)
+
+let test_server_registry_and_sampler () =
+  let registry = Registry.create () in
+  let sampler = ref None in
+  let on_server server =
+    Jord_faas.Server.register_metrics server registry;
+    let s =
+      Sampler.create ~engine:(Jord_faas.Server.engine server) ~interval_us:25.0 ()
+    in
+    Jord_faas.Server.attach_sampler server s;
+    Sampler.start s;
+    sampler := Some s
+  in
+  let _, recorder =
+    Jord_workloads.Loadgen.run ~on_server ~warmup:0 ~app:Jord_workloads.Hipster.app
+      ~config:Jord_faas.Server.default_config ~rate_mrps:1.0 ~duration_us:600.0 ()
+  in
+  Alcotest.(check bool) "requests ran" true (Jord_metrics.Recorder.count recorder > 50);
+  Alcotest.(check bool) "many families" true (Registry.family_count registry >= 20);
+  (* Families span every instrumented layer. *)
+  let names = List.map (fun (n, _, _) -> n) (Registry.families registry) in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check bool) (prefix ^ " present") true
+        (List.exists
+           (fun n -> String.length n >= String.length prefix
+                     && String.sub n 0 (String.length prefix) = prefix)
+           names))
+    [ "jord_server_"; "jord_vlb_"; "jord_vtd_"; "jord_mem_"; "jord_privlib_" ];
+  (* Counters are coherent with the server's own accessors. *)
+  (match Registry.find registry ~name:"jord_server_completed_total" ~labels:[] with
+  | Some { Registry.value = Registry.Counter_v v; _ } ->
+      Alcotest.(check bool) "completions counted" true (v > 50.0)
+  | _ -> Alcotest.fail "no completion counter");
+  let s = Option.get !sampler in
+  Alcotest.(check bool) "sampled >= 10 rounds" true (Sampler.samples_taken s >= 10);
+  let depth_series =
+    List.find
+      (fun sr ->
+        sr.Sampler.name = "jord_executor_queue_depth"
+        && List.mem_assoc "agg" sr.Sampler.labels)
+      (Sampler.series s)
+  in
+  Alcotest.(check bool) "series has >= 10 points" true
+    (Array.length depth_series.Sampler.points >= 10);
+  (* Exported exposition carries the series points. *)
+  let text = Export.to_prometheus ~sampler:s registry in
+  match Export.parse_prometheus text with
+  | Ok lines ->
+      let pts =
+        List.length
+          (List.filter (fun l -> l.Export.name = "jord_executor_queue_depth") lines)
+      in
+      Alcotest.(check bool) "points exported" true (pts >= 10)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "labeled instances" `Quick test_labels_are_instances;
+    Alcotest.test_case "kind conflicts" `Quick test_kind_conflict_rejected;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "pull collectors" `Quick test_pull_collectors;
+    Alcotest.test_case "sampler collects" `Quick test_sampler_collects;
+    Alcotest.test_case "sampler ring wraparound" `Quick test_sampler_ring_wraparound;
+    Alcotest.test_case "sampler self-terminates" `Quick test_sampler_never_keeps_engine_alive;
+    Alcotest.test_case "prometheus round-trip" `Quick test_prometheus_round_trip;
+    Alcotest.test_case "prometheus label escaping" `Quick test_prometheus_label_escaping;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "csv shape" `Quick test_csv_shape;
+    Alcotest.test_case "format selection" `Quick test_format_selection;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "recorder degenerate runs" `Quick test_recorder_degenerate_runs;
+    Alcotest.test_case "whole-machine registry+sampler" `Quick test_server_registry_and_sampler;
+  ]

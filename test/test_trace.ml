@@ -57,6 +57,58 @@ let test_chrome_json_shape () =
   Alcotest.(check bool) "instant" true (contains "\"ph\":\"i\"" out);
   Alcotest.(check bool) "dur" true (contains "\"dur\":" out)
 
+(* Function names containing JSON-hostile characters must survive the
+   chrome-trace emission: parse the emitted document back and find them. *)
+let test_chrome_json_escaping () =
+  let tr = Trace.create () in
+  let nasty = "fn\"quoted\\back\nline" in
+  Trace.emit tr ~at_ps:1000 ~kind:Trace.Start ~req_id:0 ~root_id:0 ~fn:nasty ~core:0 ();
+  let out = Trace.to_chrome_json tr in
+  match Json.of_string out with
+  | Error e -> Alcotest.fail ("emitted trace is not valid JSON: " ^ e)
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) ->
+          let arg_fns =
+            List.filter_map
+              (fun ev ->
+                match Option.bind (Json.member "args" ev) (Json.member "fn") with
+                | Some (Json.String s) -> Some s
+                | _ -> None)
+              evs
+          in
+          Alcotest.(check bool) "fn round-trips" true (List.mem nasty arg_fns);
+          (* The display name embeds the fn too and must stay escaped. *)
+          let names =
+            List.filter_map
+              (fun ev ->
+                match Json.member "name" ev with
+                | Some (Json.String s) -> Some s
+                | _ -> None)
+              evs
+          in
+          Alcotest.(check bool) "name keeps the fn" true
+            (List.exists
+               (fun s ->
+                 String.length s > String.length nasty
+                 && String.sub s 0 (String.length nasty) = nasty)
+               names)
+      | _ -> Alcotest.fail "no traceEvents list")
+
+let test_ring_wrap_then_chrome_json () =
+  (* Wraparound and emission compose: only retained events are serialized,
+     and the document stays parseable after the ring has cycled. *)
+  let tr = Trace.create ~capacity:3 () in
+  for i = 0 to 7 do
+    emit tr i Trace.Dispatch
+  done;
+  match Json.of_string (Trace.to_chrome_json tr) with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) -> Alcotest.(check int) "retained only" 3 (List.length evs)
+      | _ -> Alcotest.fail "no traceEvents list")
+
 let test_text_log () =
   let tr = Trace.create () in
   for i = 0 to 5 do
@@ -99,6 +151,8 @@ let suite =
     Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
     Alcotest.test_case "ring below capacity" `Quick test_ring_below_capacity;
     Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+    Alcotest.test_case "chrome json escaping" `Quick test_chrome_json_escaping;
+    Alcotest.test_case "ring wrap + chrome json" `Quick test_ring_wrap_then_chrome_json;
     Alcotest.test_case "text log" `Quick test_text_log;
     Alcotest.test_case "server emits" `Quick test_server_emits;
   ]
