@@ -1,0 +1,195 @@
+(* Engine microbenchmark: allocation and throughput on the dispatch-heavy
+   path (many concurrent self-rescheduling events, the shape of the
+   orchestrator dispatch loop and executor poll loop).
+
+   Three contenders over the same workload:
+     boxed      the pre-refactor design, reproduced here as a reference: a
+                boxed-entry binary heap (one record per push, option-boxed
+                peek/pop) driven with a freshly allocated closure per event
+     fresh      the new indexed-heap engine, still allocating a closure per
+                event (what naive call sites do)
+     reused     the new engine on its fast path: pre-built closures, zero
+                per-event allocation
+
+   Prints minor-heap words per event and wall-clock throughput, and fails
+   (exit 1) unless the reused path allocates at least 2x less than the
+   boxed reference — the regression guard CI runs in --smoke mode.
+
+     dune exec bench/engine_bench.exe            full run (4M events)
+     dune exec bench/engine_bench.exe -- --smoke quick CI guard (200k events) *)
+
+module Engine = Jord_sim.Engine
+
+(* --- Reference implementation: the pre-refactor boxed event queue --- *)
+
+module Boxed = struct
+  type 'a entry = { time : int; seq : int; payload : 'a }
+
+  type 'a queue = {
+    mutable heap : 'a entry array;
+    mutable size : int;
+    mutable next_seq : int;
+    mutable dummy : 'a entry option;
+  }
+
+  let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let swap t i j =
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(j);
+    t.heap.(j) <- tmp
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t.heap.(i) t.heap.(parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let push t ~time payload =
+    let entry = { time; seq = t.next_seq; payload } in
+    t.next_seq <- t.next_seq + 1;
+    if t.dummy = None then t.dummy <- Some entry;
+    let cap = Array.length t.heap in
+    if t.size = cap then begin
+      let heap = Array.make (Int.max 16 (cap * 2)) entry in
+      Array.blit t.heap 0 heap 0 t.size;
+      t.heap <- heap
+    end;
+    t.heap.(t.size) <- entry;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.heap.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.heap.(0) <- t.heap.(t.size);
+        sift_down t 0
+      end;
+      (match t.dummy with Some d -> t.heap.(t.size) <- d | None -> ());
+      Some (top.time, top.payload)
+    end
+
+  let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+  type engine = { queue : (engine -> unit) queue; mutable now : int }
+
+  let run e =
+    let continue () = match peek_time e.queue with None -> false | Some _ -> true in
+    while continue () do
+      match pop e.queue with
+      | None -> ()
+      | Some (time, f) ->
+          e.now <- time;
+          f e
+    done
+end
+
+(* --- Workload: [lanes] concurrent events, each rescheduling itself with a
+   deterministic per-lane gap until [total] events have fired. Mirrors the
+   server: a handful of always-armed control loops dominating the queue. --- *)
+
+let lanes = 64
+let gap lane = 1 + (lane * 7 mod 97)
+
+let bench_boxed total =
+  let e = Boxed.{ queue = create (); now = 0 } in
+  let fired = ref 0 in
+  (* Per-event closure allocation, as the old server did via partial
+     application. *)
+  let rec tick lane (eng : Boxed.engine) =
+    incr fired;
+    if !fired < total then Boxed.push eng.queue ~time:(eng.now + gap lane) (tick lane)
+  in
+  for lane = 0 to lanes - 1 do
+    Boxed.push e.queue ~time:(gap lane) (tick lane)
+  done;
+  Boxed.run e;
+  !fired
+
+let bench_fresh total =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let rec tick lane eng =
+    incr fired;
+    if !fired < total then
+      Engine.schedule eng ~after:(gap lane) (fun eng -> tick lane eng)
+  in
+  for lane = 0 to lanes - 1 do
+    Engine.schedule e ~after:(gap lane) (tick lane)
+  done;
+  Engine.run e;
+  !fired
+
+let bench_reused total =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  (* The fast path: one closure per lane for the whole run. *)
+  let fns = Array.make lanes (fun (_ : Engine.t) -> ()) in
+  Array.iteri
+    (fun lane _ ->
+      fns.(lane) <-
+        (fun eng ->
+          incr fired;
+          if !fired < total then Engine.schedule eng ~after:(gap lane) fns.(lane)))
+    fns;
+  for lane = 0 to lanes - 1 do
+    Engine.schedule e ~after:(gap lane) fns.(lane)
+  done;
+  Engine.run e;
+  !fired
+
+let measure name f total =
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let fired = f total in
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let per_event = words /. float_of_int fired in
+  Printf.printf "%-8s %9d events  %6.2f words/event  %7.2f Mevents/s\n%!" name fired
+    per_event
+    (float_of_int fired /. dt /. 1e6);
+  per_event
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let total = if smoke then 200_000 else 4_000_000 in
+  Printf.printf "engine dispatch-path microbenchmark (%d lanes, %d events)\n%!" lanes
+    total;
+  (* Warm both engines once so array growth is off the measured path. *)
+  ignore (bench_boxed 10_000 : int);
+  ignore (bench_reused 10_000 : int);
+  print_string "-- measured --\n";
+  let boxed = measure "boxed" bench_boxed total in
+  let fresh = measure "fresh" bench_fresh total in
+  let reused = measure "reused" bench_reused total in
+  let ratio_reused = boxed /. Float.max reused 1e-9 in
+  let ratio_fresh = boxed /. Float.max fresh 1e-9 in
+  Printf.printf
+    "allocation reduction vs boxed reference: reused %.1fx, fresh closures %.1fx\n%!"
+    ratio_reused ratio_fresh;
+  if ratio_reused < 2.0 then begin
+    Printf.eprintf
+      "FAIL: reused-closure path must allocate >= 2x less than the boxed reference \
+       (got %.2fx)\n"
+      ratio_reused;
+    exit 1
+  end;
+  print_string "OK: >= 2x fewer allocations per event on the dispatch path\n"

@@ -138,7 +138,9 @@ let micro () =
              let q = Jord_sim.Event_queue.create () in
              incr counter;
              for i = 0 to 15 do
-               Jord_sim.Event_queue.push q ~time:((!counter + i) mod 97) i
+               ignore
+                 (Jord_sim.Event_queue.push q ~time:((!counter + i) mod 97) i
+                   : Jord_sim.Event_queue.handle)
              done;
              while Jord_sim.Event_queue.pop q <> None do
                ()

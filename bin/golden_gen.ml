@@ -1,0 +1,6 @@
+(* Print the golden-run report (see Jord_exp.Golden). Used to (re)generate
+   test/golden.expected and by CI's determinism check:
+
+     dune exec bin/golden_gen.exe > test/golden.expected *)
+
+let () = print_string (Jord_exp.Golden.report ())

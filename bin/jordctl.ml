@@ -42,6 +42,16 @@ let pos_float =
   in
   Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
 
+(* An int that must be >= 1 (server and retry counts). *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i >= 1 -> Ok i
+    | Some _ -> Error (`Msg "must be >= 1")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, fun ppf i -> Format.fprintf ppf "%d" i)
+
 (* --- run --- *)
 
 let run_cmd =
@@ -100,7 +110,28 @@ let run_cmd =
          & info [ "sample-us" ] ~docv:"US"
              ~doc:"Simulated-time sampling interval for the gauge time series.")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us =
+  let servers =
+    Arg.(value & opt pos_int 1
+         & info [ "servers" ] ~docv:"N"
+             ~doc:"Worker servers; > 1 simulates a cluster sharing one timeline, with \
+                   cross-server forwarding (paper 3.3).")
+  in
+  let forward_after =
+    Arg.(value & opt pos_int 3
+         & info [ "forward-after" ] ~docv:"N"
+             ~doc:"Full-scan retries before an internal request is forwarded to a peer \
+                   server (clusters only).")
+  in
+  let net_one_way =
+    Arg.(value & opt pos_float 2500.0
+         & info [ "net-one-way-ns" ] ~docv:"NS" ~doc:"Cross-server one-way wire latency.")
+  in
+  let net_per_byte =
+    Arg.(value & opt float 0.05
+         & info [ "net-per-byte-ns" ] ~docv:"NS"
+             ~doc:"Cross-server serialization/copy cost per payload byte.")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte =
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -116,99 +147,152 @@ let run_cmd =
         i_vlb_entries = ivlb;
         d_vlb_entries = dvlb;
         seed;
+        net = Jord_faas.Netmodel.create ~one_way_ns:net_one_way ~per_byte_ns:net_per_byte ();
       }
     in
     let t0 = Unix.gettimeofday () in
-    let tracer =
-      Option.map (fun _ -> Jord_faas.Trace.create ()) trace_file
-    in
     (* Telemetry: register the whole machine in a fresh registry and ride a
-       simulated-time sampler on the server's engine; both are exported
-       after the run when --metrics-out is given. *)
+       simulated-time sampler on the shared engine; both are exported after
+       the run when --metrics-out is given. *)
     let registry = Jord_telemetry.Registry.create () in
     let sampler_ref = ref None in
-    let on_server server =
-      if metrics_out <> None then begin
-        Jord_faas.Server.register_metrics server registry;
-        let sampler =
-          Jord_telemetry.Sampler.create
-            ~engine:(Jord_faas.Server.engine server)
-            ~interval_us:sample_us ()
-        in
-        Jord_faas.Server.attach_sampler server sampler;
-        Jord_telemetry.Sampler.start sampler;
-        sampler_ref := Some sampler
-      end
+    let start_sampler engine =
+      let sampler = Jord_telemetry.Sampler.create ~engine ~interval_us:sample_us () in
+      Jord_telemetry.Sampler.start sampler;
+      sampler_ref := Some sampler;
+      sampler
     in
-    let server, recorder =
-      Jord_workloads.Loadgen.run ?tracer ~on_server ~warmup ~app ~config ~rate_mrps:rate
-        ~duration_us:duration ~seed ()
+    let export_metrics () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+          let fmt =
+            match metrics_format with
+            | Some `Prom -> Jord_telemetry.Export.Prometheus
+            | Some `Jsonl -> Jord_telemetry.Export.Jsonl
+            | Some `Csv -> Jord_telemetry.Export.Csv
+            | None -> Jord_telemetry.Export.format_for_path path
+          in
+          let body =
+            Jord_telemetry.Export.export fmt ?sampler:!sampler_ref registry
+          in
+          Jord_telemetry.Export.write_file ~path body;
+          Printf.printf "metrics: %d families%s -> %s\n"
+            (Jord_telemetry.Registry.family_count registry)
+            (match !sampler_ref with
+            | Some s ->
+                Printf.sprintf ", %d samples" (Jord_telemetry.Sampler.samples_taken s)
+            | None -> "")
+            path
     in
-    (match metrics_out with
-    | None -> ()
-    | Some path ->
-        let fmt =
-          match metrics_format with
-          | Some `Prom -> Jord_telemetry.Export.Prometheus
-          | Some `Jsonl -> Jord_telemetry.Export.Jsonl
-          | Some `Csv -> Jord_telemetry.Export.Csv
-          | None -> Jord_telemetry.Export.format_for_path path
-        in
-        let body =
-          Jord_telemetry.Export.export fmt ?sampler:!sampler_ref registry
-        in
-        Jord_telemetry.Export.write_file ~path body;
-        Printf.printf "metrics: %d families%s -> %s\n"
-          (Jord_telemetry.Registry.family_count registry)
-          (match !sampler_ref with
-          | Some s ->
-              Printf.sprintf ", %d samples" (Jord_telemetry.Sampler.samples_taken s)
-          | None -> "")
-          path);
-    (match (trace_file, tracer) with
-    | Some path, Some tr ->
-        let oc = open_out path in
-        output_string oc (Jord_faas.Trace.to_chrome_json tr);
-        close_out oc;
-        Printf.printf "trace: %d events (%d retained) -> %s\n"
-          (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path
-    | _ -> ());
-    let open Jord_metrics.Recorder in
-    Printf.printf "workload=%s system=%s machine=%d cores / %d sockets\n"
-      app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) cores sockets;
-    Printf.printf "offered=%.2f MRPS  measured=%.2f MRPS  completed=%d  dropped=%d\n" rate
-      (throughput_mrps recorder) (count recorder)
-      (Jord_faas.Server.dropped_requests server);
-    Printf.printf "latency: mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus\n" (mean_us recorder)
-      (p50_us recorder) (percentile_us recorder 90.0) (p99_us recorder);
-    let b = mean_breakdown recorder in
-    Printf.printf
-      "per-request: exec=%.0fns isolation=%.0fns dispatch=%.0fns data=%.0fns (%.2f invocations)\n"
-      b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations recorder);
-    let orch_util, exec_util = Jord_faas.Server.utilization server in
-    Printf.printf "utilization: orchestrators=%.0f%% executors=%.0f%%\n"
-      (100.0 *. orch_util) (100.0 *. exec_util);
-    let hw = Jord_faas.Server.hw server in
-    let vlb_hits, vlb_misses = Jord_vm.Hw.vlb_totals hw in
-    Printf.printf "VLB: %.2f%% hit rate (%d hits, %d misses)\n"
-      (100.0 *. float_of_int vlb_hits /. float_of_int (Int.max 1 (vlb_hits + vlb_misses)))
-      vlb_hits vlb_misses;
-    Printf.printf "hardware: %d VTW walks (%.1fns avg), %d shootdowns (%.1fns avg)\n"
-      (Jord_vm.Hw.walk_count hw)
-      (Jord_vm.Hw.walk_ns_total hw /. float_of_int (Int.max 1 (Jord_vm.Hw.walk_count hw)))
-      (Jord_vm.Hw.shootdown_count hw)
-      (Jord_vm.Hw.shootdown_ns_total hw
-      /. float_of_int (Int.max 1 (Jord_vm.Hw.shootdown_count hw)));
-    Printf.printf "[simulated %d events in %.1fs wall]\n"
-      (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
-      (Unix.gettimeofday () -. t0)
+    let print_recorder recorder ~dropped =
+      let open Jord_metrics.Recorder in
+      Printf.printf "offered=%.2f MRPS  measured=%.2f MRPS  completed=%d  dropped=%d\n"
+        rate (throughput_mrps recorder) (count recorder) dropped;
+      Printf.printf "latency: mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus\n"
+        (mean_us recorder) (p50_us recorder)
+        (percentile_us recorder 90.0)
+        (p99_us recorder);
+      let b = mean_breakdown recorder in
+      Printf.printf
+        "per-request: exec=%.0fns isolation=%.0fns dispatch=%.0fns data=%.0fns (%.2f invocations)\n"
+        b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations recorder)
+    in
+    if servers > 1 then begin
+      (* Cluster mode: one shared engine, round-robin front end, forwarding
+         between peers. Tracing is single-server only. *)
+      if trace_file <> None then
+        prerr_endline "jordctl: note: --trace is ignored with --servers > 1";
+      let on_cluster cluster =
+        if metrics_out <> None then begin
+          Jord_faas.Cluster.register_metrics cluster registry;
+          Jord_faas.Cluster.attach_sampler cluster
+            (start_sampler (Jord_faas.Cluster.engine cluster))
+        end
+      in
+      let cluster, recorder =
+        Jord_workloads.Loadgen.run_cluster ~on_cluster ~forward_after ~servers ~warmup
+          ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
+      in
+      export_metrics ();
+      let members = Jord_faas.Cluster.servers cluster in
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
+      Printf.printf "workload=%s system=%s cluster=%d servers x (%d cores / %d sockets)\n"
+        app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) servers cores
+        sockets;
+      print_recorder recorder ~dropped:(sum Jord_faas.Server.dropped_requests);
+      Printf.printf "forwarding: out=%d in=%d (forward-after=%d, one-way=%.0fns)\n"
+        (sum Jord_faas.Server.forwarded_out)
+        (sum Jord_faas.Server.received_in)
+        forward_after
+        (Jord_faas.Netmodel.one_way_ns config.Jord_faas.Server.net);
+      Array.iteri
+        (fun i s ->
+          let orch_util, exec_util = Jord_faas.Server.utilization s in
+          Printf.printf
+            "  server %d: completed=%d forwarded-out=%d received-in=%d utilization orch=%.0f%% exec=%.0f%%\n"
+            i
+            (Jord_faas.Server.completed_roots s)
+            (Jord_faas.Server.forwarded_out s)
+            (Jord_faas.Server.received_in s)
+            (100.0 *. orch_util) (100.0 *. exec_util))
+        members;
+      Printf.printf "[simulated %d events in %.1fs wall]\n"
+        (Jord_sim.Engine.processed (Jord_faas.Cluster.engine cluster))
+        (Unix.gettimeofday () -. t0)
+    end
+    else begin
+      let tracer = Option.map (fun _ -> Jord_faas.Trace.create ()) trace_file in
+      let on_server server =
+        if metrics_out <> None then begin
+          Jord_faas.Server.register_metrics server registry;
+          Jord_faas.Server.attach_sampler server
+            (start_sampler (Jord_faas.Server.engine server))
+        end
+      in
+      let server, recorder =
+        Jord_workloads.Loadgen.run ?tracer ~on_server ~warmup ~app ~config
+          ~rate_mrps:rate ~duration_us:duration ~seed ()
+      in
+      export_metrics ();
+      (match (trace_file, tracer) with
+      | Some path, Some tr ->
+          let oc = open_out path in
+          output_string oc (Jord_faas.Trace.to_chrome_json tr);
+          close_out oc;
+          Printf.printf "trace: %d events (%d retained) -> %s\n"
+            (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path
+      | _ -> ());
+      Printf.printf "workload=%s system=%s machine=%d cores / %d sockets\n"
+        app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) cores sockets;
+      print_recorder recorder ~dropped:(Jord_faas.Server.dropped_requests server);
+      let orch_util, exec_util = Jord_faas.Server.utilization server in
+      Printf.printf "utilization: orchestrators=%.0f%% executors=%.0f%%\n"
+        (100.0 *. orch_util) (100.0 *. exec_util);
+      let hw = Jord_faas.Server.hw server in
+      let vlb_hits, vlb_misses = Jord_vm.Hw.vlb_totals hw in
+      Printf.printf "VLB: %.2f%% hit rate (%d hits, %d misses)\n"
+        (100.0 *. float_of_int vlb_hits
+        /. float_of_int (Int.max 1 (vlb_hits + vlb_misses)))
+        vlb_hits vlb_misses;
+      Printf.printf "hardware: %d VTW walks (%.1fns avg), %d shootdowns (%.1fns avg)\n"
+        (Jord_vm.Hw.walk_count hw)
+        (Jord_vm.Hw.walk_ns_total hw /. float_of_int (Int.max 1 (Jord_vm.Hw.walk_count hw)))
+        (Jord_vm.Hw.shootdown_count hw)
+        (Jord_vm.Hw.shootdown_ns_total hw
+        /. float_of_int (Int.max 1 (Jord_vm.Hw.shootdown_count hw)));
+      Printf.printf "[simulated %d events in %.1fs wall]\n"
+        (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
+        (Unix.gettimeofday () -. t0)
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulation and print a summary")
     Term.(
       const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
       $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ metrics_out
-      $ metrics_format $ sample_us)
+      $ metrics_format $ sample_us $ servers $ forward_after $ net_one_way
+      $ net_per_byte)
 
 (* --- stats --- *)
 

@@ -1,0 +1,187 @@
+(* Golden-run scenarios: a fixed set of seeded simulations whose outputs are
+   checked bit-for-bit against test/golden.expected. The scenarios cover the
+   paths a core refactor can disturb — the event engine's ordering, the
+   executor/orchestrator interplay, cross-server forwarding, and the Poisson
+   load generator — so any change to a measured number shows up as a diff.
+
+   Every float is printed with %.17g: two runs agree only if they performed
+   the exact same arithmetic in the exact same order. *)
+
+module Server = Jord_faas.Server
+module Cluster = Jord_faas.Cluster
+module Variant = Jord_faas.Variant
+module Request = Jord_faas.Request
+module Time = Jord_sim.Time
+module Engine = Jord_sim.Engine
+
+let f17 = Printf.sprintf "%.17g"
+
+(* The deterministic app of test_server.ml: sync, async and nested chains,
+   no sampled phases. *)
+let tiny_app =
+  let open Jord_faas.Model in
+  let leaf name ns =
+    { name; make_phases = (fun _ -> [ compute ns ]); state_bytes = 1024; code_bytes = 1024 }
+  in
+  let mid =
+    {
+      name = "mid";
+      make_phases = (fun _ -> [ compute 150.0; invoke "leafB"; compute 50.0 ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  let entry =
+    {
+      name = "entry";
+      make_phases =
+        (fun _ ->
+          [
+            compute 200.0;
+            invoke ~mode:Async "leafA";
+            invoke "mid";
+            wait;
+            compute 100.0;
+          ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  {
+    app_name = "tiny";
+    fns = [ entry; mid; leaf "leafA" 120.0; leaf "leafB" 80.0 ];
+    entries = [ ("entry", 1.0) ];
+  }
+
+(* The fan-out app of test_cluster.ml: six async leaves per entry, the recipe
+   for forwarding under tight queues. *)
+let fanout_app =
+  let open Jord_faas.Model in
+  let leaf =
+    {
+      name = "leaf";
+      make_phases = (fun _ -> [ compute 2000.0 ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  let entry =
+    {
+      name = "entry";
+      make_phases =
+        (fun _ ->
+          List.init 6 (fun _ -> invoke ~mode:Async ~arg_bytes:256 "leaf") @ [ wait ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  { app_name = "fanout"; fns = [ entry; leaf ]; entries = [ ("entry", 1.0) ] }
+
+let root_sums roots =
+  List.fold_left
+    (fun (lat, ex, iso, disp, comm) (r : Request.root) ->
+      ( lat +. Request.latency_ns r,
+        ex +. r.Request.exec_ns,
+        iso +. r.Request.isolation_ns,
+        disp +. r.Request.dispatch_ns,
+        comm +. r.Request.comm_ns ))
+    (0.0, 0.0, 0.0, 0.0, 0.0) roots
+
+let single_server buf variant =
+  let config =
+    {
+      Server.default_config with
+      Server.variant;
+      machine = Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+    }
+  in
+  let server = Server.create config tiny_app in
+  let roots = ref [] in
+  Server.on_root_complete server (fun r -> roots := r :: !roots);
+  let engine = Server.engine server in
+  for i = 0 to 39 do
+    Engine.schedule_at engine
+      ~time:(Time.of_ns (float_of_int i *. 400.0))
+      (fun _ -> Server.submit server ())
+  done;
+  Server.run server;
+  let lat, ex, iso, disp, comm = root_sums !roots in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "server/%s completed=%d live=%d dropped=%d dispatches=%d retries=%d events=%d\n"
+       (Variant.name variant) (Server.completed_roots server)
+       (Server.live_continuations server)
+       (Server.dropped_requests server)
+       (Server.dispatch_count server)
+       (Server.queue_full_retries server)
+       (Engine.processed engine));
+  Buffer.add_string buf
+    (Printf.sprintf "server/%s latency=%s exec=%s isolation=%s dispatch=%s comm=%s\n"
+       (Variant.name variant) (f17 lat) (f17 ex) (f17 iso) (f17 disp) (f17 comm));
+  Buffer.add_string buf
+    (Printf.sprintf "server/%s dispatch_ns=%s\n" (Variant.name variant)
+       (f17 (Server.dispatch_ns_total server)))
+
+let cluster buf =
+  let config =
+    {
+      Server.default_config with
+      Server.machine = Jord_arch.Config.with_cores Jord_arch.Config.default 4;
+      orchestrators = 1;
+      queue_capacity = 1;
+    }
+  in
+  let cluster = Cluster.create ~forward_after:2 ~servers:3 ~config fanout_app in
+  let roots = ref [] in
+  Cluster.on_root_complete cluster (fun r -> roots := r :: !roots);
+  let engine = Cluster.engine cluster in
+  for i = 0 to 119 do
+    Engine.schedule_at engine
+      ~time:(Time.of_ns (float_of_int i *. 900.0))
+      (fun _ -> Cluster.submit cluster ())
+  done;
+  Cluster.run cluster;
+  let lat, _, iso, disp, comm = root_sums !roots in
+  Buffer.add_string buf
+    (Printf.sprintf "cluster completed=%d events=%d\n" (List.length !roots)
+       (Engine.processed engine));
+  Array.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "cluster server=%d completed=%d out=%d in=%d\n" i
+           (Server.completed_roots s) (Server.forwarded_out s) (Server.received_in s)))
+    (Cluster.servers cluster);
+  Buffer.add_string buf
+    (Printf.sprintf "cluster latency=%s isolation=%s dispatch=%s comm=%s\n" (f17 lat)
+       (f17 iso) (f17 disp) (f17 comm))
+
+let loadgen buf =
+  List.iter
+    (fun (label, app, variant, rate) ->
+      let config = { Server.default_config with Server.variant } in
+      let server, recorder =
+        Jord_workloads.Loadgen.run ~warmup:100 ~app ~config ~rate_mrps:rate
+          ~duration_us:600.0 ()
+      in
+      let open Jord_metrics.Recorder in
+      Buffer.add_string buf
+        (Printf.sprintf "loadgen/%s count=%d events=%d mean=%s p50=%s p99=%s tput=%s\n"
+           label (count recorder)
+           (Engine.processed (Server.engine server))
+           (f17 (mean_us recorder)) (f17 (p50_us recorder)) (f17 (p99_us recorder))
+           (f17 (throughput_mrps recorder))))
+    [
+      ("hipster-jord", Jord_workloads.Hipster.app, Variant.Jord, 1.0);
+      ("hotel-ni", Jord_workloads.Hotel.app, Variant.Jord_ni, 0.8);
+      ("hipster-nightcore", Jord_workloads.Hipster.app, Variant.Nightcore, 0.4);
+    ]
+
+let report () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# jord golden run (seeded, bit-exact)\n";
+  List.iter (single_server buf)
+    [ Variant.Jord; Variant.Jord_ni; Variant.Jord_bt; Variant.Nightcore ];
+  cluster buf;
+  loadgen buf;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Golden-run scenarios for refactor safety.
+
+    [report ()] runs a fixed set of seeded simulations — single-server per
+    variant, a 3-server forwarding cluster, and Poisson loadgen runs — and
+    renders every measured number with full (%.17g) precision. The output is
+    compared bit-for-bit against [test/golden.expected]; a diff means a
+    change altered measured results, not just structure.
+
+    Regenerate the expectation with [bin/golden_gen.exe] only when a change
+    is {e meant} to move numbers, and say so in the commit. *)
+
+val report : unit -> string

@@ -4,14 +4,14 @@ type t = {
   mutable rr : int;
 }
 
-(* One-way network latency between servers (top-of-rack switch). Matches
-   the Server-side serialization constants. *)
-let net_one_way = Jord_sim.Time.of_ns 2500.0
-
 let create ?(forward_after = 3) ~servers:n ~config app =
   if n < 1 then invalid_arg "Cluster.create";
   let engine = Jord_sim.Engine.create () in
   let config = { config with Server.forward_after } in
+  (* One-way latency between servers (top-of-rack switch) comes from the
+     servers' own network model, so wire and serialization costs share a
+     single source of truth. *)
+  let net_one_way = Netmodel.one_way config.Server.net in
   let servers = Array.init n (fun i ->
       Server.create ~engine { config with Server.seed = config.Server.seed + i } app)
   in

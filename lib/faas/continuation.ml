@@ -1,0 +1,83 @@
+type wait = No_wait | For_child of int | For_all
+type status = Running | Suspended | Ready
+
+type 'exec t = {
+  cid : int;
+  req : Request.t;
+  fn : Model.fn;
+  mutable phases : Model.phase list;
+  pd : int;
+  state_va : int;
+  home : 'exec;
+  mutable outstanding : int;
+  mutable wait : wait;
+  mutable status : status;
+  mutable to_reap : (int * int) list;
+  cookies : (int, int) Hashtbl.t;
+  done_children : (int, unit) Hashtbl.t;
+}
+
+(* Continuation notify lines live in their own address-space region and
+   recycle modulo 64 Ki so the directory stays bounded. *)
+let cont_region = 1 lsl 44
+let notify_line t = cont_region + (t.cid mod 65536 * 64)
+
+let make ~cid ~req ~fn ~phases ~pd ~state_va ~home =
+  {
+    cid;
+    req;
+    fn;
+    phases;
+    pd;
+    state_va;
+    home;
+    outstanding = 0;
+    wait = No_wait;
+    status = Running;
+    to_reap = [];
+    cookies = Hashtbl.create 4;
+    done_children = Hashtbl.create 4;
+  }
+
+let register_child t ?cookie ~child_id () =
+  (match cookie with
+  | Some c -> Hashtbl.replace t.cookies c child_id
+  | None -> ());
+  t.outstanding <- t.outstanding + 1
+
+let pending_cookie t ~cookie =
+  (* Listing 1's wait(c): the cookie blocks only while that specific child
+     is outstanding; unknown cookies are a no-op. *)
+  match Hashtbl.find_opt t.cookies cookie with
+  | None -> None
+  | Some child_id ->
+      if Hashtbl.mem t.done_children child_id then None else Some child_id
+
+let can_skip_wait t = t.outstanding = 0 && t.to_reap = []
+
+let child_completed t ~child_id ~argbuf ~bytes =
+  t.outstanding <- t.outstanding - 1;
+  Hashtbl.replace t.done_children child_id ();
+  t.to_reap <- (argbuf, bytes) :: t.to_reap;
+  let was_waiting_for_this =
+    match t.wait with
+    | For_child id -> id = child_id
+    | For_all -> t.outstanding = 0
+    | No_wait -> false
+  in
+  if was_waiting_for_this then t.wait <- No_wait;
+  was_waiting_for_this
+
+let ready_after_suspend t =
+  (* If every awaited child already completed during the segment (the
+     completion event cleared [wait]), the continuation is immediately
+     ready again. *)
+  match t.wait with
+  | No_wait -> true
+  | For_all -> t.outstanding = 0
+  | For_child _ -> false
+
+let take_reaps t =
+  let r = t.to_reap in
+  t.to_reap <- [];
+  r

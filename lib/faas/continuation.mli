@@ -1,0 +1,75 @@
+(** Continuation lifecycle: the per-invocation state machine an executor
+    thread runs (paper §3.2, Listing 1).
+
+    A continuation interprets its function's phase list, spawning children
+    (nested invocations), suspending on [wait]/[wait(c)], and reaping
+    completed children's ArgBufs when it resumes. This module owns only the
+    bookkeeping — which children are outstanding, what the continuation is
+    blocked on, what is waiting to be reaped; the surrounding machinery
+    (runtime costs, event scheduling) lives in {!Executor}.
+
+    The type is parametric in the home-executor type so the module stack
+    stays acyclic: [Executor] instantiates ['exec t] with its own [t]. *)
+
+type wait =
+  | No_wait
+  | For_child of int  (** Blocked on one child request id (sync invoke / [wait(c)]). *)
+  | For_all  (** Blocked until every outstanding child completes. *)
+
+type status = Running | Suspended | Ready
+
+type 'exec t = {
+  cid : int;
+  req : Request.t;
+  fn : Model.fn;
+  mutable phases : Model.phase list;  (** Remaining program. *)
+  pd : int;
+  state_va : int;
+  home : 'exec;  (** The executor this continuation resumes on. *)
+  mutable outstanding : int;
+  mutable wait : wait;
+  mutable status : status;
+  mutable to_reap : (int * int) list;
+      (** Completed child argbufs: [(va, bytes)], reaped on next resume. *)
+  cookies : (int, int) Hashtbl.t;  (** User cookie -> child request id. *)
+  done_children : (int, unit) Hashtbl.t;  (** Completed child request ids. *)
+}
+
+val make :
+  cid:int ->
+  req:Request.t ->
+  fn:Model.fn ->
+  phases:Model.phase list ->
+  pd:int ->
+  state_va:int ->
+  home:'exec ->
+  'exec t
+
+val notify_line : _ t -> int
+(** The continuation's completion-notification cache line. Lines live in a
+    dedicated address-space region and recycle modulo 64 Ki so the
+    directory stays bounded. *)
+
+val register_child : _ t -> ?cookie:int -> child_id:int -> unit -> unit
+(** Record a spawned child: bumps [outstanding] and binds [cookie] (if any)
+    to the child's request id for a later [wait(c)]. *)
+
+val pending_cookie : _ t -> cookie:int -> int option
+(** Listing 1's [wait(c)]: [Some child_id] iff that labelled child is still
+    outstanding. Unknown or already-completed cookies return [None]. *)
+
+val can_skip_wait : _ t -> bool
+(** A bare [wait] with nothing outstanding and nothing to reap is a no-op. *)
+
+val child_completed : _ t -> child_id:int -> argbuf:int -> bytes:int -> bool
+(** Record a child's completion: decrements [outstanding], queues the
+    child's ArgBuf for reaping, and returns [true] iff this completion
+    satisfies the parent's current wait (in which case the wait is
+    cleared and the caller should make the parent runnable). *)
+
+val ready_after_suspend : _ t -> bool
+(** Whether the continuation is immediately runnable at suspension time —
+    every awaited child already completed during the segment. *)
+
+val take_reaps : _ t -> (int * int) list
+(** Drain the reap list (most recently completed first). *)

@@ -1,0 +1,354 @@
+module Time = Jord_sim.Time
+module Engine = Jord_sim.Engine
+
+(* The machine context every layer shares: the simulated hardware, the
+   runtime, the app, and the server-wide counters. Built once by [Server]
+   and threaded (never copied) through executors and orchestrators. *)
+type ctx = {
+  variant : Variant.t;
+  internal_priority : bool;
+  forward_after : int;
+  policy : Policy.t;
+  net : Netmodel.t;
+  engine : Engine.t;
+  memsys : Jord_arch.Memsys.t;
+  hw : Jord_vm.Hw.t;
+  rt : Runtime.t;
+  app : Model.app;
+  prng : Jord_util.Prng.t;
+  core_busy_ps : float array;
+  mutable tracer : Trace.t option;
+  mutable next_req_id : int;
+  mutable next_cid : int;
+  mutable root_cb : Request.root -> unit;
+  mutable completed : int;
+  mutable live_conts : int;
+  mutable dispatch_count : int;
+  mutable dispatch_ns : float;
+  mutable queue_full_retries : int;
+  mutable forward_cb : (Request.t -> unit) option;
+  mutable forwarded_out : int;
+  mutable received_in : int;
+}
+
+(* Everything an executor needs from its orchestrator, as closures — this
+   is what breaks the executor/orchestrator recursion: [Orchestrator]
+   builds one uplink per orchestrator and installs it on its executors. *)
+type uplink = {
+  int_line : int;  (** The orchestrator's internal-queue cache line. *)
+  notify_line : int;  (** Completion-notification line for external requests. *)
+  submit_internal : at:Time.t -> Request.t -> unit;
+      (** Schedule a nested request's arrival on the orchestrator. *)
+  push_reclaim : va:int -> bytes:int -> unit;
+      (** Queue a finished ArgBuf for the orchestrator's amortized reclaim. *)
+  wake : Engine.t -> unit;
+      (** Start the orchestrator's dispatch loop if it is idle. *)
+}
+
+type t = {
+  eid : int;
+  core : int;
+  queue : Request.t Bounded_queue.t;
+  ready : t Continuation.t Queue.t;
+  mutable busy : bool;
+  mutable suspended : int;
+  mutable up : uplink option;
+  mutable release_fn : Engine.t -> unit;
+      (** Pre-built "teardown done, poll again" closure (hot path). *)
+}
+
+(* Executor queues live in their own address-space region. *)
+let exec_queue_region = 1 lsl 46
+
+let uplink e =
+  match e.up with
+  | Some u -> u
+  | None -> invalid_arg "Server: executor not wired to an orchestrator"
+
+let fresh_req_id ctx =
+  let id = ctx.next_req_id in
+  ctx.next_req_id <- id + 1;
+  id
+
+let charge_core ctx core ns =
+  ctx.core_busy_ps.(core) <- ctx.core_busy_ps.(core) +. (ns *. 1000.0)
+
+let trace ctx ~kind ~req ~core ?dur_ns () =
+  match ctx.tracer with
+  | None -> ()
+  | Some tr ->
+      let dur_ps =
+        match dur_ns with Some ns -> int_of_float (ns *. 1000.0) | None -> 0
+      in
+      Trace.emit tr
+        ~at_ps:(Engine.now ctx.engine)
+        ~kind ~req_id:req.Request.id
+        ~root_id:req.Request.root.Request.root_id
+        ~fn:req.Request.fn_name ~core ~dur_ps ()
+
+let add_cost (root : Request.root) (c : Runtime.cost) =
+  root.Request.isolation_ns <- root.Request.isolation_ns +. c.Runtime.isolation_ns;
+  root.Request.comm_ns <- root.Request.comm_ns +. c.Runtime.comm_ns
+
+let rec poll ctx e (_ : Engine.t) =
+  if not e.busy then begin
+    if not (Queue.is_empty e.ready) then resume_cont ctx e (Queue.pop e.ready)
+    else
+      match Bounded_queue.dequeue e.queue ~memsys:ctx.memsys ~core:e.core with
+      | Some (req, deq_ns) -> start_request ctx e req ~deq_ns
+      | None -> ()
+  end
+
+and start_request ctx e req ~deq_ns =
+  e.busy <- true;
+  trace ctx ~kind:Trace.Start ~req ~core:e.core ();
+  let fn = Model.find_fn ctx.app req.Request.fn_name in
+  let pd, state_va, cost =
+    Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
+      ~arg_bytes:req.Request.arg_bytes
+  in
+  add_cost req.Request.root cost;
+  req.Request.root.Request.comm_ns <- req.Request.root.Request.comm_ns +. deq_ns;
+  let cid = ctx.next_cid in
+  ctx.next_cid <- cid + 1;
+  ctx.live_conts <- ctx.live_conts + 1;
+  let cont =
+    Continuation.make ~cid ~req ~fn
+      ~phases:(fn.Model.make_phases ctx.prng)
+      ~pd ~state_va ~home:e
+  in
+  advance ctx e cont ~dt0:(Runtime.total cost +. deq_ns)
+
+and resume_cont ctx e (cont : t Continuation.t) =
+  e.busy <- true;
+  trace ctx ~kind:Trace.Resume ~req:cont.Continuation.req ~core:e.core ();
+  e.suspended <- e.suspended - 1;
+  cont.Continuation.status <- Continuation.Running;
+  let root = cont.Continuation.req.Request.root in
+  (* Reap completed children executor-side (PD 0) before re-entering. *)
+  let dt = ref 0.0 in
+  List.iter
+    (fun (va, bytes) ->
+      let c =
+        Runtime.reap_argbuf ctx.rt ~core:e.core ~pd:cont.Continuation.pd ~va ~bytes
+      in
+      add_cost root c;
+      dt := !dt +. Runtime.total c)
+    (Continuation.take_reaps cont);
+  let c = Runtime.resume ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
+  add_cost root c;
+  advance ctx e cont ~dt0:(!dt +. Runtime.total c)
+
+(* Run the continuation until it suspends or finishes, accumulating the
+   segment's latency [dt]; schedule the segment-end event. *)
+and advance ctx e (cont : t Continuation.t) ~dt0 =
+  let now = Engine.now ctx.engine in
+  let root = cont.Continuation.req.Request.root in
+  let dt = ref dt0 in
+  let finished = ref false in
+  let suspended = ref false in
+  let continue = ref true in
+  while !continue do
+    match cont.Continuation.phases with
+    | [] ->
+        continue := false;
+        finished := true
+    | Model.Compute ns :: rest ->
+        cont.Continuation.phases <- rest;
+        root.Request.exec_ns <- root.Request.exec_ns +. ns;
+        let c =
+          Runtime.touch_working_set ctx.rt ~core:e.core ~pd:cont.Continuation.pd
+            ~fn:cont.Continuation.fn ~state_va:cont.Continuation.state_va
+        in
+        add_cost root c;
+        dt := !dt +. ns +. Runtime.total c
+    | Model.Invoke { target; arg_bytes; mode; cookie } :: rest ->
+        cont.Continuation.phases <- rest;
+        let va, c1 = Runtime.make_argbuf ctx.rt ~core:e.core ~bytes:arg_bytes in
+        let c2 = Runtime.invoke_send ctx.rt ~core:e.core ~bytes:arg_bytes in
+        (* Returning from the runtime's call gates refetches the caller's
+           code region (I-VLB pressure on tiny VLBs). *)
+        let c3 =
+          Runtime.touch_working_set ctx.rt ~core:e.core ~pd:cont.Continuation.pd
+            ~fn:cont.Continuation.fn ~state_va:cont.Continuation.state_va
+        in
+        add_cost root (Runtime.( ++ ) (Runtime.( ++ ) c1 c2) c3);
+        dt := !dt +. Runtime.total c1 +. Runtime.total c2 +. Runtime.total c3;
+        let child =
+          Request.make_child ~id:(fresh_req_id ctx) ~parent:cont.Continuation.req
+            ~fn_name:target ~arg_bytes
+        in
+        child.Request.argbuf <- va;
+        child.Request.on_complete <-
+          Some (fun eng ns -> child_completed ctx cont child eng ns);
+        Continuation.register_child cont ?cookie ~child_id:child.Request.id ();
+        (* Hand the request to this executor's orchestrator: one line write
+           into the internal queue, then an arrival event. *)
+        let up = uplink e in
+        let wr = Jord_arch.Memsys.write ctx.memsys ~core:e.core ~addr:up.int_line in
+        root.Request.dispatch_ns <- root.Request.dispatch_ns +. wr;
+        dt := !dt +. wr;
+        let arrival = Time.(now + Time.of_ns !dt) in
+        up.submit_internal ~at:arrival child;
+        (match mode with
+        | Model.Async -> ()
+        | Model.Sync ->
+            cont.Continuation.wait <- Continuation.For_child child.Request.id;
+            let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
+            add_cost root c;
+            dt := !dt +. Runtime.total c;
+            suspended := true;
+            continue := false)
+    | Model.Wait :: rest ->
+        if Continuation.can_skip_wait cont then cont.Continuation.phases <- rest
+        else begin
+          cont.Continuation.phases <- rest;
+          cont.Continuation.wait <- Continuation.For_all;
+          let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
+          add_cost root c;
+          dt := !dt +. Runtime.total c;
+          suspended := true;
+          continue := false
+        end
+    | Model.Wait_for cookie :: rest -> (
+        cont.Continuation.phases <- rest;
+        match Continuation.pending_cookie cont ~cookie with
+        | None -> ()
+        | Some child_id ->
+            cont.Continuation.wait <- Continuation.For_child child_id;
+            let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
+            add_cost root c;
+            dt := !dt +. Runtime.total c;
+            suspended := true;
+            continue := false)
+    | Model.Scratch bytes :: rest ->
+        cont.Continuation.phases <- rest;
+        let c = Runtime.scratch ctx.rt ~core:e.core ~bytes in
+        add_cost root c;
+        dt := !dt +. Runtime.total c
+  done;
+  trace ctx ~kind:Trace.Segment ~req:cont.Continuation.req ~core:e.core ~dur_ns:!dt ();
+  charge_core ctx e.core !dt;
+  let at = Time.(now + Time.of_ns !dt) in
+  if !finished then
+    Engine.schedule_at ctx.engine ~time:at (fun eng -> finish_cont ctx e cont eng)
+  else if !suspended then begin
+    trace ctx ~kind:Trace.Suspend ~req:cont.Continuation.req ~core:e.core ();
+    Engine.schedule_at ctx.engine ~time:at (fun eng -> suspend_cont ctx e cont eng)
+  end
+
+and suspend_cont ctx e (cont : t Continuation.t) engine =
+  e.suspended <- e.suspended + 1;
+  if Continuation.ready_after_suspend cont then begin
+    cont.Continuation.status <- Continuation.Ready;
+    Queue.push cont e.ready
+  end
+  else cont.Continuation.status <- Continuation.Suspended;
+  e.busy <- false;
+  poll ctx e engine
+
+and finish_cont ctx e (cont : t Continuation.t) engine =
+  let now = Engine.now engine in
+  trace ctx ~kind:Trace.Complete ~req:cont.Continuation.req ~core:e.core ();
+  let req = cont.Continuation.req in
+  let root = req.Request.root in
+  let c =
+    Runtime.teardown ctx.rt ~core:e.core ~fn:cont.Continuation.fn
+      ~pd:cont.Continuation.pd ~state_va:cont.Continuation.state_va
+      ~argbuf:req.Request.argbuf
+  in
+  add_cost root c;
+  ctx.live_conts <- ctx.live_conts - 1;
+  let dt = Runtime.total c in
+  (* Completion notification: a line write under Jord, a pipe message under
+     NightCore — the sender only pays the send side; delivery takes the full
+     message latency. *)
+  let notify_busy, notify_lat, notify_charge =
+    if Variant.uses_pipes ctx.variant then begin
+      let pipe = (Runtime.nc ctx.rt).Jord_baseline.Nightcore.pipe in
+      let send = Jord_baseline.Pipe.sender_ns pipe ~bytes:64 in
+      let full = Jord_baseline.Pipe.message_ns pipe ~bytes:64 ~wake:true in
+      (send, full, full)
+    end
+    else begin
+      let addr =
+        match req.Request.on_complete with
+        | Some _ -> Continuation.notify_line cont
+        | None -> (uplink e).notify_line
+      in
+      let wr = Jord_arch.Memsys.write ctx.memsys ~core:e.core ~addr in
+      (wr, wr, wr)
+    end
+  in
+  root.Request.comm_ns <- root.Request.comm_ns +. notify_charge;
+  (match req.Request.on_complete with
+  | Some f when req.Request.forwarded ->
+      (* Forwarded request: the response travels back over the network; the
+         local ArgBuf is reclaimed here, and the origin-side buffer is
+         restored before the parent reaps it. *)
+      let up = uplink e in
+      up.push_reclaim ~va:req.Request.argbuf ~bytes:req.Request.arg_bytes;
+      (* Wake the orchestrator so the buffer is reclaimed even when no
+         further dispatches are pending on this server. *)
+      Engine.schedule_at ctx.engine ~time:now up.wake;
+      let resp = Netmodel.response_ns ctx.net in
+      root.Request.comm_ns <- root.Request.comm_ns +. resp;
+      req.Request.argbuf <- req.Request.home_argbuf;
+      let at = Time.(now + Time.of_ns (dt +. notify_lat +. resp)) in
+      Engine.schedule_at ctx.engine ~time:at (fun eng -> f eng notify_lat)
+  | Some f ->
+      (* Internal request: notify the parent's executor. *)
+      let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
+      Engine.schedule_at ctx.engine ~time:at (fun eng -> f eng notify_lat)
+  | None ->
+      (* External request: notify the orchestrator and finish measurement. *)
+      let up = uplink e in
+      let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
+      up.push_reclaim ~va:req.Request.argbuf ~bytes:req.Request.arg_bytes;
+      Engine.schedule_at ctx.engine ~time:at (fun eng ->
+          root.Request.completed_at <- at;
+          root.Request.finished <- true;
+          ctx.completed <- ctx.completed + 1;
+          ctx.root_cb root;
+          (* Wake the orchestrator so the finished ArgBuf gets reclaimed
+             even when no further dispatches are pending. *)
+          up.wake eng));
+  charge_core ctx e.core (dt +. notify_busy);
+  (* The executor is free again once teardown and the send are done. *)
+  Engine.schedule_at ctx.engine
+    ~time:Time.(now + Time.of_ns (dt +. notify_busy))
+    e.release_fn
+
+and child_completed ctx (parent : t Continuation.t) child engine (_notify_ns : float) =
+  let was_waiting_for_this =
+    Continuation.child_completed parent ~child_id:child.Request.id
+      ~argbuf:child.Request.argbuf ~bytes:child.Request.arg_bytes
+  in
+  match parent.Continuation.status with
+  | Continuation.Suspended when was_waiting_for_this ->
+      parent.Continuation.status <- Continuation.Ready;
+      Queue.push parent parent.Continuation.home.ready;
+      if not parent.Continuation.home.busy then poll ctx parent.Continuation.home engine
+  | Continuation.Suspended | Continuation.Running | Continuation.Ready -> ()
+
+let create ctx ~eid ~core ~queue_capacity =
+  let rec e =
+    {
+      eid;
+      core;
+      queue =
+        Bounded_queue.create ~capacity:queue_capacity
+          ~region:
+            (exec_queue_region
+            + (eid * Bounded_queue.region_bytes ~capacity:queue_capacity));
+      ready = Queue.create ();
+      busy = false;
+      suspended = 0;
+      up = None;
+      release_fn =
+        (fun eng ->
+          e.busy <- false;
+          poll ctx e eng);
+    }
+  in
+  e

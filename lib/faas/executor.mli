@@ -1,0 +1,92 @@
+(** Executor threads: run continuations inside PDs on their pinned cores
+    (paper §3.2).
+
+    An executor polls two sources — its ready queue of resumable
+    continuations and its JBSQ-bounded request queue — and drives each
+    continuation's phase interpreter ({!advance}) until it suspends or
+    finishes. Interaction with the orchestrator goes exclusively through
+    the {!uplink} closures, which is what keeps the module graph acyclic:
+    [Continuation <- Executor <- Orchestrator <- Server].
+
+    This module also defines {!ctx}, the machine context shared by every
+    layer of a server: the simulated hardware, the runtime, the app, and
+    the server-wide counters. [Server] builds one and threads it through
+    executors and orchestrators. *)
+
+module Time = Jord_sim.Time
+module Engine = Jord_sim.Engine
+
+type ctx = {
+  variant : Variant.t;
+  internal_priority : bool;
+  forward_after : int;
+  policy : Policy.t;
+  net : Netmodel.t;
+  engine : Engine.t;
+  memsys : Jord_arch.Memsys.t;
+  hw : Jord_vm.Hw.t;
+  rt : Runtime.t;
+  app : Model.app;
+  prng : Jord_util.Prng.t;
+  core_busy_ps : float array;
+  mutable tracer : Trace.t option;
+  mutable next_req_id : int;
+  mutable next_cid : int;
+  mutable root_cb : Request.root -> unit;
+  mutable completed : int;
+  mutable live_conts : int;
+  mutable dispatch_count : int;
+  mutable dispatch_ns : float;
+  mutable queue_full_retries : int;
+  mutable forward_cb : (Request.t -> unit) option;
+  mutable forwarded_out : int;
+  mutable received_in : int;
+}
+
+type uplink = {
+  int_line : int;  (** The orchestrator's internal-queue cache line. *)
+  notify_line : int;  (** Completion-notification line for external requests. *)
+  submit_internal : at:Time.t -> Request.t -> unit;
+      (** Schedule a nested request's arrival on the orchestrator. *)
+  push_reclaim : va:int -> bytes:int -> unit;
+      (** Queue a finished ArgBuf for the orchestrator's amortized reclaim. *)
+  wake : Engine.t -> unit;
+      (** Start the orchestrator's dispatch loop if it is idle. *)
+}
+
+type t = {
+  eid : int;
+  core : int;
+  queue : Request.t Bounded_queue.t;
+  ready : t Continuation.t Queue.t;
+  mutable busy : bool;
+  mutable suspended : int;
+  mutable up : uplink option;  (** Installed by {!Orchestrator.create}. *)
+  mutable release_fn : Engine.t -> unit;
+      (** Pre-built "teardown done, poll again" closure (hot path). *)
+}
+
+val create : ctx -> eid:int -> core:int -> queue_capacity:int -> t
+(** An idle executor with a fresh JBSQ queue in the executor-queue
+    address-space region; [up] is wired later by its orchestrator. *)
+
+val poll : ctx -> t -> Engine.t -> unit
+(** If idle, resume the next ready continuation, else dequeue and start the
+    next request; no-op when busy or empty. Safe to call redundantly — the
+    orchestrator and completion events both poke it. *)
+
+val fresh_req_id : ctx -> int
+val charge_core : ctx -> int -> float -> unit
+(** Accrue [ns] of busy time on a core (stored in picoseconds). *)
+
+val trace :
+  ctx ->
+  kind:Trace.kind ->
+  req:Request.t ->
+  core:int ->
+  ?dur_ns:float ->
+  unit ->
+  unit
+
+val add_cost : Request.root -> Runtime.cost -> unit
+(** Fold a runtime cost into the root's isolation/communication accounting. *)

@@ -1,0 +1,23 @@
+type t = {
+  one_way_ns : float;
+  per_byte_ns : float;
+  response_bytes : int;
+}
+
+let create ?(one_way_ns = 2500.0) ?(per_byte_ns = 0.05) ?(response_bytes = 256) () =
+  if one_way_ns < 0.0 then invalid_arg "Netmodel.create: one_way_ns";
+  if per_byte_ns < 0.0 then invalid_arg "Netmodel.create: per_byte_ns";
+  if response_bytes < 0 then invalid_arg "Netmodel.create: response_bytes";
+  { one_way_ns; per_byte_ns; response_bytes }
+
+let default = create ()
+let one_way_ns t = t.one_way_ns
+let one_way t = Jord_sim.Time.of_ns t.one_way_ns
+let per_byte_ns t = t.per_byte_ns
+let response_bytes t = t.response_bytes
+
+(* Kept as [one_way +. per_byte *. bytes] — the exact expression the
+   pre-split server evaluated, so shared use cannot drift the numbers. *)
+let send_ns t ~bytes = t.one_way_ns +. (t.per_byte_ns *. float_of_int bytes)
+let copy_ns t ~bytes = t.per_byte_ns *. float_of_int bytes
+let response_ns t = t.one_way_ns +. (t.per_byte_ns *. float_of_int t.response_bytes)

@@ -1,4 +1,3 @@
-module Time = Jord_sim.Time
 module Engine = Jord_sim.Engine
 
 type config = {
@@ -12,6 +11,7 @@ type config = {
   seed : int;
   internal_priority : bool;
   forward_after : int;
+  net : Netmodel.t;
 }
 
 let default_config =
@@ -26,651 +26,64 @@ let default_config =
     seed = 42;
     internal_priority = true;
     forward_after = max_int;
+    net = Netmodel.default;
   }
-
-type wait_kind = Wait_none | Wait_child of int | Wait_all
-
-type cont = {
-  cid : int;
-  req : Request.t;
-  fn : Model.fn;
-  mutable phases : Model.phase list;
-  pd : int;
-  state_va : int;
-  home : exec;
-  mutable outstanding : int;
-  mutable wait_kind : wait_kind;
-  mutable status : [ `Running | `Suspended | `Ready ];
-  mutable to_reap : (int * int) list; (* completed child argbufs: (va, bytes) *)
-  cookies : (int, int) Hashtbl.t; (* user cookie -> child request id *)
-  done_children : (int, unit) Hashtbl.t; (* completed child request ids *)
-}
-
-and exec = {
-  eid : int;
-  ecore : int;
-  equeue : Request.t Bounded_queue.t;
-  ready : cont Queue.t;
-  mutable ebusy : bool;
-  mutable my_orch : orch option;
-  mutable suspended : int;
-}
-
-and orch = {
-  oid : int;
-  ocore : int;
-  mutable execs : exec array;
-  external_q : Request.t Queue.t;
-  internal_q : Request.t Queue.t;
-  mutable pending : Request.t option; (* retry slot when all queues are full *)
-  mutable pending_retries : int;
-  mutable obusy : bool;
-  rr_cursor : int ref;
-  ext_line : int;
-  int_line : int;
-  notify_line : int;
-  mutable reclaim : (int * int) list; (* finished root argbufs: (va, bytes) *)
-}
 
 type t = {
   cfg : config;
-  app : Model.app;
-  engine : Engine.t;
-  memsys : Jord_arch.Memsys.t;
-  hw : Jord_vm.Hw.t;
+  ctx : Executor.ctx;
   priv : Jord_privlib.Privlib.t;
-  rt : Runtime.t;
-  orchs : orch array;
-  all_execs : exec array;
-  prng : Jord_util.Prng.t;
-  mutable next_req_id : int;
-  mutable next_cid : int;
-  mutable root_cb : Request.root -> unit;
-  mutable dispatch_count : int;
-  mutable dispatch_ns : float;
-  mutable completed : int;
-  mutable live_conts : int;
+  orchs : Orchestrator.t array;
+  all_execs : Executor.t array;
   mutable dropped : int;
   mutable arrivals : int;
-  mutable queue_full_retries : int;
-  mutable forward_cb : (Request.t -> unit) option;
-  mutable forwarded_out : int;
-  mutable received_in : int;
-  mutable tracer : Trace.t option;
-  core_busy_ps : float array;
 }
 
-(* Address-space regions for the control-plane lines. Continuation notify
-   lines recycle modulo 64 Ki so the directory stays bounded. *)
-let orch_region = 1 lsl 45
-let exec_queue_region = 1 lsl 46
-let cont_region = 1 lsl 44
-let cont_line cid = cont_region + (cid mod 65536 * 64)
-
-(* Dispatch-loop instruction budgets. *)
-let dispatch_instrs = 36
-let per_scan_instrs = 4
-let backoff = Time.of_ns 200.0
-
-let engine t = t.engine
-let config t = t.cfg
-let app t = t.app
-let hw t = t.hw
-let privlib t = t.priv
-let runtime t = t.rt
-let on_root_complete t f = t.root_cb <- f
-let executor_count t = Array.length t.all_execs
-let orchestrator_count t = Array.length t.orchs
-let dispatch_count t = t.dispatch_count
-let dispatch_ns_total t = t.dispatch_ns
-let completed_roots t = t.completed
-let live_continuations t = t.live_conts
-let dropped_requests t = t.dropped
-let arrivals t = t.arrivals
-let queue_full_retries t = t.queue_full_retries
-let set_forward t cb = t.forward_cb <- cb
-let set_tracer t tr = t.tracer <- tr
-let charge_core t core ns = t.core_busy_ps.(core) <- t.core_busy_ps.(core) +. (ns *. 1000.0)
-
-let core_busy_ns t ~core = t.core_busy_ps.(core) /. 1000.0
-
-(* Mean utilization of the orchestrator and executor cores over the
-   simulated span so far. *)
-let utilization t =
-  let now_ps = float_of_int (Engine.now t.engine) in
-  if now_ps <= 0.0 then (0.0, 0.0)
-  else begin
-    let orch_sum = ref 0.0 and exec_sum = ref 0.0 in
-    Array.iter (fun o -> orch_sum := !orch_sum +. t.core_busy_ps.(o.ocore)) t.orchs;
-    Array.iter (fun e -> exec_sum := !exec_sum +. t.core_busy_ps.(e.ecore)) t.all_execs;
-    ( !orch_sum /. now_ps /. float_of_int (Array.length t.orchs),
-      !exec_sum /. now_ps /. float_of_int (Array.length t.all_execs) )
-  end
-
-let trace t ~kind ~req ~core ?dur_ns () =
-  match t.tracer with
-  | None -> ()
-  | Some tr ->
-      let dur_ps =
-        match dur_ns with Some ns -> int_of_float (ns *. 1000.0) | None -> 0
-      in
-      Trace.emit tr
-        ~at_ps:(Engine.now t.engine)
-        ~kind ~req_id:req.Request.id
-        ~root_id:req.Request.root.Request.root_id
-        ~fn:req.Request.fn_name ~core ~dur_ps ()
-let forwarded_out t = t.forwarded_out
-let received_in t = t.received_in
-
-(* Network costs for cross-server forwarding: NIC + wire + switch one way,
-   plus a per-byte serialization/copy cost (no zero copy across servers). *)
-let net_one_way_ns = 2500.0
-let net_per_byte_ns = 0.05
-
 (* External queues are capped like a NIC ring: beyond this the server sheds
-   load instead of buffering unboundedly (keeps overloaded simulations
-   bounded; dropped requests are never measured). *)
+   load instead of buffering unboundedly; dropped requests are never measured. *)
 let external_queue_cap = 32768
 
-let fresh_req_id t =
-  let id = t.next_req_id in
-  t.next_req_id <- id + 1;
-  id
+let engine t = t.ctx.Executor.engine
+let config t = t.cfg
+let app t = t.ctx.Executor.app
+let hw t = t.ctx.Executor.hw
+let privlib t = t.priv
+let runtime t = t.ctx.Executor.rt
+let netmodel t = t.cfg.net
+let on_root_complete t f = t.ctx.Executor.root_cb <- f
+let executor_count t = Array.length t.all_execs
+let orchestrator_count t = Array.length t.orchs
+let dispatch_count t = t.ctx.Executor.dispatch_count
+let dispatch_ns_total t = t.ctx.Executor.dispatch_ns
+let completed_roots t = t.ctx.Executor.completed
+let live_continuations t = t.ctx.Executor.live_conts
+let dropped_requests t = t.dropped
+let arrivals t = t.arrivals
+let queue_full_retries t = t.ctx.Executor.queue_full_retries
+let set_forward t cb = t.ctx.Executor.forward_cb <- cb
+let set_tracer t tr = t.ctx.Executor.tracer <- tr
+let forwarded_out t = t.ctx.Executor.forwarded_out
+let received_in t = t.ctx.Executor.received_in
+let core_busy_ns t ~core = t.ctx.Executor.core_busy_ps.(core) /. 1000.0
 
-let add_cost (root : Request.root) (c : Runtime.cost) =
-  root.Request.isolation_ns <- root.Request.isolation_ns +. c.Runtime.isolation_ns;
-  root.Request.comm_ns <- root.Request.comm_ns +. c.Runtime.comm_ns
-
-(* --- Executor side --- *)
-
-let rec exec_poll t exec (_ : Engine.t) =
-  if not exec.ebusy then begin
-    if not (Queue.is_empty exec.ready) then resume_cont t exec (Queue.pop exec.ready)
-    else
-      match Bounded_queue.dequeue exec.equeue ~memsys:t.memsys ~core:exec.ecore with
-      | Some (req, deq_ns) -> start_request t exec req ~deq_ns
-      | None -> ()
-  end
-
-and start_request t exec req ~deq_ns =
-  exec.ebusy <- true;
-  trace t ~kind:Trace.Start ~req ~core:exec.ecore ();
-  let fn = Model.find_fn t.app req.Request.fn_name in
-  let pd, state_va, cost =
-    Runtime.setup t.rt ~core:exec.ecore ~fn ~argbuf:req.Request.argbuf
-      ~arg_bytes:req.Request.arg_bytes
-  in
-  add_cost req.Request.root cost;
-  req.Request.root.Request.comm_ns <- req.Request.root.Request.comm_ns +. deq_ns;
-  let cid = t.next_cid in
-  t.next_cid <- cid + 1;
-  t.live_conts <- t.live_conts + 1;
-  let cont =
-    {
-      cid;
-      req;
-      fn;
-      phases = fn.Model.make_phases t.prng;
-      pd;
-      state_va;
-      home = exec;
-      outstanding = 0;
-      wait_kind = Wait_none;
-      status = `Running;
-      to_reap = [];
-      cookies = Hashtbl.create 4;
-      done_children = Hashtbl.create 4;
-    }
-  in
-  advance t exec cont ~dt0:(Runtime.total cost +. deq_ns)
-
-and resume_cont t exec cont =
-  exec.ebusy <- true;
-  trace t ~kind:Trace.Resume ~req:cont.req ~core:exec.ecore ();
-  exec.suspended <- exec.suspended - 1;
-  cont.status <- `Running;
-  let root = cont.req.Request.root in
-  (* Reap completed children executor-side (PD 0) before re-entering. *)
-  let dt = ref 0.0 in
-  List.iter
-    (fun (va, bytes) ->
-      let c = Runtime.reap_argbuf t.rt ~core:exec.ecore ~pd:cont.pd ~va ~bytes in
-      add_cost root c;
-      dt := !dt +. Runtime.total c)
-    cont.to_reap;
-  cont.to_reap <- [];
-  let c = Runtime.resume t.rt ~core:exec.ecore ~pd:cont.pd in
-  add_cost root c;
-  advance t exec cont ~dt0:(!dt +. Runtime.total c)
-
-(* Run the continuation until it suspends or finishes, accumulating the
-   segment's latency [dt]; schedule the segment-end event. *)
-and advance t exec cont ~dt0 =
-  let now = Engine.now t.engine in
-  let root = cont.req.Request.root in
-  let dt = ref dt0 in
-  let finished = ref false in
-  let suspended = ref false in
-  let continue = ref true in
-  while !continue do
-    match cont.phases with
-    | [] ->
-        continue := false;
-        finished := true
-    | Model.Compute ns :: rest ->
-        cont.phases <- rest;
-        root.Request.exec_ns <- root.Request.exec_ns +. ns;
-        let c =
-          Runtime.touch_working_set t.rt ~core:exec.ecore ~pd:cont.pd ~fn:cont.fn
-            ~state_va:cont.state_va
-        in
-        add_cost root c;
-        dt := !dt +. ns +. Runtime.total c
-    | Model.Invoke { target; arg_bytes; mode; cookie } :: rest ->
-        cont.phases <- rest;
-        let va, c1 = Runtime.make_argbuf t.rt ~core:exec.ecore ~bytes:arg_bytes in
-        let c2 = Runtime.invoke_send t.rt ~core:exec.ecore ~bytes:arg_bytes in
-        (* Returning from the runtime's call gates refetches the caller's
-           code region (I-VLB pressure on tiny VLBs). *)
-        let c3 =
-          Runtime.touch_working_set t.rt ~core:exec.ecore ~pd:cont.pd ~fn:cont.fn
-            ~state_va:cont.state_va
-        in
-        add_cost root (Runtime.( ++ ) (Runtime.( ++ ) c1 c2) c3);
-        dt := !dt +. Runtime.total c1 +. Runtime.total c2 +. Runtime.total c3;
-        let child =
-          Request.make_child ~id:(fresh_req_id t) ~parent:cont.req ~fn_name:target
-            ~arg_bytes
-        in
-        child.Request.argbuf <- va;
-        child.Request.on_complete <- Some (child_completed t cont child);
-        (match cookie with
-        | Some c -> Hashtbl.replace cont.cookies c child.Request.id
-        | None -> ());
-        cont.outstanding <- cont.outstanding + 1;
-        (* Hand the request to this executor's orchestrator: one line write
-           into the internal queue, then an arrival event. *)
-        let orch =
-          match exec.my_orch with
-          | Some o -> o
-          | None -> invalid_arg "Server: executor not wired to an orchestrator"
-        in
-        let wr = Jord_arch.Memsys.write t.memsys ~core:exec.ecore ~addr:orch.int_line in
-        root.Request.dispatch_ns <- root.Request.dispatch_ns +. wr;
-        dt := !dt +. wr;
-        let arrival = Time.(now + Time.of_ns !dt) in
-        Engine.schedule_at t.engine ~time:arrival (internal_arrival t orch child);
-        (match mode with
-        | Model.Async -> ()
-        | Model.Sync ->
-            cont.wait_kind <- Wait_child child.Request.id;
-            let c = Runtime.suspend t.rt ~core:exec.ecore ~pd:cont.pd in
-            add_cost root c;
-            dt := !dt +. Runtime.total c;
-            suspended := true;
-            continue := false)
-    | Model.Wait :: rest ->
-        if cont.outstanding = 0 && cont.to_reap = [] then cont.phases <- rest
-        else begin
-          cont.phases <- rest;
-          cont.wait_kind <- Wait_all;
-          let c = Runtime.suspend t.rt ~core:exec.ecore ~pd:cont.pd in
-          add_cost root c;
-          dt := !dt +. Runtime.total c;
-          suspended := true;
-          continue := false
-        end
-    | Model.Wait_for cookie :: rest -> (
-        cont.phases <- rest;
-        (* Listing 1's wait(c): block only if that specific async child is
-           still outstanding. Unknown cookies are a no-op. *)
-        match Hashtbl.find_opt cont.cookies cookie with
-        | None -> ()
-        | Some child_id ->
-            if not (Hashtbl.mem cont.done_children child_id) then begin
-              cont.wait_kind <- Wait_child child_id;
-              let c = Runtime.suspend t.rt ~core:exec.ecore ~pd:cont.pd in
-              add_cost root c;
-              dt := !dt +. Runtime.total c;
-              suspended := true;
-              continue := false
-            end)
-    | Model.Scratch bytes :: rest ->
-        cont.phases <- rest;
-        let c = Runtime.scratch t.rt ~core:exec.ecore ~bytes in
-        add_cost root c;
-        dt := !dt +. Runtime.total c
-  done;
-  trace t ~kind:Trace.Segment ~req:cont.req ~core:exec.ecore ~dur_ns:!dt ();
-  charge_core t exec.ecore !dt;
-  let at = Time.(now + Time.of_ns !dt) in
-  if !finished then Engine.schedule_at t.engine ~time:at (finish_cont t exec cont)
-  else if !suspended then begin
-    trace t ~kind:Trace.Suspend ~req:cont.req ~core:exec.ecore ();
-    Engine.schedule_at t.engine ~time:at (suspend_cont t exec cont)
-  end
-
-and suspend_cont t exec cont engine =
-  exec.suspended <- exec.suspended + 1;
-  (* If every awaited child already completed during the segment (the
-     completion event cleared [wait_kind]), the continuation is immediately
-     ready again. *)
-  let ready =
-    match cont.wait_kind with
-    | Wait_none -> true
-    | Wait_all -> cont.outstanding = 0
-    | Wait_child _ -> false
-  in
-  if ready then begin
-    cont.status <- `Ready;
-    Queue.push cont exec.ready
-  end
-  else cont.status <- `Suspended;
-  exec.ebusy <- false;
-  exec_poll t exec engine
-
-and finish_cont t exec cont engine =
-  let now = Engine.now engine in
-  trace t ~kind:Trace.Complete ~req:cont.req ~core:exec.ecore ();
-  let req = cont.req in
-  let root = req.Request.root in
-  let c =
-    Runtime.teardown t.rt ~core:exec.ecore ~fn:cont.fn ~pd:cont.pd
-      ~state_va:cont.state_va ~argbuf:req.Request.argbuf
-  in
-  add_cost root c;
-  t.live_conts <- t.live_conts - 1;
-  let dt = Runtime.total c in
-  (* Completion notification: a line write under Jord, a pipe message under
-     NightCore — the sender only pays the send side; delivery takes the full
-     message latency. *)
-  let notify_busy, notify_lat, notify_charge =
-    if Variant.uses_pipes t.cfg.variant then begin
-      let pipe = (Runtime.nc t.rt).Jord_baseline.Nightcore.pipe in
-      let send = Jord_baseline.Pipe.sender_ns pipe ~bytes:64 in
-      let full = Jord_baseline.Pipe.message_ns pipe ~bytes:64 ~wake:true in
-      (send, full, full)
-    end
-    else begin
-      let addr =
-        match req.Request.on_complete with
-        | Some _ -> cont_line cont.cid
-        | None -> (
-            match exec.my_orch with
-            | Some o -> o.notify_line
-            | None -> invalid_arg "Server: executor not wired")
-      in
-      let wr = Jord_arch.Memsys.write t.memsys ~core:exec.ecore ~addr in
-      (wr, wr, wr)
-    end
-  in
-  root.Request.comm_ns <- root.Request.comm_ns +. notify_charge;
-  (match req.Request.on_complete with
-  | Some f when req.Request.forwarded ->
-      (* Forwarded request: the response travels back over the network; the
-         local ArgBuf is reclaimed here, and the origin-side buffer is
-         restored before the parent reaps it. *)
-      (match exec.my_orch with
-      | Some o ->
-          o.reclaim <- (req.Request.argbuf, req.Request.arg_bytes) :: o.reclaim;
-          (* Wake the orchestrator so the buffer is reclaimed even when no
-             further dispatches are pending on this server. *)
-          Engine.schedule_at t.engine ~time:now (fun eng ->
-              if not o.obusy then begin
-                o.obusy <- true;
-                dispatch_one t o eng
-              end)
-      | None -> ());
-      let resp = net_one_way_ns +. (net_per_byte_ns *. 256.0) in
-      root.Request.comm_ns <- root.Request.comm_ns +. resp;
-      req.Request.argbuf <- req.Request.home_argbuf;
-      let at = Time.(now + Time.of_ns (dt +. notify_lat +. resp)) in
-      Engine.schedule_at t.engine ~time:at (fun e -> f e notify_lat)
-  | Some f ->
-      (* Internal request: notify the parent's executor. *)
-      let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
-      Engine.schedule_at t.engine ~time:at (fun e -> f e notify_lat)
-  | None ->
-      (* External request: notify the orchestrator and finish measurement. *)
-      let orch =
-        match exec.my_orch with
-        | Some o -> o
-        | None -> invalid_arg "Server: executor not wired"
-      in
-      let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
-      orch.reclaim <- (req.Request.argbuf, req.Request.arg_bytes) :: orch.reclaim;
-      Engine.schedule_at t.engine ~time:at (fun eng ->
-          root.Request.completed_at <- at;
-          root.Request.finished <- true;
-          t.completed <- t.completed + 1;
-          t.root_cb root;
-          (* Wake the orchestrator so the finished ArgBuf gets reclaimed
-             even when no further dispatches are pending. *)
-          if not orch.obusy then begin
-            orch.obusy <- true;
-            dispatch_one t orch eng
-          end));
-  charge_core t exec.ecore (dt +. notify_busy);
-  (* The executor is free again once teardown and the send are done. *)
-  Engine.schedule_at t.engine ~time:Time.(now + Time.of_ns (dt +. notify_busy)) (fun e ->
-      exec.ebusy <- false;
-      exec_poll t exec e)
-
-and child_completed t parent child engine (_notify_ns : float) =
-  parent.outstanding <- parent.outstanding - 1;
-  Hashtbl.replace parent.done_children child.Request.id ();
-  parent.to_reap <- (child.Request.argbuf, child.Request.arg_bytes) :: parent.to_reap;
-  let was_waiting_for_this =
-    match parent.wait_kind with
-    | Wait_child id -> id = child.Request.id
-    | Wait_all -> parent.outstanding = 0
-    | Wait_none -> false
-  in
-  if was_waiting_for_this then parent.wait_kind <- Wait_none;
-  match parent.status with
-  | `Suspended when was_waiting_for_this ->
-      parent.status <- `Ready;
-      Queue.push parent parent.home.ready;
-      if not parent.home.ebusy then exec_poll t parent.home engine
-  | `Suspended | `Running | `Ready -> ()
-
-(* --- Orchestrator side --- *)
-
-and internal_arrival t orch req engine =
-  req.Request.enqueued_at <- Engine.now engine;
-  Queue.push req orch.internal_q;
-  if not orch.obusy then begin
-    orch.obusy <- true;
-    dispatch_one t orch engine
-  end
-
-and pick_request t orch =
-  match orch.pending with
-  | Some req ->
-      orch.pending <- None;
-      Some (req, 0.0)
-  | None ->
-      (* Deadlock freedom (paper §3.3): internal requests go first, so
-         executors waiting on children always make progress. The ablation
-         flag reverses the order to demonstrate why it matters. *)
-      let internal_first =
-        if t.cfg.internal_priority then not (Queue.is_empty orch.internal_q)
-        else Queue.is_empty orch.external_q && not (Queue.is_empty orch.internal_q)
-      in
-      if internal_first then begin
-        let req = Queue.pop orch.internal_q in
-        let deq = Jord_arch.Memsys.read t.memsys ~core:orch.ocore ~addr:orch.int_line in
-        if req.Request.forwarded && req.Request.argbuf = 0 then begin
-          (* Arrived from another server: land the payload in a local
-             ArgBuf (network copy, no zero-copy across machines). *)
-          let va, c =
-            Runtime.external_input t.rt ~core:orch.ocore ~bytes:req.Request.arg_bytes
-          in
-          req.Request.argbuf <- va;
-          add_cost req.Request.root c;
-          let copy = net_per_byte_ns *. float_of_int req.Request.arg_bytes in
-          req.Request.root.Request.comm_ns <-
-            req.Request.root.Request.comm_ns +. copy;
-          Some (req, deq +. Runtime.total c +. copy)
-        end
-        else Some (req, deq)
-      end
-      else if not (Queue.is_empty orch.external_q) then begin
-        let req = Queue.pop orch.external_q in
-        let deq = Jord_arch.Memsys.read t.memsys ~core:orch.ocore ~addr:orch.ext_line in
-        (* Materialize the external payload into an ArgBuf. *)
-        let va, c = Runtime.external_input t.rt ~core:orch.ocore ~bytes:req.Request.arg_bytes in
-        req.Request.argbuf <- va;
-        add_cost req.Request.root c;
-        Some (req, deq +. Runtime.total c)
-      end
-      else None
-
-(* JBSQ scan: read every managed executor's queue-length line. Misses
-   overlap (memory-level parallelism): the worst one at full latency, the
-   rest at a quarter; hits are pipelined loads. *)
-and jbsq_scan t orch =
-  let hit_ns = ref 0.0 and misses = ref [] in
-  let scanned = ref 0 in
-  let lengths i =
-    let e = orch.execs.(i) in
-    let lat =
-      Jord_arch.Memsys.read t.memsys ~core:orch.ocore
-        ~addr:(Bounded_queue.len_addr e.equeue)
+(* Mean orchestrator / executor core utilization over the simulated span. *)
+let utilization t =
+  let busy = t.ctx.Executor.core_busy_ps in
+  let now_ps = float_of_int (Engine.now t.ctx.Executor.engine) in
+  if now_ps <= 0.0 then (0.0, 0.0)
+  else
+    let orch_sum = ref 0.0 and exec_sum = ref 0.0 in
+    let () =
+      Array.iter (fun o -> orch_sum := !orch_sum +. busy.(o.Orchestrator.core)) t.orchs;
+      Array.iter (fun e -> exec_sum := !exec_sum +. busy.(e.Executor.core)) t.all_execs
     in
-    if lat <= 0.6 then hit_ns := !hit_ns +. lat else misses := lat :: !misses;
-    Bounded_queue.length e.equeue
-  in
-  let full i = Bounded_queue.is_full orch.execs.(i).equeue in
-  let choice =
-    Policy.pick t.cfg.policy ~prng:t.prng ~cursor:orch.rr_cursor ~lengths ~full
-      ~n:(Array.length orch.execs) ~scanned
-  in
-  let scan_ns =
-    !hit_ns
-    +.
-    (* Independent loads overlap: the worst miss is fully exposed, the rest
-       partially. Cross-socket transfers (long wire latency over deeply
-       pipelined links) overlap more than intra-socket ones. *)
-    match List.sort (fun a b -> compare b a) !misses with
-    | [] -> 0.0
-    | worst :: rest ->
-        worst
-        +. List.fold_left
-             (fun acc lat -> acc +. (lat *. if lat > 400.0 then 0.1 else 0.25))
-             0.0 rest
-  in
-  let instr_ns =
-    Jord_vm.Hw.instr_ns t.hw (dispatch_instrs + (per_scan_instrs * !scanned))
-  in
-  (choice, scan_ns, instr_ns)
-
-and reclaim_argbufs t orch n =
-  let ns = ref 0.0 in
-  let rec go n =
-    if n > 0 then
-      match orch.reclaim with
-      | [] -> ()
-      | (va, bytes) :: rest ->
-          orch.reclaim <- rest;
-          if va <> 0 then begin
-            let c = Runtime.release_argbuf t.rt ~core:orch.ocore ~va ~bytes in
-            ns := !ns +. Runtime.total c
-          end;
-          go (n - 1)
-  in
-  go n;
-  !ns
-
-and dispatch_one t orch engine =
-  let now = Engine.now engine in
-  match pick_request t orch with
-  | None ->
-      (* Going idle: release any finished root ArgBufs first. *)
-      let reclaim_ns = reclaim_argbufs t orch max_int in
-      if reclaim_ns > 0.0 then
-        Engine.schedule t.engine ~after:(Time.of_ns reclaim_ns) (fun eng ->
-            if not (Queue.is_empty orch.internal_q) || not (Queue.is_empty orch.external_q)
-            then dispatch_one t orch eng
-            else orch.obusy <- false)
-      else orch.obusy <- false
-  | Some (req, intake_ns) ->
-      let root = req.Request.root in
-      let choice, scan_ns, instr_ns = jbsq_scan t orch in
-      (match choice with
-      | None -> (
-          root.Request.dispatch_ns <- root.Request.dispatch_ns +. scan_ns +. instr_ns;
-          t.dispatch_ns <- t.dispatch_ns +. scan_ns +. instr_ns;
-          orch.pending_retries <- orch.pending_retries + 1;
-          t.queue_full_retries <- t.queue_full_retries + 1;
-          match t.forward_cb with
-          | Some forward
-            when orch.pending_retries > t.cfg.forward_after
-                 && req.Request.depth > 0
-                 && not (Variant.uses_pipes t.cfg.variant) ->
-              (* This server cannot serve the internal request: ship it to
-                 another worker server over the network (paper 3.3). *)
-              orch.pending_retries <- 0;
-              t.forwarded_out <- t.forwarded_out + 1;
-              trace t ~kind:Trace.Forward ~req ~core:orch.ocore ();
-              (* Only the first hop records the origin ArgBuf; on a re-hop
-                 the intermediate copy is reclaimed locally. *)
-              if not req.Request.forwarded then begin
-                req.Request.forwarded <- true;
-                req.Request.home_argbuf <- req.Request.argbuf
-              end
-              else if req.Request.argbuf <> 0 then
-                orch.reclaim <-
-                  (req.Request.argbuf, req.Request.arg_bytes) :: orch.reclaim;
-              req.Request.argbuf <- 0;
-              let send =
-                net_one_way_ns +. (net_per_byte_ns *. float_of_int req.Request.arg_bytes)
-              in
-              root.Request.dispatch_ns <- root.Request.dispatch_ns +. send;
-              forward req;
-              Engine.schedule t.engine ~after:(Time.of_ns send) (dispatch_one t orch)
-          | Some _ | None ->
-              (* Hold the request and retry after a beat. *)
-              orch.pending <- Some req;
-              Engine.schedule t.engine ~after:backoff (dispatch_one t orch))
-      | Some i ->
-          orch.pending_retries <- 0;
-          trace t ~kind:Trace.Dispatch ~req ~core:orch.ocore ();
-          let e = orch.execs.(i) in
-          let enq_ns = Bounded_queue.enqueue e.equeue ~memsys:t.memsys ~core:orch.ocore req in
-          (* NightCore ships the request over a pipe: the dispatcher only
-             pays the write syscall; the receiver-side copy-out and futex
-             wakeup delay the worker instead. *)
-          let pipe_send, pipe_wake =
-            if Variant.uses_pipes t.cfg.variant then
-              let pipe = (Runtime.nc t.rt).Jord_baseline.Nightcore.pipe in
-              ( Jord_baseline.Pipe.sender_ns pipe ~bytes:64,
-                Jord_baseline.Pipe.message_ns pipe ~bytes:64 ~wake:true
-                -. Jord_baseline.Pipe.sender_ns pipe ~bytes:64 )
-            else (0.0, 0.0)
-          in
-          let disp = scan_ns +. instr_ns +. enq_ns +. pipe_send +. pipe_wake in
-          root.Request.dispatch_ns <- root.Request.dispatch_ns +. disp;
-          t.dispatch_count <- t.dispatch_count + 1;
-          t.dispatch_ns <- t.dispatch_ns +. disp;
-          (* Reclaim up to two finished root ArgBufs, amortized into the
-             dispatch loop. *)
-          let reclaim_ns = reclaim_argbufs t orch 2 in
-          let busy = intake_ns +. scan_ns +. instr_ns +. enq_ns +. pipe_send +. reclaim_ns in
-          charge_core t orch.ocore busy;
-          let next = Time.(now + Time.of_ns busy) in
-          let seen = Time.(now + Time.of_ns (busy +. pipe_wake)) in
-          Engine.schedule_at t.engine ~time:seen (fun eng ->
-              req.Request.enqueued_at <- seen;
-              if not e.ebusy then exec_poll t e eng);
-          Engine.schedule_at t.engine ~time:next (dispatch_one t orch))
-
-(* --- Construction and submission --- *)
+    ( !orch_sum /. now_ps /. float_of_int (Array.length t.orchs),
+      !exec_sum /. now_ps /. float_of_int (Array.length t.all_execs) )
 
 let receive_forwarded t req =
-  t.received_in <- t.received_in + 1;
+  t.ctx.Executor.received_in <- t.ctx.Executor.received_in + 1;
   let orch = t.orchs.(req.Request.id mod Array.length t.orchs) in
-  internal_arrival t orch req t.engine
+  Orchestrator.internal_arrival t.ctx orch req t.ctx.Executor.engine
 
 let create ?engine cfg app =
   (match Model.validate app with
@@ -696,20 +109,35 @@ let create ?engine cfg app =
   let rt =
     Runtime.create ~variant:cfg.variant ~hw ~priv ~nc:Jord_baseline.Nightcore.default
   in
-  let block = n / cfg.orchestrators in
-  let mk_exec eid core =
+  let ctx =
     {
-      eid;
-      ecore = core;
-      equeue =
-        Bounded_queue.create ~capacity:cfg.queue_capacity
-          ~region:(exec_queue_region + (eid * Bounded_queue.region_bytes ~capacity:cfg.queue_capacity));
-      ready = Queue.create ();
-      ebusy = false;
-      my_orch = None;
-      suspended = 0;
+      Executor.variant = cfg.variant;
+      internal_priority = cfg.internal_priority;
+      forward_after = cfg.forward_after;
+      policy = cfg.policy;
+      net = cfg.net;
+      engine = (match engine with Some e -> e | None -> Engine.create ());
+      memsys;
+      hw;
+      rt;
+      app;
+      prng = Jord_util.Prng.create ~seed:cfg.seed;
+      core_busy_ps = Array.make n 0.0;
+      tracer = None;
+      next_req_id = 0;
+      next_cid = 0;
+      root_cb = (fun _ -> ());
+      completed = 0;
+      live_conts = 0;
+      dispatch_count = 0;
+      dispatch_ns = 0.0;
+      queue_full_retries = 0;
+      forward_cb = None;
+      forwarded_out = 0;
+      received_in = 0;
     }
   in
+  let block = n / cfg.orchestrators in
   let execs = ref [] in
   let next_eid = ref 0 in
   let orchs =
@@ -718,131 +146,88 @@ let create ?engine cfg app =
         let last = if oid = cfg.orchestrators - 1 then n - 1 else base + block - 1 in
         let group =
           Array.init (last - base) (fun i ->
-              let e = mk_exec !next_eid (base + 1 + i) in
+              let e =
+                Executor.create ctx ~eid:!next_eid ~core:(base + 1 + i)
+                  ~queue_capacity:cfg.queue_capacity
+              in
               incr next_eid;
               execs := e :: !execs;
               e)
         in
-        {
-          oid;
-          ocore = base;
-          execs = group;
-          external_q = Queue.create ();
-          internal_q = Queue.create ();
-          pending = None;
-          pending_retries = 0;
-          obusy = false;
-          rr_cursor = ref 0;
-          ext_line = orch_region + (oid * 4096);
-          int_line = orch_region + (oid * 4096) + 64;
-          notify_line = orch_region + (oid * 4096) + 128;
-          reclaim = [];
-        })
+        Orchestrator.create ctx ~oid ~core:base ~execs:group)
   in
   let all_execs = Array.of_list (List.rev !execs) in
-  let t =
-    {
-      cfg;
-      app;
-      engine = (match engine with Some e -> e | None -> Engine.create ());
-      memsys;
-      hw;
-      priv;
-      rt;
-      orchs;
-      all_execs;
-      prng = Jord_util.Prng.create ~seed:cfg.seed;
-      next_req_id = 0;
-      next_cid = 0;
-      root_cb = (fun _ -> ());
-      dispatch_count = 0;
-      dispatch_ns = 0.0;
-      completed = 0;
-      live_conts = 0;
-      dropped = 0;
-      arrivals = 0;
-      queue_full_retries = 0;
-      forward_cb = None;
-      forwarded_out = 0;
-      received_in = 0;
-      tracer = None;
-      core_busy_ps = Array.make n 0.0;
-    }
-  in
-  Array.iter (fun o -> Array.iter (fun e -> e.my_orch <- Some o) o.execs) orchs;
-  (* Load the application's code. *)
   List.iter (fun fn -> Runtime.register_function rt ~core:0 fn) app.Model.fns;
-  t
+  { cfg; ctx; priv; orchs; all_execs; dropped = 0; arrivals = 0 }
 
 let submit t ?entry () =
+  let ctx = t.ctx in
   t.arrivals <- t.arrivals + 1;
-  let entry = match entry with Some e -> e | None -> Model.pick_entry t.app t.prng in
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> Model.pick_entry ctx.Executor.app ctx.Executor.prng
+  in
   let arg_bytes = 512 in
   let _, req =
-    Request.make_root ~id:(fresh_req_id t) ~entry ~arrival:(Engine.now t.engine)
-      ~arg_bytes
+    Request.make_root ~id:(Executor.fresh_req_id ctx) ~entry
+      ~arrival:(Engine.now ctx.Executor.engine) ~arg_bytes
   in
   let orch = t.orchs.(req.Request.id mod Array.length t.orchs) in
-  if Queue.length orch.external_q >= external_queue_cap then begin
+  if Queue.length orch.Orchestrator.external_q >= external_queue_cap then begin
     t.dropped <- t.dropped + 1;
-    trace t ~kind:Trace.Drop ~req ~core:orch.ocore ()
+    Executor.trace ctx ~kind:Trace.Drop ~req ~core:orch.Orchestrator.core ()
   end
   else begin
-    trace t ~kind:Trace.Arrive ~req ~core:orch.ocore ();
-    Queue.push req orch.external_q;
-    if not orch.obusy then begin
-      orch.obusy <- true;
-      dispatch_one t orch t.engine
-    end
+    Executor.trace ctx ~kind:Trace.Arrive ~req ~core:orch.Orchestrator.core ();
+    Orchestrator.enqueue_external ctx orch req ctx.Executor.engine
   end
 
-let run ?until t = Engine.run ?until t.engine
-
-(* --- Telemetry --- *)
+let run ?until t = Engine.run ?until t.ctx.Executor.engine
 
 let queue_depths t =
   Array.fold_left
     (fun (sum, mx) e ->
-      let d = Bounded_queue.length e.equeue in
+      let d = Bounded_queue.length e.Executor.queue in
       (sum + d, Int.max mx d))
     (0, 0) t.all_execs
 
-(* One registry call wires the whole machine: the server's own control-plane
-   counters plus the VM, memory-system and PrivLib families underneath it. *)
+(* One registry call wires the whole machine's metric families. *)
 let register_metrics t ?(labels = []) reg =
+  let ctx = t.ctx in
   let open Jord_telemetry.Registry in
   let c name help fn = counter_fn reg ~help ~labels name fn in
   let g name help fn = gauge_fn reg ~help ~labels name fn in
   c "jord_server_arrivals_total" "External requests submitted" (fun () ->
       float_of_int t.arrivals);
   c "jord_server_dispatches_total" "JBSQ dispatch operations" (fun () ->
-      float_of_int t.dispatch_count);
+      float_of_int ctx.Executor.dispatch_count);
   c "jord_server_dispatch_ns_total" "Cumulative dispatch latency (ns)" (fun () ->
-      t.dispatch_ns);
+      ctx.Executor.dispatch_ns);
   c "jord_server_completed_total" "Root requests completed" (fun () ->
-      float_of_int t.completed);
+      float_of_int ctx.Executor.completed);
   c "jord_server_drops_total" "External requests shed (queue cap)" (fun () ->
       float_of_int t.dropped);
   c "jord_server_queue_full_retries_total"
     "Dispatch scans that found every executor queue full" (fun () ->
-      float_of_int t.queue_full_retries);
+      float_of_int ctx.Executor.queue_full_retries);
   c "jord_server_forwarded_out_total" "Internal requests shipped to another server"
-    (fun () -> float_of_int t.forwarded_out);
+    (fun () -> float_of_int ctx.Executor.forwarded_out);
   c "jord_server_received_in_total" "Forwarded requests accepted from other servers"
-    (fun () -> float_of_int t.received_in);
+    (fun () -> float_of_int ctx.Executor.received_in);
   g "jord_server_live_continuations" "Running or suspended continuations" (fun () ->
-      float_of_int t.live_conts);
+      float_of_int ctx.Executor.live_conts);
   gauge_fn reg ~help:"Deepest executor queue"
     ~labels:(labels @ [ ("agg", "max") ])
     "jord_executor_queue_depth" (fun () -> float_of_int (snd (queue_depths t)));
-  Jord_vm.Hw.register_metrics t.hw ~labels reg;
-  Jord_arch.Memsys.register_metrics t.memsys ~labels reg;
+  Jord_vm.Hw.register_metrics ctx.Executor.hw ~labels reg;
+  Jord_arch.Memsys.register_metrics ctx.Executor.memsys ~labels reg;
   Jord_privlib.Privlib.register_metrics t.priv ~labels reg
 
-(* Sampled time series over simulated time: queue depths, continuation
-   population, per-role busy fraction (a delta gauge: busy time accrued
-   since the previous tick over the tick's span), VLB occupancy. *)
+(* Sampled time series: queue depths, continuation population, per-role
+   busy fraction (a delta gauge over the tick's span), VLB occupancy. *)
 let attach_sampler t ?(labels = []) sampler =
+  let ctx = t.ctx in
   let track ?(extra = []) name fn =
     Jord_telemetry.Sampler.track sampler ~labels:(labels @ extra) name fn
   in
@@ -851,59 +236,64 @@ let attach_sampler t ?(labels = []) sampler =
       float_of_int sum /. float_of_int (Int.max 1 (Array.length t.all_execs)));
   track "jord_executor_queue_depth" ~extra:[ ("agg", "max") ] (fun () ->
       float_of_int (snd (queue_depths t)));
-  track "jord_server_live_continuations" (fun () -> float_of_int t.live_conts);
+  track "jord_server_live_continuations" (fun () ->
+      float_of_int ctx.Executor.live_conts);
   track "jord_server_suspended_continuations" (fun () ->
-      float_of_int (Array.fold_left (fun acc e -> acc + e.suspended) 0 t.all_execs));
+      float_of_int
+        (Array.fold_left (fun acc e -> acc + e.Executor.suspended) 0 t.all_execs));
   let busy_fraction cores =
-    let last_busy = ref 0.0 and last_now = ref (float_of_int (Engine.now t.engine)) in
+    let last_busy = ref 0.0
+    and last_now = ref (float_of_int (Engine.now ctx.Executor.engine)) in
     fun () ->
-      let busy = List.fold_left (fun acc c -> acc +. t.core_busy_ps.(c)) 0.0 cores in
-      let now = float_of_int (Engine.now t.engine) in
+      let busy =
+        List.fold_left (fun acc c -> acc +. ctx.Executor.core_busy_ps.(c)) 0.0 cores
+      in
+      let now = float_of_int (Engine.now ctx.Executor.engine) in
       let span = now -. !last_now and delta = busy -. !last_busy in
       last_busy := busy;
       last_now := now;
       if span <= 0.0 then 0.0
       else Float.min 1.0 (delta /. span /. float_of_int (List.length cores))
   in
-  let ocores = Array.to_list (Array.map (fun o -> o.ocore) t.orchs) in
-  let ecores = Array.to_list (Array.map (fun e -> e.ecore) t.all_execs) in
+  let ocores = Array.to_list (Array.map (fun o -> o.Orchestrator.core) t.orchs) in
+  let ecores = Array.to_list (Array.map (fun e -> e.Executor.core) t.all_execs) in
   track "jord_core_busy_fraction" ~extra:[ ("role", "orchestrator") ]
     (busy_fraction ocores);
   track "jord_core_busy_fraction" ~extra:[ ("role", "executor") ]
     (busy_fraction ecores);
   track "jord_vlb_occupancy_fraction" ~extra:[ ("vlb", "i") ] (fun () ->
-      Jord_vm.Hw.vlb_occupancy t.hw ~kind:`Instr);
+      Jord_vm.Hw.vlb_occupancy ctx.Executor.hw ~kind:`Instr);
   track "jord_vlb_occupancy_fraction" ~extra:[ ("vlb", "d") ] (fun () ->
-      Jord_vm.Hw.vlb_occupancy t.hw ~kind:`Data)
+      Jord_vm.Hw.vlb_occupancy ctx.Executor.hw ~kind:`Data)
 
-(* Worst-case dispatch microbenchmark (Fig. 14): every executor re-acquired
-   its queue-length line since the last scan, so each JBSQ read is a remote
-   cache-to-cache transfer. *)
-(* Worst-case VLB shootdown (Fig. 14): the translation is cached in every
-   core's VLB, so the VTD must invalidate all of them; the latency is the
-   round trip to the farthest core. PrivLib's code VMA — genuinely resident
-   everywhere — serves as the victim, and is re-warmed afterwards. *)
+(* Worst-case VLB shootdown (Fig. 14): the victim translation (PrivLib's
+   code VMA) is resident in every core's VLB, so the VTD invalidates all. *)
 let worst_case_shootdown_ns t =
+  let hw = t.ctx.Executor.hw in
   match Jord_privlib.Privlib.code_vma t.priv with
   | None -> 0.0
   | Some va ->
-      let cores = Jord_arch.Topology.cores (Jord_arch.Memsys.topology t.memsys) in
+      let cores =
+        Jord_arch.Topology.cores (Jord_arch.Memsys.topology t.ctx.Executor.memsys)
+      in
       for core = 0 to cores - 1 do
-        Jord_vm.Hw.warm t.hw ~core ~va ~kind:`Instr
+        Jord_vm.Hw.warm hw ~core ~va ~kind:`Instr
       done;
-      let ns = Jord_vm.Hw.shootdown t.hw ~core:0 ~va in
+      let ns = Jord_vm.Hw.shootdown hw ~core:0 ~va in
       for core = 0 to cores - 1 do
-        Jord_vm.Hw.warm t.hw ~core ~va ~kind:`Instr
+        Jord_vm.Hw.warm hw ~core ~va ~kind:`Instr
       done;
       ns
 
+(* Worst-case dispatch (Fig. 14): every queue-length line is dirty in its
+   executor's L1, so each JBSQ read is a remote cache-to-cache transfer. *)
 let worst_case_dispatch_ns t =
   let orch = t.orchs.(0) in
   Array.iter
     (fun e ->
       ignore
-        (Jord_arch.Memsys.write t.memsys ~core:e.ecore
-           ~addr:(Bounded_queue.len_addr e.equeue)))
-    orch.execs;
-  let _, scan_ns, instr_ns = jbsq_scan t orch in
+        (Jord_arch.Memsys.write t.ctx.Executor.memsys ~core:e.Executor.core
+           ~addr:(Bounded_queue.len_addr e.Executor.queue)))
+    orch.Orchestrator.execs;
+  let _, scan_ns, instr_ns = Orchestrator.jbsq_scan t.ctx orch in
   scan_ns +. instr_ns

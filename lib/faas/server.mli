@@ -8,7 +8,14 @@
     deadlock freedom), and report completion back to the orchestrator. All
     control-plane memory traffic (queue lines, VTEs, free lists, ArgBufs)
     goes through the coherence model, so dispatch and isolation costs emerge
-    from the machine rather than from constants. *)
+    from the machine rather than from constants.
+
+    This module is the composition root: it builds the shared
+    {!Executor.ctx} (hardware, runtime, app, counters), instantiates
+    {!Orchestrator}s over their {!Executor} groups, and owns submission
+    and telemetry. The behavior itself lives in {!Continuation},
+    {!Executor}, {!Orchestrator} and {!Netmodel} — see
+    [docs/architecture.md] for the map. *)
 
 type config = {
   variant : Variant.t;
@@ -27,6 +34,9 @@ type config = {
       (** All-queues-full retries before an internal request is forwarded to
           another worker server (requires {!set_forward}); [max_int]
           disables forwarding. *)
+  net : Netmodel.t;
+      (** Cross-server network cost model, shared with {!Cluster} so wire
+          and serialization constants have a single source of truth. *)
 }
 
 val default_config : config
@@ -46,6 +56,7 @@ val app : t -> Model.app
 val hw : t -> Jord_vm.Hw.t
 val privlib : t -> Jord_privlib.Privlib.t
 val runtime : t -> Runtime.t
+val netmodel : t -> Netmodel.t
 
 val submit : t -> ?entry:string -> unit -> unit
 (** Inject one external request at the current simulated time. The entry

@@ -2,38 +2,62 @@ type t = {
   queue : (t -> unit) Event_queue.t;
   mutable now : Time.t;
   mutable processed : int;
+  mutable cancelled : int;
 }
 
-let create () = { queue = Event_queue.create (); now = Time.zero; processed = 0 }
+type handle = Event_queue.handle
+
+let none_handle = Event_queue.none_handle
+let create () = { queue = Event_queue.create (); now = Time.zero; processed = 0; cancelled = 0 }
 let now t = t.now
 
-let schedule_at t ~time f =
+let schedule_at_handle t ~time f =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
   Event_queue.push t.queue ~time f
 
-let schedule t ~after f =
+let schedule_handle t ~after f =
   if after < 0 then invalid_arg "Engine.schedule: negative delay";
   Event_queue.push t.queue ~time:Time.(t.now + after) f
 
+let schedule_at t ~time f = ignore (schedule_at_handle t ~time f : handle)
+let schedule t ~after f = ignore (schedule_handle t ~after f : handle)
+
+let cancel t h =
+  let ok = Event_queue.cancel t.queue h in
+  if ok then t.cancelled <- t.cancelled + 1;
+  ok
+
+let reschedule t h ~time =
+  if time < t.now then invalid_arg "Engine.reschedule: time in the past";
+  Event_queue.reschedule t.queue h ~time
+
+let pending_handle t h = Event_queue.holds t.queue h
+
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.now <- time;
-      t.processed <- t.processed + 1;
-      f t;
-      true
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time = Event_queue.min_time_exn t.queue in
+    let f = Event_queue.pop_exn t.queue in
+    t.now <- time;
+    t.processed <- t.processed + 1;
+    f t;
+    true
+  end
 
 let run ?until t =
-  let continue () =
-    match until, Event_queue.peek_time t.queue with
-    | _, None -> false
-    | None, Some _ -> true
-    | Some limit, Some next -> next <= limit
-  in
-  while continue () do
-    ignore (step t)
-  done
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        if Event_queue.is_empty t.queue then continue := false
+        else if Event_queue.min_time_exn t.queue > limit then continue := false
+        else ignore (step t : bool)
+      done;
+      (* The run covered the whole window: observers (utilization, samplers)
+         must see the horizon they asked for, not the last event's stamp. *)
+      if t.now < limit then t.now <- limit
 
 let pending t = Event_queue.length t.queue
 let processed t = t.processed
+let cancelled t = t.cancelled

@@ -1,10 +1,24 @@
 (** Discrete-event simulation engine.
 
     Entities schedule closures at absolute or relative simulated times; the
-    engine runs them in timestamp order. Time only advances between events,
-    so a callback observes a consistent [now]. *)
+    engine runs them in timestamp order (FIFO among equal timestamps). Time
+    only advances between events, so a callback observes a consistent
+    [now].
+
+    Scheduling is allocation-free in the engine itself: the event heap
+    stores closures in recycled slots (see {!Event_queue}), so hot loops
+    that reuse a pre-built closure — the orchestrator dispatch loop, the
+    executor poll loop — put no per-event pressure on the GC. The
+    [_handle] variants return a {!handle} with which a pending event can be
+    cancelled or moved. *)
 
 type t
+
+type handle
+(** Names one pending event; stale after the event fires or is cancelled. *)
+
+val none_handle : handle
+(** Never names a live event; [cancel]/[reschedule] on it return [false]. *)
 
 val create : unit -> t
 
@@ -18,9 +32,29 @@ val schedule : t -> after:Time.t -> (t -> unit) -> unit
 val schedule_at : t -> time:Time.t -> (t -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
 
+val schedule_handle : t -> after:Time.t -> (t -> unit) -> handle
+val schedule_at_handle : t -> time:Time.t -> (t -> unit) -> handle
+(** As {!schedule} / {!schedule_at}, returning a handle for {!cancel} /
+    {!reschedule}. *)
+
+val cancel : t -> handle -> bool
+(** Remove a pending event. [false] if it already fired or was cancelled
+    (stale handles are always safe to pass). *)
+
+val reschedule : t -> handle -> time:Time.t -> bool
+(** Move a pending event to absolute [time >= now], keeping its handle
+    valid; among events at the new instant it fires last, as a fresh push
+    would. [false] on a stale handle. *)
+
+val pending_handle : t -> handle -> bool
+(** Is this handle's event still queued? *)
+
 val run : ?until:Time.t -> t -> unit
 (** Process events in order until the queue drains, or until simulated time
-    would exceed [until] (remaining events are left unprocessed). *)
+    would exceed [until] (remaining events are left unprocessed). When
+    [until] is given, [now] ends at exactly [max now until] even if the
+    queue drained earlier — the run is defined to cover the whole window,
+    so busy fractions computed against [now] use the true horizon. *)
 
 val step : t -> bool
 (** Process a single event; [false] if the queue was empty. *)
@@ -30,3 +64,6 @@ val pending : t -> int
 
 val processed : t -> int
 (** Total number of events executed so far. *)
+
+val cancelled : t -> int
+(** Total number of events removed via {!cancel}. *)

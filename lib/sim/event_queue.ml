@@ -1,27 +1,78 @@
-type 'a entry = { time : Time.t; seq : int; payload : 'a }
+(* Indexed binary min-heap over (time, seq) with stable handles.
+
+   The heap is a structure of arrays — times, seqs and slot ids in parallel
+   int arrays — so pushing an event allocates nothing once the backing
+   arrays are warm. Payloads live in a side table indexed by slot id; a
+   handle packs the slot id with the slot's generation so a handle held
+   across the event's pop (or a cancel) goes stale instead of touching a
+   recycled slot. pos_of maps slot id -> current heap position, which is
+   what makes cancel and reschedule O(log n) instead of a scan. *)
+
+type handle = int
+
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+let none_handle = -1
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  (* Heap order: position i holds (times.(i), seqs.(i), slots.(i)). *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable slots : int array;
   mutable size : int;
   mutable next_seq : int;
-  mutable dummy : 'a entry option; (* slot filler for the backing array *)
+  (* Slot tables, indexed by slot id < slots_used. *)
+  mutable payloads : 'a array; (* [||] until the first push *)
+  mutable gens : int array;
+  mutable pos_of : int array; (* -1 when the slot is free *)
+  mutable free : int array; (* stack of recycled slot ids *)
+  mutable free_top : int;
+  mutable slots_used : int;
+  mutable dummy : 'a option; (* slot filler so popped payloads can be GC'd *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    slots = [||];
+    size = 0;
+    next_seq = 0;
+    payloads = [||];
+    gens = [||];
+    pos_of = [||];
+    free = [||];
+    free_top = 0;
+    slots_used = 0;
+    dummy = None;
+  }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let less t i j =
+  t.times.(i) < t.times.(j) || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+(* Overwrite heap position [dst] with the entry at [src]. *)
+let move t ~src ~dst =
+  t.times.(dst) <- t.times.(src);
+  t.seqs.(dst) <- t.seqs.(src);
+  let s = t.slots.(src) in
+  t.slots.(dst) <- s;
+  t.pos_of.(s) <- dst
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) and seq = t.seqs.(i) and slot = t.slots.(i) in
+  move t ~src:j ~dst:i;
+  t.times.(j) <- time;
+  t.seqs.(j) <- seq;
+  t.slots.(j) <- slot;
+  t.pos_of.(slot) <- j
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.heap.(i) t.heap.(parent) then begin
+    if less t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -30,48 +81,171 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let grow t entry =
-  let cap = Array.length t.heap in
+let grow_int_array a n =
+  let b = Array.make n 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_heap_capacity t =
+  let cap = Array.length t.times in
   if t.size = cap then begin
     let ncap = Int.max 16 (cap * 2) in
-    let heap = Array.make ncap entry in
-    Array.blit t.heap 0 heap 0 t.size;
-    t.heap <- heap
+    t.times <- grow_int_array t.times ncap;
+    t.seqs <- grow_int_array t.seqs ncap;
+    t.slots <- grow_int_array t.slots ncap
   end
 
-let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
+let ensure_slot_capacity t filler =
+  let cap = Array.length t.gens in
+  if t.slots_used = cap then begin
+    let ncap = Int.max 16 (cap * 2) in
+    if ncap > slot_mask + 1 then invalid_arg "Event_queue: too many pending events";
+    let payloads = Array.make ncap filler in
+    Array.blit t.payloads 0 payloads 0 t.slots_used;
+    t.payloads <- payloads;
+    t.gens <- grow_int_array t.gens ncap;
+    let pos_of = Array.make ncap (-1) in
+    Array.blit t.pos_of 0 pos_of 0 t.slots_used;
+    t.pos_of <- pos_of;
+    t.free <- grow_int_array t.free ncap
+  end
+
+let alloc_slot t v =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    let s = t.free.(t.free_top) in
+    t.payloads.(s) <- v;
+    s
+  end
+  else begin
+    ensure_slot_capacity t v;
+    let s = t.slots_used in
+    t.slots_used <- s + 1;
+    t.payloads.(s) <- v;
+    s
+  end
+
+let free_slot t s =
+  t.gens.(s) <- t.gens.(s) + 1;
+  t.pos_of.(s) <- (-1);
+  (match t.dummy with Some d -> t.payloads.(s) <- d | None -> ());
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
+let push t ~time v =
+  if t.dummy = None then t.dummy <- Some v;
+  ensure_heap_capacity t;
+  let s = alloc_slot t v in
+  let i = t.size in
+  t.size <- i + 1;
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
-  if t.dummy = None then t.dummy <- Some entry;
-  grow t entry;
-  t.heap.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  t.slots.(i) <- s;
+  t.pos_of.(s) <- i;
+  sift_up t i;
+  s lor (t.gens.(s) lsl slot_bits)
+
+let min_time_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.min_time_exn: empty";
+  t.times.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let s = t.slots.(0) in
+  let v = t.payloads.(s) in
+  free_slot t s;
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    move t ~src:last ~dst:0;
+    sift_down t 0
+  end;
+  v
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    (* Release the reference so the payload can be collected. *)
-    (match t.dummy with Some d -> t.heap.(t.size) <- d | None -> ());
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    let v = pop_exn t in
+    Some (time, v)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let holds t h =
+  let s = h land slot_mask and g = h lsr slot_bits in
+  h >= 0 && s < t.slots_used && t.gens.(s) = g && t.pos_of.(s) >= 0
+
+let time_of t h =
+  if holds t h then Some t.times.(t.pos_of.(h land slot_mask)) else None
+
+(* Remove the entry at heap position [pos]; its slot must already be freed
+   (or about to be re-pushed). *)
+let remove_at t pos =
+  let last = t.size - 1 in
+  t.size <- last;
+  if pos < last then begin
+    move t ~src:last ~dst:pos;
+    sift_up t pos;
+    sift_down t pos
+  end
+
+let cancel t h =
+  if not (holds t h) then false
+  else begin
+    let s = h land slot_mask in
+    let pos = t.pos_of.(s) in
+    free_slot t s;
+    remove_at t pos;
+    true
+  end
+
+let reschedule t h ~time =
+  if not (holds t h) then false
+  else begin
+    let s = h land slot_mask in
+    let pos = t.pos_of.(s) in
+    t.times.(pos) <- time;
+    (* A fresh seq: a rescheduled event fires after events already queued
+       for the same instant, as if it had just been pushed. *)
+    t.seqs.(pos) <- t.next_seq;
+    t.next_seq <- t.next_seq + 1;
+    sift_up t pos;
+    sift_down t t.pos_of.(s);
+    true
+  end
 
 let clear t =
+  for i = 0 to t.size - 1 do
+    let s = t.slots.(i) in
+    t.gens.(s) <- t.gens.(s) + 1;
+    t.pos_of.(s) <- (-1);
+    match t.dummy with Some d -> t.payloads.(s) <- d | None -> ()
+  done;
   t.size <- 0;
-  t.heap <- [||];
-  t.dummy <- None
+  t.free_top <- 0;
+  t.slots_used <- 0
+
+(* Heap-invariant check for the property tests: every child sorts after its
+   parent under (time, seq), and pos_of is the inverse of slots. *)
+let invariants_ok t =
+  let ok = ref true in
+  for i = 1 to t.size - 1 do
+    if less t i ((i - 1) / 2) then ok := false
+  done;
+  for i = 0 to t.size - 1 do
+    if t.pos_of.(t.slots.(i)) <> i then ok := false
+  done;
+  let live = ref 0 in
+  for s = 0 to t.slots_used - 1 do
+    if t.pos_of.(s) >= 0 then incr live
+  done;
+  !ok && !live = t.size

@@ -1,9 +1,10 @@
 module Time = Jord_sim.Time
 module Engine = Jord_sim.Engine
 module Server = Jord_faas.Server
+module Cluster = Jord_faas.Cluster
 
 type t = {
-  server : Server.t;
+  submit_fn : unit -> unit;
   prng : Jord_util.Prng.t;
   mean_gap_ns : float;
   stop_at : Time.t;
@@ -12,18 +13,17 @@ type t = {
 
 let rec arrival t engine =
   if Engine.now engine <= t.stop_at then begin
-    Server.submit t.server ();
+    t.submit_fn ();
     t.submitted <- t.submitted + 1;
     let gap = Jord_util.Sample.exponential t.prng ~mean:t.mean_gap_ns in
     Engine.schedule engine ~after:(Time.of_ns gap) (arrival t)
   end
 
-let start ~server ~rate_mrps ~duration ~seed =
+let start_on ~engine ~submit ~rate_mrps ~duration ~seed =
   if rate_mrps <= 0.0 then invalid_arg "Loadgen.start: rate";
-  let engine = Server.engine server in
   let t =
     {
-      server;
+      submit_fn = submit;
       prng = Jord_util.Prng.create ~seed;
       mean_gap_ns = 1000.0 /. rate_mrps;
       stop_at = Time.(Engine.now engine + duration);
@@ -33,6 +33,11 @@ let start ~server ~rate_mrps ~duration ~seed =
   let first = Jord_util.Sample.exponential t.prng ~mean:t.mean_gap_ns in
   Engine.schedule engine ~after:(Time.of_ns first) (arrival t);
   t
+
+let start ~server ~rate_mrps ~duration ~seed =
+  start_on ~engine:(Server.engine server)
+    ~submit:(fun () -> Server.submit server ())
+    ~rate_mrps ~duration ~seed
 
 let submitted t = t.submitted
 
@@ -50,3 +55,19 @@ let run ?(warmup = 2000) ?tracer ?on_server ~app ~config ~rate_mrps ~duration_us
      the measured completions already carry the queueing delay. *)
   Server.run ~until:(Time.of_us (3.0 *. duration_us)) server;
   (server, recorder)
+
+let run_cluster ?(warmup = 2000) ?on_cluster ?forward_after ~servers ~app ~config
+    ~rate_mrps ~duration_us ?(seed = 7) () =
+  let cluster = Cluster.create ?forward_after ~servers ~config app in
+  (match on_cluster with Some f -> f cluster | None -> ());
+  let recorder = Jord_metrics.Recorder.create ~warmup () in
+  Cluster.on_root_complete cluster (Jord_metrics.Recorder.observe recorder);
+  let duration = Time.of_us duration_us in
+  let (_ : t) =
+    start_on
+      ~engine:(Cluster.engine cluster)
+      ~submit:(fun () -> Cluster.submit cluster ())
+      ~rate_mrps ~duration ~seed
+  in
+  Cluster.run ~until:(Time.of_us (3.0 *. duration_us)) cluster;
+  (cluster, recorder)

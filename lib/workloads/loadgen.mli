@@ -34,3 +34,21 @@ val run :
     then drains), and return both. [on_server] runs right after the server
     is built and before any load — the hook where telemetry (a registry or
     a {!Jord_telemetry.Sampler} on the server's engine) gets attached. *)
+
+val run_cluster :
+  ?warmup:int ->
+  ?on_cluster:(Jord_faas.Cluster.t -> unit) ->
+  ?forward_after:int ->
+  servers:int ->
+  app:Jord_faas.Model.app ->
+  config:Jord_faas.Server.config ->
+  rate_mrps:float ->
+  duration_us:float ->
+  ?seed:int ->
+  unit ->
+  Jord_faas.Cluster.t * Jord_metrics.Recorder.t
+(** {!run} over a {!Jord_faas.Cluster}: [servers] workers share one engine
+    and one front-end round-robin load balancer; internal requests that
+    cannot be placed locally are forwarded after [forward_after] (default 3,
+    see {!Jord_faas.Cluster.create}) full-scan retries. [on_cluster] is the
+    telemetry hook, as [on_server] is for {!run}. *)

@@ -1,0 +1,57 @@
+(* Golden-run determinism: the seeded scenarios of Jord_exp.Golden must
+   reproduce test/golden.expected bit-for-bit. This is the refactor guard —
+   a structural change to the engine or the FaaS layers must not move a
+   single measured number. *)
+
+let expected_path () =
+  (* cwd is test/ under `dune runtest`, the workspace root under
+     `dune exec`. *)
+  if Sys.file_exists "golden.expected" then "golden.expected"
+  else Filename.concat "test" "golden.expected"
+
+let read_expected () =
+  let ic = open_in (expected_path ()) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_bit_identical () =
+  let expected = read_expected () in
+  let actual = Jord_exp.Golden.report () in
+  if String.equal expected actual then ()
+  else begin
+    (* Point at the first diverging line: far more useful than a giant
+       string diff in the Alcotest failure output. *)
+    let exp_lines = String.split_on_char '\n' expected in
+    let act_lines = String.split_on_char '\n' actual in
+    let rec first_diff i = function
+      | e :: es, a :: as_ ->
+          if String.equal e a then first_diff (i + 1) (es, as_)
+          else Some (i, e, a)
+      | e :: _, [] -> Some (i, e, "<missing>")
+      | [], a :: _ -> Some (i, "<missing>", a)
+      | [], [] -> None
+    in
+    match first_diff 1 (exp_lines, act_lines) with
+    | Some (line, e, a) ->
+        Alcotest.failf
+          "golden mismatch at line %d\n  expected: %s\n  actual:   %s\n\
+           (regenerate with `dune exec bin/golden_gen.exe > test/golden.expected` \
+           only if the change is meant to move numbers)"
+          line e a
+    | None -> Alcotest.fail "golden mismatch (whitespace only?)"
+  end
+
+let test_golden_reruns_identically () =
+  (* Two in-process runs must agree exactly: no hidden global state. *)
+  let a = Jord_exp.Golden.report () in
+  let b = Jord_exp.Golden.report () in
+  Alcotest.(check bool) "report is reproducible in-process" true (String.equal a b)
+
+let suite =
+  [
+    Alcotest.test_case "bit-identical to golden.expected" `Quick
+      test_golden_bit_identical;
+    Alcotest.test_case "re-run determinism" `Quick test_golden_reruns_identically;
+  ]

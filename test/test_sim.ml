@@ -11,9 +11,10 @@ let test_time_conversions () =
 
 let test_event_queue_order () =
   let q = Event_queue.create () in
-  Event_queue.push q ~time:300 "c";
-  Event_queue.push q ~time:100 "a";
-  Event_queue.push q ~time:200 "b";
+  let push time v = ignore (Event_queue.push q ~time v : Event_queue.handle) in
+  push 300 "c";
+  push 100 "a";
+  push 200 "b";
   let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
   Alcotest.(check string) "first" "a" (pop ());
   Alcotest.(check string) "second" "b" (pop ());
@@ -23,7 +24,7 @@ let test_event_queue_order () =
 let test_event_queue_fifo_ties () =
   let q = Event_queue.create () in
   for i = 0 to 9 do
-    Event_queue.push q ~time:42 i
+    ignore (Event_queue.push q ~time:42 i : Event_queue.handle)
   done;
   for i = 0 to 9 do
     match Event_queue.pop q with
@@ -36,7 +37,7 @@ let test_event_queue_fifo_ties () =
 let test_peek () =
   let q = Event_queue.create () in
   Alcotest.(check (option int)) "empty peek" None (Event_queue.peek_time q);
-  Event_queue.push q ~time:7 ();
+  ignore (Event_queue.push q ~time:7 () : Event_queue.handle);
   Alcotest.(check (option int)) "peek" (Some 7) (Event_queue.peek_time q);
   Alcotest.(check int) "peek does not pop" 1 (Event_queue.length q)
 
@@ -45,7 +46,7 @@ let prop_pop_sorted =
     QCheck.(list (int_bound 10_000))
     (fun times ->
       let q = Event_queue.create () in
-      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      List.iter (fun t -> ignore (Event_queue.push q ~time:t () : Event_queue.handle)) times;
       let rec drain last =
         match Event_queue.pop q with
         | None -> true
