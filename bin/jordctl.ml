@@ -52,6 +52,16 @@ let pos_int =
   in
   Arg.conv (parse, fun ppf i -> Format.fprintf ppf "%d" i)
 
+(* A fault-plan spec: preset name, key=value list, or preset + overrides. *)
+let fault_plan_conv =
+  let parse s =
+    match Jord_fault_inject.Plan.parse s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Jord_fault_inject.Plan.to_string p))
+
 (* --- run --- *)
 
 let run_cmd =
@@ -131,7 +141,37 @@ let run_cmd =
          & info [ "net-per-byte-ns" ] ~docv:"NS"
              ~doc:"Cross-server serialization/copy cost per payload byte.")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte =
+  let fault_plan =
+    Arg.(value & opt (some fault_plan_conv) None
+         & info [ "fault-plan" ] ~docv:"SPEC"
+             ~doc:"Inject deterministic faults: a preset (none, ci-smoke, mild, harsh), a \
+                   key=value list (crash=0.01,loss=0.2,seed=7), or a preset with \
+                   overrides (ci-smoke,loss=0.5). Same seed and plan reproduce the \
+                   same failures.")
+  in
+  let deadline_us =
+    Arg.(value & opt (some pos_float) None
+         & info [ "deadline-us" ] ~docv:"US"
+             ~doc:"Shed external requests still queued after US microseconds \
+                   (counted and traced as timeouts; default: no deadline).")
+  in
+  let retry_base_us =
+    Arg.(value & opt pos_float 0.2
+         & info [ "retry-base-us" ] ~docv:"US"
+             ~doc:"Base backoff for dispatch holds and transfer retries.")
+  in
+  let retry_cap =
+    Arg.(value & opt int 0
+         & info [ "retry-cap" ] ~docv:"N"
+             ~doc:"Cap on backoff doublings (0 keeps the historical fixed beat).")
+  in
+  let retry_max =
+    Arg.(value & opt pos_int 4
+         & info [ "retry-max" ] ~docv:"N"
+             ~doc:"Transfer attempts before a forwarded request is abandoned and \
+                   re-executed locally (clusters under a fault plan only).")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max =
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -148,7 +188,26 @@ let run_cmd =
         d_vlb_entries = dvlb;
         seed;
         net = Jord_faas.Netmodel.create ~one_way_ns:net_one_way ~per_byte_ns:net_per_byte ();
+        fault_plan;
+        recovery =
+          {
+            Jord_faas.Recovery.default with
+            deadline = Option.map Jord_sim.Time.of_us deadline_us;
+            retry_base_ns = retry_base_us *. 1000.0;
+            retry_cap = Int.max 0 retry_cap;
+            retry_max;
+          };
       }
+    in
+    let chaos_active = match fault_plan with Some p -> Jord_fault_inject.Plan.active p | None -> false in
+    (* Violated conservation invariants go to stderr and fail the run — the
+       CI chaos-smoke job relies on this exit code. *)
+    let verdict violations =
+      if chaos_active then
+        Printf.printf "invariants: %s\n"
+          (if violations = [] then "ok" else "VIOLATED");
+      List.iter (fun v -> Printf.eprintf "invariant violated: %s\n" v) violations;
+      if violations <> [] then exit 3
     in
     let t0 = Unix.gettimeofday () in
     (* Telemetry: register the whole machine in a fresh registry and ride a
@@ -237,6 +296,24 @@ let run_cmd =
             (Jord_faas.Server.received_in s)
             (100.0 *. orch_util) (100.0 *. exec_util))
         members;
+      if chaos_active then begin
+        Printf.printf "chaos: timeouts=%d crashes=%d recovered=%d stalls=%d slowdowns=%d\n"
+          (sum Jord_faas.Server.timed_out_requests)
+          (sum Jord_faas.Server.crashes)
+          (sum Jord_faas.Server.recovered)
+          (sum Jord_faas.Server.stalls)
+          (sum Jord_faas.Server.slowdowns);
+        match Jord_faas.Cluster.net_stats cluster with
+        | Some s ->
+            Printf.printf
+              "net: xfers=%d copies=%d lost=%d dup-dropped=%d retries=%d abandoned=%d marked-dead=%d\n"
+              s.Jord_faas.Cluster.xfers s.Jord_faas.Cluster.wire_copies
+              s.Jord_faas.Cluster.lost s.Jord_faas.Cluster.dup_dropped
+              s.Jord_faas.Cluster.retries s.Jord_faas.Cluster.abandoned
+              s.Jord_faas.Cluster.peers_marked_dead
+        | None -> ()
+      end;
+      verdict (Jord_faas.Cluster.check_invariants cluster);
       Printf.printf "[simulated %d events in %.1fs wall]\n"
         (Jord_sim.Engine.processed (Jord_faas.Cluster.engine cluster))
         (Unix.gettimeofday () -. t0)
@@ -281,6 +358,14 @@ let run_cmd =
         (Jord_vm.Hw.shootdown_count hw)
         (Jord_vm.Hw.shootdown_ns_total hw
         /. float_of_int (Int.max 1 (Jord_vm.Hw.shootdown_count hw)));
+      if chaos_active then
+        Printf.printf "chaos: timeouts=%d crashes=%d recovered=%d stalls=%d slowdowns=%d\n"
+          (Jord_faas.Server.timed_out_requests server)
+          (Jord_faas.Server.crashes server)
+          (Jord_faas.Server.recovered server)
+          (Jord_faas.Server.stalls server)
+          (Jord_faas.Server.slowdowns server);
+      verdict (Jord_faas.Server.check_invariants server);
       Printf.printf "[simulated %d events in %.1fs wall]\n"
         (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
         (Unix.gettimeofday () -. t0)
@@ -292,7 +377,8 @@ let run_cmd =
       const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
       $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ metrics_out
       $ metrics_format $ sample_us $ servers $ forward_after $ net_one_way
-      $ net_per_byte)
+      $ net_per_byte $ fault_plan $ deadline_us $ retry_base_us $ retry_cap
+      $ retry_max)
 
 (* --- stats --- *)
 

@@ -1,8 +1,186 @@
+module Engine = Jord_sim.Engine
+module Time = Jord_sim.Time
+module Plan = Jord_fault_inject.Plan
+module Injector = Jord_fault_inject.Injector
+module Invariant = Jord_fault_inject.Invariant
+
+type peer_health = {
+  mutable consecutive_timeouts : int;
+  mutable dead_until : Time.t;  (** Quarantined until; [Time.zero] = healthy. *)
+}
+
+type net_stats = {
+  mutable xfers : int;
+  mutable wire_copies : int;
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable dup_dropped : int;
+  mutable delivered : int;
+  mutable acked : int;
+  mutable retries : int;
+  mutable abandoned : int;
+  mutable no_healthy_peer : int;
+  mutable peers_marked_dead : int;
+}
+
+(* One forwarded request in flight: attempts, the ack-timeout timer, and
+   the current target (re-picked on retry, so a dead peer is routed
+   around). *)
+type xfer = {
+  xid : int;
+  req : Request.t;
+  src : int;
+  mutable target : int;
+  mutable attempt : int;
+  mutable timer : Engine.handle;
+  mutable closed : bool;
+}
+
+type chaos = {
+  inj : Injector.t;
+  recovery : Recovery.t;
+  stats : net_stats;
+  health : peer_health array array;  (** [health.(src).(dst)]. *)
+  seen : (int, unit) Hashtbl.t array;  (** Per-target delivered transfer ids. *)
+  mutable next_xid : int;
+  mutable pending_xfers : int;
+  mutable on_retry_backoff : float -> unit;
+}
+
 type t = {
   engine : Jord_sim.Engine.t;
   servers : Server.t array;
+  net : Netmodel.t;
+  chaos : chaos option;
   mutable rr : int;
 }
+
+(* --- chaos transport: ack-and-timeout retry over a faulty wire ---
+
+   Data copies are subject to loss/duplication/jitter; acks are modelled
+   as reliable and jitter-free control traffic. The ack timeout strictly
+   exceeds [2 * one_way + max_jitter], so by the time a timer fires every
+   surviving copy has been delivered and acked — a timeout therefore
+   proves total loss, which is what makes retrying (and eventually
+   re-executing locally) safe from double execution. Receivers deduplicate
+   by transfer id, so a duplicated wire copy can never deliver twice. *)
+
+let one_way_ns t = Netmodel.one_way_ns t.net
+
+let timeout_ns t ch =
+  (2.0 *. one_way_ns t) +. Injector.max_jitter_ns ch.inj
+  +. ch.recovery.Recovery.retry_base_ns
+
+(* First non-quarantined peer in ring order after [src]; when every peer is
+   quarantined, fall back to the ring successor (the transfer probes it). *)
+let pick_peer t ch ~src ~now =
+  let n = Array.length t.servers in
+  let rec go k =
+    if k >= n then None
+    else
+      let j = (src + k) mod n in
+      if now >= ch.health.(src).(j).dead_until then Some j else go (k + 1)
+  in
+  match go 1 with
+  | Some j -> j
+  | None ->
+      ch.stats.no_healthy_peer <- ch.stats.no_healthy_peer + 1;
+      (src + 1) mod n
+
+let ack t ch xfer =
+  if not xfer.closed then begin
+    xfer.closed <- true;
+    ch.pending_xfers <- ch.pending_xfers - 1;
+    ignore (Engine.cancel t.engine xfer.timer);
+    ch.stats.acked <- ch.stats.acked + 1;
+    let h = ch.health.(xfer.src).(xfer.target) in
+    h.consecutive_timeouts <- 0;
+    h.dead_until <- Time.zero
+  end
+
+let deliver t ch xfer =
+  let tgt = xfer.target in
+  if Hashtbl.mem ch.seen.(tgt) xfer.xid then begin
+    ch.stats.dup_dropped <- ch.stats.dup_dropped + 1;
+    Server.note_duplicate t.servers.(tgt) xfer.req
+  end
+  else begin
+    Hashtbl.add ch.seen.(tgt) xfer.xid ();
+    ch.stats.delivered <- ch.stats.delivered + 1;
+    Server.receive_forwarded t.servers.(tgt) xfer.req;
+    Engine.schedule t.engine ~after:(Netmodel.one_way t.net) (fun _ -> ack t ch xfer)
+  end
+
+let rec send_attempt t ch xfer =
+  xfer.attempt <- xfer.attempt + 1;
+  let w = Injector.draw_wire ch.inj in
+  ch.stats.wire_copies <- ch.stats.wire_copies + 1;
+  if w.Injector.lost then ch.stats.lost <- ch.stats.lost + 1
+  else
+    Engine.schedule t.engine
+      ~after:(Time.of_ns (one_way_ns t +. w.Injector.jitter_ns))
+      (fun _ -> deliver t ch xfer);
+  if w.Injector.duplicated then begin
+    ch.stats.wire_copies <- ch.stats.wire_copies + 1;
+    ch.stats.duplicated <- ch.stats.duplicated + 1;
+    Engine.schedule t.engine
+      ~after:(Time.of_ns (one_way_ns t +. w.Injector.dup_jitter_ns))
+      (fun _ -> deliver t ch xfer)
+  end;
+  xfer.timer <-
+    Engine.schedule_handle t.engine
+      ~after:(Time.of_ns (timeout_ns t ch))
+      (fun _ -> on_timeout t ch xfer)
+
+and on_timeout t ch xfer =
+  if not xfer.closed then begin
+    let now = Engine.now t.engine in
+    let h = ch.health.(xfer.src).(xfer.target) in
+    h.consecutive_timeouts <- h.consecutive_timeouts + 1;
+    if
+      h.consecutive_timeouts >= ch.recovery.Recovery.health_threshold
+      && now >= h.dead_until
+    then begin
+      (* Quarantine the peer; after probe_us one transfer may probe it. *)
+      h.dead_until <- Time.(now + Time.of_us ch.recovery.Recovery.probe_us);
+      ch.stats.peers_marked_dead <- ch.stats.peers_marked_dead + 1
+    end;
+    if xfer.attempt >= ch.recovery.Recovery.retry_max then begin
+      (* Give up on the wire: every copy was provably lost, so the source
+         re-executes the request locally (no double execution possible). *)
+      xfer.closed <- true;
+      ch.pending_xfers <- ch.pending_xfers - 1;
+      ch.stats.abandoned <- ch.stats.abandoned + 1;
+      Server.note_forward_abandoned t.servers.(xfer.src) xfer.req;
+      Server.receive_forwarded t.servers.(xfer.src) xfer.req
+    end
+    else begin
+      ch.stats.retries <- ch.stats.retries + 1;
+      let back = Recovery.backoff_ns ch.recovery (xfer.attempt - 1) in
+      ch.on_retry_backoff back;
+      xfer.target <- pick_peer t ch ~src:xfer.src ~now;
+      Engine.schedule t.engine ~after:(Time.of_ns back) (fun _ ->
+          send_attempt t ch xfer)
+    end
+  end
+
+let start_xfer t ch ~src req =
+  let now = Engine.now t.engine in
+  let xfer =
+    {
+      xid = ch.next_xid;
+      req;
+      src;
+      target = pick_peer t ch ~src ~now;
+      attempt = 0;
+      timer = Engine.none_handle;
+      closed = false;
+    }
+  in
+  ch.next_xid <- ch.next_xid + 1;
+  ch.stats.xfers <- ch.stats.xfers + 1;
+  ch.pending_xfers <- ch.pending_xfers + 1;
+  send_attempt t ch xfer
 
 let create ?(forward_after = 3) ~servers:n ~config app =
   if n < 1 then invalid_arg "Cluster.create";
@@ -15,19 +193,63 @@ let create ?(forward_after = 3) ~servers:n ~config app =
   let servers = Array.init n (fun i ->
       Server.create ~engine { config with Server.seed = config.Server.seed + i } app)
   in
-  (* Forward to the next server in the ring; delivery after the wire
-     latency. *)
-  Array.iteri
-    (fun i server ->
-      if n > 1 then
-        Server.set_forward server
-          (Some
-             (fun req ->
-               let target = servers.((i + 1) mod n) in
-               Jord_sim.Engine.schedule engine ~after:net_one_way (fun _ ->
-                   Server.receive_forwarded target req))))
-    servers;
-  { engine; servers; rr = 0 }
+  let chaos =
+    match config.Server.fault_plan with
+    | None -> None
+    | Some plan ->
+        Some
+          {
+            inj = Injector.create ~salt:7919 plan;
+            recovery = config.Server.recovery;
+            stats =
+              {
+                xfers = 0;
+                wire_copies = 0;
+                lost = 0;
+                duplicated = 0;
+                dup_dropped = 0;
+                delivered = 0;
+                acked = 0;
+                retries = 0;
+                abandoned = 0;
+                no_healthy_peer = 0;
+                peers_marked_dead = 0;
+              };
+            health =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ ->
+                      { consecutive_timeouts = 0; dead_until = Time.zero }));
+            seen = Array.init n (fun _ -> Hashtbl.create 256);
+            next_xid = 0;
+            pending_xfers = 0;
+            on_retry_backoff = (fun _ -> ());
+          }
+  in
+  let t = { engine; servers; net = config.Server.net; chaos; rr = 0 } in
+  (match chaos with
+  | None ->
+      (* Fault-free wire: forward to the next server in the ring,
+         fire-and-forget, delivery after the wire latency — byte-identical
+         to the historical (golden) behaviour. *)
+      Array.iteri
+        (fun i server ->
+          if n > 1 then
+            Server.set_forward server
+              (Some
+                 (fun req ->
+                   let target = servers.((i + 1) mod n) in
+                   Jord_sim.Engine.schedule engine ~after:net_one_way (fun _ ->
+                       Server.receive_forwarded target req))))
+        servers
+  | Some ch ->
+      (* Chaos wire: health-aware peer choice, ack-and-timeout retries with
+         capped exponential backoff, local re-execution after retry_max. *)
+      Array.iteri
+        (fun i server ->
+          if n > 1 then
+            Server.set_forward server (Some (fun req -> start_xfer t ch ~src:i req)))
+        servers);
+  t
 
 let engine t = t.engine
 let servers t = t.servers
@@ -44,13 +266,69 @@ let run ?until t = Jord_sim.Engine.run ?until t.engine
 let forwarded t =
   Array.fold_left (fun acc s -> acc + Server.forwarded_out s) 0 t.servers
 
+let net_stats t = Option.map (fun ch -> ch.stats) t.chaos
+let pending_transfers t = match t.chaos with Some ch -> ch.pending_xfers | None -> 0
+
+let conservation t =
+  Array.fold_left
+    (fun acc s -> Invariant.add acc (Server.conservation s))
+    Invariant.zero t.servers
+
+let check_invariants t =
+  let tally = conservation t in
+  let errs = ref (Invariant.check tally) in
+  let fail fmt = Printf.ksprintf (fun m -> errs := !errs @ [ m ]) fmt in
+  (match t.chaos with
+  | None -> ()
+  | Some ch ->
+      let s = ch.stats in
+      if s.xfers <> s.acked + s.abandoned + ch.pending_xfers then
+        fail "transfer balance: %d transfers but %d acked + %d abandoned + %d pending"
+          s.xfers s.acked s.abandoned ch.pending_xfers;
+      if tally.Invariant.drained then begin
+        if ch.pending_xfers <> 0 then
+          fail "drained but %d transfers still pending" ch.pending_xfers;
+        if s.wire_copies <> s.lost + s.delivered + s.dup_dropped then
+          fail "wire balance: %d copies but %d lost + %d delivered + %d deduplicated"
+            s.wire_copies s.lost s.delivered s.dup_dropped
+      end);
+  !errs
+
 (* Per-server instances of every family, distinguished by a server=<i>
    label (the observability layer's instance convention). *)
 let register_metrics t ?(labels = []) reg =
   Array.iteri
     (fun i s ->
       Server.register_metrics s ~labels:(labels @ [ ("server", string_of_int i) ]) reg)
-    t.servers
+    t.servers;
+  match t.chaos with
+  | None -> ()
+  | Some ch ->
+      let open Jord_telemetry.Registry in
+      let s = ch.stats in
+      let c name help fn =
+        counter_fn reg ~help ~labels name (fun () -> float_of_int (fn ()))
+      in
+      c "jord_net_transfers_total" "Forwarded transfers started" (fun () -> s.xfers);
+      c "jord_net_wire_copies_total" "Wire copies sent (retries + duplicates)"
+        (fun () -> s.wire_copies);
+      c "jord_net_lost_total" "Wire copies lost" (fun () -> s.lost);
+      c "jord_net_duplicated_total" "Wire copies duplicated in flight" (fun () ->
+          s.duplicated);
+      c "jord_net_dup_dropped_total" "Duplicate deliveries deduplicated" (fun () ->
+          s.dup_dropped);
+      c "jord_net_retries_total" "Transfer retries after an ack timeout" (fun () ->
+          s.retries);
+      c "jord_net_abandoned_total" "Transfers given up and re-executed locally"
+        (fun () -> s.abandoned);
+      c "jord_net_peers_marked_dead_total"
+        "Peer quarantines after consecutive timeouts" (fun () ->
+          s.peers_marked_dead);
+      let backoff_h =
+        histogram reg ~help:"Transfer retry backoff intervals (ns)" ~labels
+          "jord_net_retry_backoff_ns"
+      in
+      ch.on_retry_backoff <- (fun ns -> Hist.observe backoff_h ns)
 
 let attach_sampler t ?(labels = []) sampler =
   Array.iteri

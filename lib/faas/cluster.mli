@@ -8,7 +8,33 @@
     into a local ArgBuf on arrival.
 
     External requests are spread across servers round-robin (a front-end
-    load balancer). *)
+    load balancer).
+
+    With a fault plan installed ([config.fault_plan <> None]) the wire
+    becomes faulty — copies may be lost, duplicated or jittered — and the
+    transport switches from fire-and-forget to at-least-once delivery:
+    each transfer is acked by the receiver, retried with capped
+    exponential backoff on ack timeout, rerouted away from peers with
+    [recovery.health_threshold] consecutive timeouts (quarantined until a
+    probe interval elapses), and after [recovery.retry_max] failed
+    attempts re-executed locally by the sender. Receivers deduplicate by
+    transfer id, and the ack timeout strictly exceeds the worst-case
+    round trip, so no request ever executes twice. Without a fault plan
+    the historical fire-and-forget path runs bit-identically. *)
+
+type net_stats = {
+  mutable xfers : int;  (** Transfers started (forwarded requests). *)
+  mutable wire_copies : int;  (** Copies put on the wire (retries, dups). *)
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable dup_dropped : int;  (** Deliveries deduplicated at the receiver. *)
+  mutable delivered : int;
+  mutable acked : int;
+  mutable retries : int;
+  mutable abandoned : int;  (** Gave up after retry_max; re-executed locally. *)
+  mutable no_healthy_peer : int;  (** Sends with every peer quarantined. *)
+  mutable peers_marked_dead : int;
+}
 
 type t
 
@@ -34,6 +60,23 @@ val run : ?until:Jord_sim.Time.t -> t -> unit
 
 val forwarded : t -> int
 (** Total requests shipped between servers. *)
+
+val net_stats : t -> net_stats option
+(** Transport counters; [None] unless a fault plan is installed (the
+    fault-free wire cannot lose anything worth counting). *)
+
+val pending_transfers : t -> int
+(** Transfers neither acked nor abandoned yet (0 once drained). *)
+
+val conservation : t -> Jord_fault_inject.Invariant.tally
+(** Cluster-wide tally: the member servers' tallies summed, so
+    forwarded/received balance is checked across the whole ring. *)
+
+val check_invariants : t -> string list
+(** {!Jord_fault_inject.Invariant.check} on the cluster-wide tally, plus
+    transport-level balance (transfers = acked + abandoned + pending;
+    once drained, wire copies = lost + delivered + deduplicated and no
+    transfer pending). [[]] = all hold. *)
 
 val register_metrics :
   t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit

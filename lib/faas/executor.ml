@@ -29,6 +29,17 @@ type ctx = {
   mutable forward_cb : (Request.t -> unit) option;
   mutable forwarded_out : int;
   mutable received_in : int;
+  recovery : Recovery.t;
+  fault : Jord_fault_inject.Injector.t option;
+  mutable timed_out : int;
+  mutable in_flight : int;
+  mutable crashes : int;
+  mutable recovered : int;
+  mutable stalls : int;
+  mutable slowdowns : int;
+  mutable forward_abandoned : int;
+  mutable queue_wait_ns : float;
+  mutable on_retry_backoff : float -> unit;
 }
 
 (* Everything an executor needs from its orchestrator, as closures — this
@@ -55,6 +66,9 @@ type t = {
   mutable up : uplink option;
   mutable release_fn : Engine.t -> unit;
       (** Pre-built "teardown done, poll again" closure (hot path). *)
+  mutable down_until : Time.t;
+      (** Crashed-executor restart horizon; orchestrators treat the
+          executor as full until it passes ([Time.zero] when healthy). *)
 }
 
 (* Executor queues live in their own address-space region. *)
@@ -73,7 +87,7 @@ let fresh_req_id ctx =
 let charge_core ctx core ns =
   ctx.core_busy_ps.(core) <- ctx.core_busy_ps.(core) +. (ns *. 1000.0)
 
-let trace ctx ~kind ~req ~core ?dur_ns () =
+let trace ctx ~kind ~req ~core ?dur_ns ?detail () =
   match ctx.tracer with
   | None -> ()
   | Some tr ->
@@ -84,7 +98,7 @@ let trace ctx ~kind ~req ~core ?dur_ns () =
         ~at_ps:(Engine.now ctx.engine)
         ~kind ~req_id:req.Request.id
         ~root_id:req.Request.root.Request.root_id
-        ~fn:req.Request.fn_name ~core ~dur_ps ()
+        ~fn:req.Request.fn_name ~core ~dur_ps ?detail ()
 
 let add_cost (root : Request.root) (c : Runtime.cost) =
   root.Request.isolation_ns <- root.Request.isolation_ns +. c.Runtime.isolation_ns;
@@ -101,23 +115,97 @@ let rec poll ctx e (_ : Engine.t) =
 
 and start_request ctx e req ~deq_ns =
   e.busy <- true;
-  trace ctx ~kind:Trace.Start ~req ~core:e.core ();
+  let root = req.Request.root in
+  (* Executor-queue wait since the dispatch stamp (pure accounting). *)
+  let wait_ns =
+    Float.max 0.0 (Time.to_ns Time.(Engine.now ctx.engine - req.Request.enqueued_at))
+  in
+  root.Request.queue_ns <- root.Request.queue_ns +. wait_ns;
+  ctx.queue_wait_ns <- ctx.queue_wait_ns +. wait_ns;
+  match ctx.fault with
+  | Some inj when Jord_fault_inject.Injector.draw_crash inj ->
+      crash_request ctx e inj req ~deq_ns
+  | _ ->
+      trace ctx ~kind:Trace.Start ~req ~core:e.core ();
+      let fn = Model.find_fn ctx.app req.Request.fn_name in
+      let pd, state_va, cost =
+        Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
+          ~arg_bytes:req.Request.arg_bytes
+      in
+      add_cost root cost;
+      (* Injected anomalies: a transient stall before the first segment and
+         a PrivLib slowdown scaling the setup's cost. Zero when no plan. *)
+      let fault_ns =
+        match ctx.fault with
+        | None -> 0.0
+        | Some inj ->
+            let stall = Jord_fault_inject.Injector.draw_stall_ns inj in
+            if stall > 0.0 then ctx.stalls <- ctx.stalls + 1;
+            let factor = Jord_fault_inject.Injector.draw_slow_factor inj in
+            let slow =
+              if factor > 1.0 then (factor -. 1.0) *. Runtime.total cost else 0.0
+            in
+            if slow > 0.0 then begin
+              ctx.slowdowns <- ctx.slowdowns + 1;
+              add_cost root { Runtime.isolation_ns = slow; comm_ns = 0.0 }
+            end;
+            stall +. slow
+      in
+      root.Request.comm_ns <- root.Request.comm_ns +. deq_ns;
+      let cid = ctx.next_cid in
+      ctx.next_cid <- cid + 1;
+      ctx.live_conts <- ctx.live_conts + 1;
+      let cont =
+        Continuation.make ~cid ~req ~fn
+          ~phases:(fn.Model.make_phases ctx.prng)
+          ~pd ~state_va ~home:e
+      in
+      advance ctx e cont ~dt0:(Runtime.total cost +. deq_ns +. fault_ns)
+
+(* An injected executor crash at invocation start: the fault hits after
+   setup, the runtime rolls the PD back Groundhog-style (ArgBuf preserved),
+   and the crashed request — plus everything queued behind it — is
+   re-queued through the orchestrator for re-execution on a healthy
+   executor. The executor itself stays down for the plan's restart window. *)
+and crash_request ctx e inj req ~deq_ns =
+  let now = Engine.now ctx.engine in
+  ctx.crashes <- ctx.crashes + 1;
+  let root = req.Request.root in
   let fn = Model.find_fn ctx.app req.Request.fn_name in
   let pd, state_va, cost =
     Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
       ~arg_bytes:req.Request.arg_bytes
   in
-  add_cost req.Request.root cost;
-  req.Request.root.Request.comm_ns <- req.Request.root.Request.comm_ns +. deq_ns;
-  let cid = ctx.next_cid in
-  ctx.next_cid <- cid + 1;
-  ctx.live_conts <- ctx.live_conts + 1;
-  let cont =
-    Continuation.make ~cid ~req ~fn
-      ~phases:(fn.Model.make_phases ctx.prng)
-      ~pd ~state_va ~home:e
+  add_cost root cost;
+  let ab =
+    Runtime.abort ctx.rt ~core:e.core ~fn ~pd ~state_va ~argbuf:req.Request.argbuf
   in
-  advance ctx e cont ~dt0:(Runtime.total cost +. deq_ns)
+  add_cost root ab;
+  root.Request.comm_ns <- root.Request.comm_ns +. deq_ns;
+  trace ctx ~kind:Trace.Crash ~req ~core:e.core ~detail:"executor" ();
+  let dt = deq_ns +. Runtime.total cost +. Runtime.total ab in
+  charge_core ctx e.core dt;
+  e.down_until <- Time.(now + Time.of_ns (dt +. Jord_fault_inject.Injector.restart_ns inj));
+  let up = uplink e in
+  let requeue r =
+    ctx.recovered <- ctx.recovered + 1;
+    trace ctx ~kind:Trace.Recover ~req:r ~core:e.core ();
+    up.submit_internal ~at:e.down_until r
+  in
+  requeue req;
+  let rec drain () =
+    match Bounded_queue.dequeue e.queue ~memsys:ctx.memsys ~core:e.core with
+    | Some (r, _) ->
+        requeue r;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* [busy] stays set (suspended continuations survive the crash untouched
+     but nothing new starts) until the restart event clears it. *)
+  Engine.schedule_at ctx.engine ~time:e.down_until (fun eng ->
+      e.busy <- false;
+      poll ctx e eng)
 
 and resume_cont ctx e (cont : t Continuation.t) =
   e.busy <- true;
@@ -309,6 +397,7 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
           root.Request.completed_at <- at;
           root.Request.finished <- true;
           ctx.completed <- ctx.completed + 1;
+          ctx.in_flight <- ctx.in_flight - 1;
           ctx.root_cb root;
           (* Wake the orchestrator so the finished ArgBuf gets reclaimed
              even when no further dispatches are pending. *)
@@ -349,6 +438,7 @@ let create ctx ~eid ~core ~queue_capacity =
         (fun eng ->
           e.busy <- false;
           poll ctx e eng);
+      down_until = Time.zero;
     }
   in
   e

@@ -41,6 +41,24 @@ type ctx = {
   mutable forward_cb : (Request.t -> unit) option;
   mutable forwarded_out : int;
   mutable received_in : int;
+  recovery : Recovery.t;  (** Deadline / retry-backoff / health policy. *)
+  fault : Jord_fault_inject.Injector.t option;
+      (** The seeded fault stream; [None] (no plan) keeps every fault-free
+          code path bit-identical to the golden runs. *)
+  mutable timed_out : int;  (** External roots shed past their deadline. *)
+  mutable in_flight : int;  (** Accepted roots not yet completed or shed. *)
+  mutable crashes : int;  (** Injected executor crashes. *)
+  mutable recovered : int;  (** Requests re-queued after a crash. *)
+  mutable stalls : int;  (** Injected executor stalls. *)
+  mutable slowdowns : int;  (** Injected PrivLib slowdowns. *)
+  mutable forward_abandoned : int;
+      (** Forwarded transfers given up after [recovery.retry_max] attempts
+          and re-executed locally. *)
+  mutable queue_wait_ns : float;
+      (** Cumulative orchestrator- plus executor-queue wait. *)
+  mutable on_retry_backoff : float -> unit;
+      (** Observation hook for retry-backoff intervals (telemetry wires a
+          histogram here; defaults to a no-op). *)
 }
 
 type uplink = {
@@ -64,6 +82,9 @@ type t = {
   mutable up : uplink option;  (** Installed by {!Orchestrator.create}. *)
   mutable release_fn : Engine.t -> unit;
       (** Pre-built "teardown done, poll again" closure (hot path). *)
+  mutable down_until : Time.t;
+      (** Crashed-executor restart horizon; orchestrators treat the
+          executor as full until it passes ([Time.zero] when healthy). *)
 }
 
 val create : ctx -> eid:int -> core:int -> queue_capacity:int -> t
@@ -85,6 +106,7 @@ val trace :
   req:Request.t ->
   core:int ->
   ?dur_ns:float ->
+  ?detail:string ->
   unit ->
   unit
 

@@ -7,7 +7,6 @@ let orch_region = 1 lsl 45
 (* Dispatch-loop instruction budgets. *)
 let dispatch_instrs = 36
 let per_scan_instrs = 4
-let backoff = Time.of_ns 200.0
 
 type t = {
   oid : int;
@@ -35,7 +34,29 @@ type t = {
   mutable idle_fn : Engine.t -> unit;
 }
 
+(* Deadline policy: shed external roots that can no longer meet their
+   deadline before spending dispatch work on them. Internal (depth > 0)
+   requests are never shed — a waiting parent must always be unblocked. *)
+let shed_expired (ctx : Executor.ctx) t =
+  match ctx.Executor.recovery.Recovery.deadline with
+  | None -> ()
+  | Some d ->
+      let now = Engine.now ctx.Executor.engine in
+      let rec go () =
+        match Queue.peek_opt t.external_q with
+        | Some req when Time.(now - req.Request.root.Request.arrival) > d ->
+            ignore (Queue.pop t.external_q);
+            ctx.Executor.timed_out <- ctx.Executor.timed_out + 1;
+            ctx.Executor.in_flight <- ctx.Executor.in_flight - 1;
+            Executor.trace ctx ~kind:Trace.Timeout ~req ~core:t.core
+              ~detail:"deadline" ();
+            go ()
+        | Some _ | None -> ()
+      in
+      go ()
+
 let pick_request (ctx : Executor.ctx) t =
+  shed_expired ctx t;
   match t.pending with
   | Some req ->
       t.pending <- None;
@@ -138,6 +159,14 @@ let dispatch_one (ctx : Executor.ctx) t engine =
       else t.busy <- false
   | Some (req, intake_ns) ->
       let root = req.Request.root in
+      (* Queueing-time accounting: credit the wait since the last stamp and
+         re-stamp now, so a held or re-hopped request leaves every hop with
+         a fresh [enqueued_at] and never double counts a wait (bugfix: the
+         forward path used to ship requests with a stale stamp). *)
+      let wait_ns = Float.max 0.0 (Time.to_ns Time.(now - req.Request.enqueued_at)) in
+      root.Request.queue_ns <- root.Request.queue_ns +. wait_ns;
+      ctx.queue_wait_ns <- ctx.queue_wait_ns +. wait_ns;
+      req.Request.enqueued_at <- now;
       let choice, scan_ns, instr_ns = jbsq_scan ctx t in
       (match choice with
       | None -> (
@@ -169,9 +198,16 @@ let dispatch_one (ctx : Executor.ctx) t engine =
               forward req;
               Engine.schedule ctx.engine ~after:(Time.of_ns send) t.dispatch_fn
           | Some _ | None ->
-              (* Hold the request and retry after a beat. *)
+              (* Hold the request and retry after a backoff beat: capped
+                 exponential in the consecutive full scans; the default
+                 cap of 0 keeps the historical fixed 200 ns beat. *)
+              let back =
+                Recovery.backoff_ns ctx.Executor.recovery (t.pending_retries - 1)
+              in
+              ctx.on_retry_backoff back;
+              Executor.trace ctx ~kind:Trace.Retry ~req ~core:t.core ();
               t.pending <- Some req;
-              Engine.schedule ctx.engine ~after:backoff t.dispatch_fn)
+              Engine.schedule ctx.engine ~after:(Time.of_ns back) t.dispatch_fn)
       | Some i ->
           t.pending_retries <- 0;
           Executor.trace ctx ~kind:Trace.Dispatch ~req ~core:t.core ();
@@ -260,7 +296,12 @@ let create (ctx : Executor.ctx) ~oid ~core ~execs =
       if lat <= 0.6 then t.scan_hit_ns <- t.scan_hit_ns +. lat
       else t.scan_misses <- lat :: t.scan_misses;
       Bounded_queue.length e.Executor.queue);
-  t.scan_full <- (fun i -> Bounded_queue.is_full t.execs.(i).Executor.queue);
+  t.scan_full <-
+    (fun i ->
+      let e = t.execs.(i) in
+      (* A crashed executor reads as full until its restart horizon. *)
+      Bounded_queue.is_full e.Executor.queue
+      || Engine.now ctx.engine < e.Executor.down_until);
   t.dispatch_fn <- (fun eng -> dispatch_one ctx t eng);
   t.wake_fn <-
     (fun eng ->

@@ -1,0 +1,24 @@
+module Time = Jord_sim.Time
+
+type t = {
+  deadline : Time.t option;
+  retry_base_ns : float;
+  retry_cap : int;
+  retry_max : int;
+  health_threshold : int;
+  probe_us : float;
+}
+
+let default =
+  {
+    deadline = None;
+    retry_base_ns = 200.0;
+    retry_cap = 0;
+    retry_max = 4;
+    health_threshold = 3;
+    probe_us = 100.0;
+  }
+
+(* ldexp keeps the default (cap = 0) bit-identical to the historical fixed
+   200 ns beat: ldexp base 0 = base exactly, no float drift. *)
+let backoff_ns t n = Float.ldexp t.retry_base_ns (Int.min (Int.max 0 n) t.retry_cap)

@@ -1,0 +1,31 @@
+(** Recovery policy knobs: deadlines, retry backoff, peer health.
+
+    The defaults reproduce the historical behaviour exactly — no deadline,
+    a fixed 200 ns retry beat ([retry_cap = 0] makes the exponential
+    backoff degenerate), so fault-free runs stay bit-identical to
+    [test/golden.expected]. *)
+
+type t = {
+  deadline : Jord_sim.Time.t option;
+      (** Per-root deadline measured from arrival; expired external
+          requests are shed at dispatch intake with a [Trace.Timeout].
+          [None] disables shedding. *)
+  retry_base_ns : float;  (** First retry/backoff interval. *)
+  retry_cap : int;
+      (** Max doublings: interval = [retry_base_ns * 2^min(n, retry_cap)].
+          0 = fixed beat (the historical behaviour). *)
+  retry_max : int;
+      (** Send attempts per forwarded transfer before the sender gives up
+          and re-executes the request locally. *)
+  health_threshold : int;
+      (** Consecutive transfer timeouts before a peer is routed around. *)
+  probe_us : float;
+      (** How long a peer stays quarantined before a probe transfer may be
+          routed to it again. *)
+}
+
+val default : t
+
+val backoff_ns : t -> int -> float
+(** [backoff_ns t n] is the interval after the [n]-th consecutive failure
+    (0-based): capped exponential, exact at the default cap. *)

@@ -8,6 +8,7 @@ type root = {
   mutable isolation_ns : float;
   mutable dispatch_ns : float;
   mutable comm_ns : float;
+  mutable queue_ns : float;
   mutable invocations : int;
 }
 
@@ -36,6 +37,7 @@ let make_root ~id ~entry ~arrival ~arg_bytes =
       isolation_ns = 0.0;
       dispatch_ns = 0.0;
       comm_ns = 0.0;
+      queue_ns = 0.0;
       invocations = 1;
     }
   in

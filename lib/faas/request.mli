@@ -16,6 +16,11 @@ type root = {
   mutable isolation_ns : float;  (** PrivLib + VLB-walk time across the tree. *)
   mutable dispatch_ns : float;  (** Orchestrator dispatch time across the tree. *)
   mutable comm_ns : float;  (** Data movement: ArgBuf accesses / pipe + shm. *)
+  mutable queue_ns : float;
+      (** Time spent waiting in orchestrator and executor queues across the
+          tree, measured between [enqueued_at] stamps — each dispatch and
+          forward hop re-stamps, so held or re-hopped requests never double
+          count a wait. *)
   mutable invocations : int;  (** Requests in the tree (root included). *)
 }
 

@@ -156,6 +156,28 @@ let teardown t ~core ~fn ~pd ~state_va ~argbuf =
       let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
       iso unmap_state ++ comm output
 
+(* Groundhog-style rollback of a crashed invocation: like [teardown] minus
+   the output write — the PD, its state VMA and the code grant are torn
+   down, but the ArgBuf goes back to PD 0 intact so the request can be
+   re-executed elsewhere from its original input. *)
+let abort t ~core ~fn ~pd ~state_va ~argbuf =
+  match t.variant with
+  | Variant.Nightcore ->
+      (* The worker thread dies; its replacement pays prep again at setup. *)
+      iso t.nc.Jord_baseline.Nightcore.worker_prep_ns
+  | Variant.Jord | Variant.Jord_bt ->
+      let ret = Pl.creturn t.priv ~core in
+      let reclaim_arg =
+        Pl.pmove t.priv ~core ~src_pd:pd ~va:argbuf ~dst_pd:0 ~perm:Vm.Perm.rw ()
+      in
+      let revoke_code =
+        Pl.mprotect t.priv ~core ~pd ~va:(code_va t fn.Model.name) ~perm:Vm.Perm.none ()
+      in
+      let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
+      let put = Pl.cput t.priv ~core ~pd in
+      iso (ret +. reclaim_arg +. revoke_code +. unmap_state +. put)
+  | Variant.Jord_ni -> iso (Pl.munmap t.priv ~core ~va:state_va)
+
 let suspend t ~core ~pd =
   match t.variant with
   | Variant.Nightcore -> iso (Jord_baseline.Nightcore.suspend_ns t.nc)

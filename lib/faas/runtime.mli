@@ -52,6 +52,12 @@ val teardown : t -> core:int -> fn:Model.fn -> pd:int -> state_va:int -> argbuf:
     ArgBuf reclaim to PD 0, code-permission revoke, stack/heap deallocation,
     PD destruction. *)
 
+val abort : t -> core:int -> fn:Model.fn -> pd:int -> state_va:int -> argbuf:int -> cost
+(** Rollback of a crashed invocation (Groundhog-style): {!teardown} minus
+    the output write — PD destroyed, state VMA freed, code grant revoked,
+    but the ArgBuf returns to PD 0 {e intact} so the request can be
+    re-executed from its original input. *)
+
 val suspend : t -> core:int -> pd:int -> cost
 (** [cexit] (or a thread block for NightCore). *)
 

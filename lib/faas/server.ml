@@ -12,6 +12,8 @@ type config = {
   internal_priority : bool;
   forward_after : int;
   net : Netmodel.t;
+  fault_plan : Jord_fault_inject.Plan.t option;
+  recovery : Recovery.t;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     internal_priority = true;
     forward_after = max_int;
     net = Netmodel.default;
+    fault_plan = None;
+    recovery = Recovery.default;
   }
 
 type t = {
@@ -37,6 +41,8 @@ type t = {
   all_execs : Executor.t array;
   mutable dropped : int;
   mutable arrivals : int;
+  pd_floor : int;  (** Live PDs right after boot (the balance baseline). *)
+  vma_floor : int;  (** Live VMAs right after boot + function registration. *)
 }
 
 (* External queues are capped like a NIC ring: beyond this the server sheds
@@ -64,7 +70,53 @@ let set_forward t cb = t.ctx.Executor.forward_cb <- cb
 let set_tracer t tr = t.ctx.Executor.tracer <- tr
 let forwarded_out t = t.ctx.Executor.forwarded_out
 let received_in t = t.ctx.Executor.received_in
+let timed_out_requests t = t.ctx.Executor.timed_out
+let in_flight t = t.ctx.Executor.in_flight
+let crashes t = t.ctx.Executor.crashes
+let recovered t = t.ctx.Executor.recovered
+let stalls t = t.ctx.Executor.stalls
+let slowdowns t = t.ctx.Executor.slowdowns
+let forward_abandoned t = t.ctx.Executor.forward_abandoned
+let queue_wait_ns_total t = t.ctx.Executor.queue_wait_ns
+
+let fault_active t =
+  match t.ctx.Executor.fault with
+  | Some inj -> Jord_fault_inject.Injector.active inj
+  | None -> false
+
 let core_busy_ns t ~core = t.ctx.Executor.core_busy_ps.(core) /. 1000.0
+
+(* Cluster-side hooks: account a transfer given up on (the request is
+   re-executed locally by the transport) and a deduplicated wire copy. *)
+let note_forward_abandoned t req =
+  let ctx = t.ctx in
+  ctx.Executor.forward_abandoned <- ctx.Executor.forward_abandoned + 1;
+  Executor.trace ctx ~kind:Trace.Drop ~req ~core:(-1) ~detail:"peer_dead" ()
+
+let note_duplicate t req =
+  Executor.trace t.ctx ~kind:Trace.Duplicate ~req ~core:(-1) ()
+
+let conservation t =
+  let ctx = t.ctx in
+  {
+    Jord_fault_inject.Invariant.arrivals = t.arrivals;
+    completed = ctx.Executor.completed;
+    dropped = t.dropped;
+    timed_out = ctx.Executor.timed_out;
+    in_flight = ctx.Executor.in_flight;
+    forwarded_out = ctx.Executor.forwarded_out;
+    received_in = ctx.Executor.received_in;
+    crashes = ctx.Executor.crashes;
+    recovered = ctx.Executor.recovered;
+    live_continuations = ctx.Executor.live_conts;
+    surplus_pds =
+      Jord_privlib.Pd.live_count (Jord_privlib.Privlib.pds t.priv) - t.pd_floor;
+    surplus_vmas =
+      Jord_vm.Vma_store.count (Jord_vm.Hw.store (hw t)) - t.vma_floor;
+    drained = Engine.pending ctx.Executor.engine = 0;
+  }
+
+let check_invariants t = Jord_fault_inject.Invariant.check (conservation t)
 
 (* Mean orchestrator / executor core utilization over the simulated span. *)
 let utilization t =
@@ -135,6 +187,22 @@ let create ?engine cfg app =
       forward_cb = None;
       forwarded_out = 0;
       received_in = 0;
+      recovery = cfg.recovery;
+      (* The fault stream is seeded by the plan, salted by the server seed
+         so cluster members sharing one plan get decorrelated schedules. *)
+      fault =
+        Option.map
+          (fun plan -> Jord_fault_inject.Injector.create ~salt:cfg.seed plan)
+          cfg.fault_plan;
+      timed_out = 0;
+      in_flight = 0;
+      crashes = 0;
+      recovered = 0;
+      stalls = 0;
+      slowdowns = 0;
+      forward_abandoned = 0;
+      queue_wait_ns = 0.0;
+      on_retry_backoff = (fun _ -> ());
     }
   in
   let block = n / cfg.orchestrators in
@@ -158,7 +226,11 @@ let create ?engine cfg app =
   in
   let all_execs = Array.of_list (List.rev !execs) in
   List.iter (fun fn -> Runtime.register_function rt ~core:0 fn) app.Model.fns;
-  { cfg; ctx; priv; orchs; all_execs; dropped = 0; arrivals = 0 }
+  (* The conservation checker measures PD/VMA leaks against the population
+     right after boot and function registration. *)
+  let pd_floor = Jord_privlib.Pd.live_count (Jord_privlib.Privlib.pds priv) in
+  let vma_floor = Jord_vm.Vma_store.count store in
+  { cfg; ctx; priv; orchs; all_execs; dropped = 0; arrivals = 0; pd_floor; vma_floor }
 
 let submit t ?entry () =
   let ctx = t.ctx in
@@ -176,9 +248,11 @@ let submit t ?entry () =
   let orch = t.orchs.(req.Request.id mod Array.length t.orchs) in
   if Queue.length orch.Orchestrator.external_q >= external_queue_cap then begin
     t.dropped <- t.dropped + 1;
-    Executor.trace ctx ~kind:Trace.Drop ~req ~core:orch.Orchestrator.core ()
+    Executor.trace ctx ~kind:Trace.Drop ~req ~core:orch.Orchestrator.core
+      ~detail:"queue_full" ()
   end
   else begin
+    ctx.Executor.in_flight <- ctx.Executor.in_flight + 1;
     Executor.trace ctx ~kind:Trace.Arrive ~req ~core:orch.Orchestrator.core ();
     Orchestrator.enqueue_external ctx orch req ctx.Executor.engine
   end
@@ -206,8 +280,38 @@ let register_metrics t ?(labels = []) reg =
       ctx.Executor.dispatch_ns);
   c "jord_server_completed_total" "Root requests completed" (fun () ->
       float_of_int ctx.Executor.completed);
-  c "jord_server_drops_total" "External requests shed (queue cap)" (fun () ->
-      float_of_int t.dropped);
+  (* Shed causes are distinguishable by the reason label: queue_full (full
+     external queue), deadline (deadline policy), peer_dead (forwarded
+     transfer abandoned on the wire and re-executed locally). *)
+  let drop_reason reason fn =
+    counter_fn reg ~help:"Requests shed, by reason"
+      ~labels:(labels @ [ ("reason", reason) ])
+      "jord_server_drops_total" fn
+  in
+  drop_reason "queue_full" (fun () -> float_of_int t.dropped);
+  drop_reason "deadline" (fun () -> float_of_int ctx.Executor.timed_out);
+  drop_reason "peer_dead" (fun () -> float_of_int ctx.Executor.forward_abandoned);
+  c "jord_server_timeouts_total" "External requests shed past their deadline"
+    (fun () -> float_of_int ctx.Executor.timed_out);
+  c "jord_server_crashes_total" "Injected executor crashes" (fun () ->
+      float_of_int ctx.Executor.crashes);
+  c "jord_server_recoveries_total" "Requests re-queued after an executor crash"
+    (fun () -> float_of_int ctx.Executor.recovered);
+  c "jord_server_stalls_total" "Injected executor stalls" (fun () ->
+      float_of_int ctx.Executor.stalls);
+  c "jord_server_slowdowns_total" "Injected PrivLib slowdowns" (fun () ->
+      float_of_int ctx.Executor.slowdowns);
+  c "jord_server_queue_wait_ns_total"
+    "Cumulative orchestrator + executor queue wait (ns)" (fun () ->
+      ctx.Executor.queue_wait_ns);
+  g "jord_server_in_flight" "Accepted roots not yet completed or shed" (fun () ->
+      float_of_int ctx.Executor.in_flight);
+  let backoff_h =
+    histogram reg ~help:"Retry backoff intervals (ns)" ~labels
+      "jord_server_retry_backoff_ns"
+  in
+  ctx.Executor.on_retry_backoff <-
+    (fun ns -> Hist.observe backoff_h ns);
   c "jord_server_queue_full_retries_total"
     "Dispatch scans that found every executor queue full" (fun () ->
       float_of_int ctx.Executor.queue_full_retries);

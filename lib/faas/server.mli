@@ -37,6 +37,14 @@ type config = {
   net : Netmodel.t;
       (** Cross-server network cost model, shared with {!Cluster} so wire
           and serialization constants have a single source of truth. *)
+  fault_plan : Jord_fault_inject.Plan.t option;
+      (** Deterministic fault schedule (executor crashes/stalls, PrivLib
+          slowdowns; {!Cluster} adds the wire faults). [None] — the
+          default — keeps every code path bit-identical to the fault-free
+          golden runs. *)
+  recovery : Recovery.t;
+      (** Deadline / retry-backoff / peer-health policy. The default
+          reproduces the historical fixed 200 ns retry beat exactly. *)
 }
 
 val default_config : config
@@ -92,6 +100,48 @@ val receive_forwarded : t -> Request.t -> unit
 
 val forwarded_out : t -> int
 val received_in : t -> int
+
+val timed_out_requests : t -> int
+(** External roots shed by the deadline policy. *)
+
+val in_flight : t -> int
+(** Accepted roots not yet completed or shed (0 once drained). *)
+
+val crashes : t -> int
+val recovered : t -> int
+(** Injected executor crashes, and requests re-queued for re-execution
+    because of them (each crash recovers at least the crashed request). *)
+
+val stalls : t -> int
+val slowdowns : t -> int
+(** Injected executor stalls / PrivLib slowdowns absorbed without recovery
+    action (they only add latency). *)
+
+val forward_abandoned : t -> int
+(** Forwarded transfers the cluster transport gave up on after
+    [recovery.retry_max] attempts; each was re-executed locally. *)
+
+val queue_wait_ns_total : t -> float
+(** Cumulative orchestrator- plus executor-queue wait across all requests
+    (each hop re-stamps, so held/re-hopped requests don't double count). *)
+
+val fault_active : t -> bool
+(** Is a non-trivial fault plan installed? *)
+
+val note_forward_abandoned : t -> Request.t -> unit
+val note_duplicate : t -> Request.t -> unit
+(** Transport hooks used by {!Cluster}: account an abandoned transfer
+    (Drop trace, reason [peer_dead]) / a deduplicated wire copy. *)
+
+val conservation : t -> Jord_fault_inject.Invariant.tally
+(** This server's end-of-sim conservation tally. Sum tallies with
+    {!Jord_fault_inject.Invariant.add} across servers that forward to each
+    other before checking — forwarding balances cluster-wide, not per
+    member. *)
+
+val check_invariants : t -> string list
+(** [Invariant.check (conservation t)]: violated invariants ([[]] = all
+    hold). Every test asserts this is empty at end-of-sim. *)
 
 val arrivals : t -> int
 (** External requests submitted (dropped ones included). *)

@@ -8,6 +8,11 @@ type kind =
   | Complete
   | Forward
   | Drop
+  | Timeout
+  | Retry
+  | Crash
+  | Recover
+  | Duplicate
 
 type event = {
   at_ps : int;
@@ -17,6 +22,7 @@ type event = {
   fn : string;
   core : int;
   dur_ps : int;
+  detail : string;
 }
 
 type t = {
@@ -29,8 +35,8 @@ let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create";
   { ring = Array.make capacity None; next = 0; total = 0 }
 
-let emit t ~at_ps ~kind ~req_id ~root_id ~fn ~core ?(dur_ps = 0) () =
-  t.ring.(t.next) <- Some { at_ps; kind; req_id; root_id; fn; core; dur_ps };
+let emit t ~at_ps ~kind ~req_id ~root_id ~fn ~core ?(dur_ps = 0) ?(detail = "") () =
+  t.ring.(t.next) <- Some { at_ps; kind; req_id; root_id; fn; core; dur_ps; detail };
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1
 
@@ -56,6 +62,11 @@ let kind_name = function
   | Complete -> "complete"
   | Forward -> "forward"
   | Drop -> "drop"
+  | Timeout -> "timeout"
+  | Retry -> "retry"
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Duplicate -> "duplicate"
 
 let to_chrome_json t =
   let open Jord_util.Json in
@@ -68,13 +79,16 @@ let to_chrome_json t =
         ("tid", Int (Int.max 0 e.core));
         ("ts", Float (us_of_ps e.at_ps));
         ( "args",
-          Obj [ ("req", Int e.req_id); ("root", Int e.root_id); ("fn", String e.fn) ] );
+          Obj
+            ([ ("req", Int e.req_id); ("root", Int e.root_id); ("fn", String e.fn) ]
+            @ if e.detail = "" then [] else [ ("detail", String e.detail) ]) );
       ]
     in
     match e.kind with
     | Segment ->
         Obj (("ph", String "X") :: ("dur", Float (us_of_ps e.dur_ps)) :: common)
-    | Arrive | Dispatch | Start | Suspend | Resume | Complete | Forward | Drop ->
+    | Arrive | Dispatch | Start | Suspend | Resume | Complete | Forward | Drop
+    | Timeout | Retry | Crash | Recover | Duplicate ->
         Obj (("ph", String "i") :: ("s", String "t") :: common)
   in
   to_string (Obj [ ("traceEvents", List (List.map entry (events t))) ])
@@ -91,11 +105,12 @@ let to_text ?limit t =
   List.iter
     (fun e ->
       Buffer.add_string buf
-        (Printf.sprintf "%12.3fus core=%-3d %-8s req=%-6d root=%-6d %s%s\n"
+        (Printf.sprintf "%12.3fus core=%-3d %-8s req=%-6d root=%-6d %s%s%s\n"
            (float_of_int e.at_ps /. 1e6)
            e.core (kind_name e.kind) e.req_id e.root_id e.fn
            (if e.dur_ps > 0 then Printf.sprintf " (%.3fus)" (float_of_int e.dur_ps /. 1e6)
-            else "")))
+            else "")
+           (if e.detail = "" then "" else Printf.sprintf " [%s]" e.detail)))
     evs;
   Buffer.contents buf
 

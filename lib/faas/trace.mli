@@ -17,7 +17,12 @@ type kind =
   | Resume  (** center back into the continuation. *)
   | Complete  (** Invocation subtree finished. *)
   | Forward  (** Request shipped to another worker server. *)
-  | Drop  (** External request shed at the full orchestrator queue. *)
+  | Drop  (** Request shed; [detail] carries the reason. *)
+  | Timeout  (** External request shed by the deadline policy. *)
+  | Retry  (** Dispatch held and retried after a backoff beat. *)
+  | Crash  (** An invocation crashed mid-flight (fault injection). *)
+  | Recover  (** A crashed/abandoned request re-queued for re-execution. *)
+  | Duplicate  (** A duplicated wire copy arrived and was deduplicated. *)
 
 type event = {
   at_ps : int;  (** Simulated timestamp. *)
@@ -27,6 +32,9 @@ type event = {
   fn : string;
   core : int;  (** Core involved (-1 when not applicable). *)
   dur_ps : int;  (** Duration for span-like events, 0 otherwise. *)
+  detail : string;
+      (** Refinement of [kind]: the drop/shed reason ("queue_full",
+          "deadline", "peer_dead"), the crash site, ""-when-absent. *)
 }
 
 type t
@@ -43,6 +51,7 @@ val emit :
   fn:string ->
   core:int ->
   ?dur_ps:int ->
+  ?detail:string ->
   unit ->
   unit
 

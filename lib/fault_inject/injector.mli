@@ -1,0 +1,47 @@
+(** The seeded fault stream behind a {!Plan}.
+
+    Every fault decision is a PRNG draw on a stream derived from the plan
+    seed (xoshiro256**, independent of the workload stream), taken in
+    simulated-event order — so a given (workload seed, plan) pair yields a
+    bit-identical fault schedule on every run. Draws only consume PRNG
+    state for fault classes the plan enables; disabled classes are free and
+    do not perturb the schedule of the others. *)
+
+type t
+
+val create : ?salt:int -> Plan.t -> t
+(** [salt] decorrelates streams that share one plan (per-server injectors,
+    the cluster transport). *)
+
+val plan : t -> Plan.t
+val active : t -> bool
+
+val draws : t -> int
+(** PRNG draws taken so far (a cheap determinism fingerprint). *)
+
+val draw_crash : t -> bool
+(** One crash decision, taken at invocation start. *)
+
+val restart_ns : t -> float
+(** Downtime of a crashed executor (fixed by the plan, not drawn). *)
+
+val draw_stall_ns : t -> float
+(** 0.0, or the plan's stall length if the stall draw hits. *)
+
+val draw_slow_factor : t -> float
+(** 1.0, or the plan's PrivLib slowdown factor if the slow draw hits. *)
+
+type wire = {
+  lost : bool;  (** The primary copy never arrives. *)
+  duplicated : bool;  (** A second copy is delivered independently. *)
+  jitter_ns : float;  (** Extra one-way latency of the primary copy. *)
+  dup_jitter_ns : float;  (** Extra one-way latency of the duplicate. *)
+}
+
+val draw_wire : t -> wire
+(** One wire-fault decision, taken per cross-server send attempt. *)
+
+val max_jitter_ns : t -> float
+(** Upper bound of any jitter draw — ack timeouts must exceed
+    [2 * one_way + max_jitter_ns] so a timeout implies every copy was
+    lost (which is what makes sender-side re-injection safe). *)

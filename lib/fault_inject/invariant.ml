@@ -1,0 +1,92 @@
+type tally = {
+  arrivals : int;
+  completed : int;
+  dropped : int;
+  timed_out : int;
+  in_flight : int;
+  forwarded_out : int;
+  received_in : int;
+  crashes : int;
+  recovered : int;
+  live_continuations : int;
+  surplus_pds : int;
+  surplus_vmas : int;
+  drained : bool;
+}
+
+let zero =
+  {
+    arrivals = 0;
+    completed = 0;
+    dropped = 0;
+    timed_out = 0;
+    in_flight = 0;
+    forwarded_out = 0;
+    received_in = 0;
+    crashes = 0;
+    recovered = 0;
+    live_continuations = 0;
+    surplus_pds = 0;
+    surplus_vmas = 0;
+    drained = true;
+  }
+
+let add a b =
+  {
+    arrivals = a.arrivals + b.arrivals;
+    completed = a.completed + b.completed;
+    dropped = a.dropped + b.dropped;
+    timed_out = a.timed_out + b.timed_out;
+    in_flight = a.in_flight + b.in_flight;
+    forwarded_out = a.forwarded_out + b.forwarded_out;
+    received_in = a.received_in + b.received_in;
+    crashes = a.crashes + b.crashes;
+    recovered = a.recovered + b.recovered;
+    live_continuations = a.live_continuations + b.live_continuations;
+    surplus_pds = a.surplus_pds + b.surplus_pds;
+    surplus_vmas = a.surplus_vmas + b.surplus_vmas;
+    drained = a.drained && b.drained;
+  }
+
+let check t =
+  let errs = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let accounted = t.completed + t.dropped + t.timed_out + t.in_flight in
+  if t.arrivals <> accounted then
+    fail "root conservation: arrivals=%d but completed+dropped+timed_out+in_flight=%d"
+      t.arrivals accounted;
+  List.iter
+    (fun (name, v) -> if v < 0 then fail "negative counter: %s=%d" name v)
+    [
+      ("arrivals", t.arrivals);
+      ("completed", t.completed);
+      ("dropped", t.dropped);
+      ("timed_out", t.timed_out);
+      ("in_flight", t.in_flight);
+      ("forwarded_out", t.forwarded_out);
+      ("received_in", t.received_in);
+      ("crashes", t.crashes);
+      ("recovered", t.recovered);
+      ("live_continuations", t.live_continuations);
+    ];
+  if t.recovered < t.crashes then
+    fail "recovery: %d crashes but only %d requests re-executed" t.crashes t.recovered;
+  if t.drained then begin
+    if t.in_flight <> 0 then fail "drained but in_flight=%d roots unaccounted" t.in_flight;
+    if t.live_continuations <> 0 then
+      fail "drained but %d continuations still live" t.live_continuations;
+    if t.surplus_pds <> 0 then fail "PD balance: %d PDs leaked" t.surplus_pds;
+    if t.surplus_vmas <> 0 then
+      fail "ArgBuf/VMA balance: %d VMAs above the post-boot floor" t.surplus_vmas;
+    if t.forwarded_out <> t.received_in then
+      fail "forward balance: %d shipped out but %d received" t.forwarded_out
+        t.received_in
+  end;
+  List.rev !errs
+
+let pp ppf t =
+  Format.fprintf ppf
+    "arrivals=%d completed=%d dropped=%d timed_out=%d in_flight=%d fwd_out=%d fwd_in=%d crashes=%d recovered=%d conts=%d pds=%+d vmas=%+d drained=%b"
+    t.arrivals t.completed t.dropped t.timed_out t.in_flight t.forwarded_out
+    t.received_in t.crashes t.recovered t.live_continuations t.surplus_pds
+    t.surplus_vmas t.drained

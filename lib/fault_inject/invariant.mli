@@ -1,0 +1,39 @@
+(** End-of-sim conservation invariants.
+
+    Every external request must be accounted for exactly once:
+    [arrivals = completed + dropped + timed_out + in_flight]. When the
+    event queue has drained, stronger balance laws apply: no in-flight
+    roots, no live continuations, PD and VMA (ArgBuf) populations back at
+    their post-boot floors, and — summed over the servers of a cluster —
+    every forwarded request received exactly once.
+
+    Per-server tallies come from [Server.conservation]; sum them with
+    {!add} before {!check} when servers forward to each other (forwarding
+    balances across the cluster, not per member). *)
+
+type tally = {
+  arrivals : int;
+  completed : int;
+  dropped : int;  (** Shed at the full external queue. *)
+  timed_out : int;  (** Shed by the deadline policy. *)
+  in_flight : int;  (** Accepted but not yet completed/shed. *)
+  forwarded_out : int;
+  received_in : int;
+  crashes : int;
+  recovered : int;  (** Requests re-queued after an executor crash. *)
+  live_continuations : int;
+  surplus_pds : int;  (** Live PDs above the post-boot floor. *)
+  surplus_vmas : int;  (** Live VMAs above the post-boot floor. *)
+  drained : bool;  (** Event queue empty (end-of-sim, not a cut mid-run). *)
+}
+
+val zero : tally
+val add : tally -> tally -> tally
+(** Field-wise sum; [drained] is the conjunction. *)
+
+val check : tally -> string list
+(** Violated invariants, human-readable; [[]] means all hold. The drain-only
+    laws (continuation/PD/VMA balance, forward balance) are skipped when
+    [drained] is false. *)
+
+val pp : Format.formatter -> tally -> unit

@@ -1,0 +1,48 @@
+(** A deterministic fault plan: which failures to inject, how often, and
+    the seed of the fault PRNG stream.
+
+    The plan's seed is independent of the workload seed, so the same
+    workload can be replayed under different fault schedules (and vice
+    versa). All probabilities are per-opportunity draws: [crash] per
+    invocation start, [stall]/[slow] per invocation, [loss]/[dup]/
+    [jitter_us] per cross-server wire copy. *)
+
+type t = {
+  seed : int;  (** Seed of the fault PRNG stream (not the workload seed). *)
+  crash : float;  (** P(executor crash) at invocation start. *)
+  restart_us : float;  (** Downtime of a crashed executor before it polls again. *)
+  stall : float;  (** P(transient executor stall) at invocation start. *)
+  stall_us : float;  (** Stall length. *)
+  loss : float;  (** P(a cross-server wire copy is lost). *)
+  dup : float;  (** P(a wire copy is duplicated in flight). *)
+  jitter_us : float;  (** Max uniform extra one-way latency per wire copy. *)
+  slow : float;  (** P(transient PrivLib slowdown) during invocation setup. *)
+  slow_factor : float;  (** Multiplier applied to the slowed setup's cost. *)
+}
+
+val none : t
+(** All probabilities zero: a plan that injects nothing. *)
+
+val ci_smoke : t
+(** The CI determinism smoke plan: every fault class enabled at moderate
+    rates (see .github/workflows/ci.yml, job [chaos-smoke]). *)
+
+val mild : t
+val harsh : t
+
+val presets : (string * t) list
+(** [("none", _); ("ci-smoke", _); ("mild", _); ("harsh", _)]. *)
+
+val active : t -> bool
+(** Does the plan inject anything at all? *)
+
+val validate : t -> (unit, string) result
+
+val parse : string -> (t, string) result
+(** Parse a plan spec: a preset name ("ci-smoke"), a "key=value,..." list
+    ("crash=0.01,loss=0.2,seed=7"), or a preset refined by overrides
+    ("ci-smoke,loss=0.5"). Keys: seed, crash, restart-us, stall, stall-us,
+    loss, dup, jitter-us, slow, slow-factor. *)
+
+val to_string : t -> string
+(** Canonical "key=value,..." form; [parse (to_string t) = Ok t]. *)

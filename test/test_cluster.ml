@@ -67,7 +67,9 @@ let test_forward_conservation () =
   let cluster, _ = run_cluster ~servers:3 120 in
   let out = Array.fold_left (fun a s -> a + Server.forwarded_out s) 0 (Cluster.servers cluster) in
   let inn = Array.fold_left (fun a s -> a + Server.received_in s) 0 (Cluster.servers cluster) in
-  Alcotest.(check int) "everything sent was received" out inn
+  Alcotest.(check int) "everything sent was received" out inn;
+  Alcotest.(check (list string)) "cluster-wide invariants hold" []
+    (Cluster.check_invariants cluster)
 
 let test_single_server_never_forwards () =
   let cluster, completed = run_cluster ~servers:1 60 in
@@ -108,7 +110,9 @@ let test_no_cross_server_leaks () =
          including re-materialized forwarded ones — was reclaimed. *)
       Alcotest.(check int) "no VMAs leaked" 5
         (Jord_vm.Vma_store.count (Jord_vm.Hw.store (Server.hw s))))
-    (Cluster.servers cluster)
+    (Cluster.servers cluster);
+  Alcotest.(check (list string)) "invariant checker agrees" []
+    (Cluster.check_invariants cluster)
 
 let test_nightcore_cluster_never_forwards () =
   (* Cross-server ArgBuf forwarding is a Jord mechanism; the pipe-based

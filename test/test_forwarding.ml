@@ -82,7 +82,16 @@ let test_out_in_balance () =
     (total Server.received_in servers);
   Alcotest.(check int) "out/in balance"
     (total Server.forwarded_out servers)
-    (total Server.received_in servers)
+    (total Server.received_in servers);
+  (* Per-member tallies only balance cluster-wide: sum before checking. *)
+  let tally =
+    Array.fold_left
+      (fun acc s ->
+        Jord_fault_inject.Invariant.add acc (Server.conservation s))
+      Jord_fault_inject.Invariant.zero servers
+  in
+  Alcotest.(check (list string)) "summed invariants hold" []
+    (Jord_fault_inject.Invariant.check tally)
 
 let test_rehop_reclaims_intermediate_argbuf () =
   (* Push a 3-server ring hard enough that some request bounces through an

@@ -63,7 +63,9 @@ let test_all_requests_complete () =
   Alcotest.(check int) "all complete" 50 (List.length roots);
   Alcotest.(check int) "server count agrees" 50 (Server.completed_roots server);
   Alcotest.(check int) "no stuck continuations" 0 (Server.live_continuations server);
-  Alcotest.(check int) "nothing dropped" 0 (Server.dropped_requests server)
+  Alcotest.(check int) "nothing dropped" 0 (Server.dropped_requests server);
+  Alcotest.(check (list string)) "conservation invariants hold" []
+    (Server.check_invariants server)
 
 let test_tree_accounting () =
   let _, roots = run_n 20 in
@@ -117,7 +119,9 @@ let test_no_pd_or_chunk_leak () =
     (Jord_privlib.Pd.live_count (Jord_privlib.Privlib.pds priv));
   let store = Jord_vm.Hw.store (Server.hw server) in
   (* 3 bootstrap + 4 function code VMAs. *)
-  Alcotest.(check int) "no VMAs leaked" 7 (Jord_vm.Vma_store.count store)
+  Alcotest.(check int) "no VMAs leaked" 7 (Jord_vm.Vma_store.count store);
+  Alcotest.(check (list string)) "invariant checker agrees" []
+    (Server.check_invariants server)
 
 let test_policy_ablation_still_works () =
   List.iter
@@ -151,7 +155,11 @@ let test_overload_sheds () =
   done;
   Server.run ~until:(Time.of_us 20_000.0) server;
   Alcotest.(check bool) "some dropped" true (Server.dropped_requests server > 0);
-  Alcotest.(check bool) "some completed" true (!count > 0)
+  Alcotest.(check bool) "some completed" true (!count > 0);
+  (* Conservation must hold even at a mid-run cut-off: accepted-but-
+     unfinished work is exactly the in_flight term. *)
+  Alcotest.(check (list string)) "conservation holds under overload" []
+    (Server.check_invariants server)
 
 let test_figure4_op_counts () =
   (* Spec-level check of the Figure-4 flow: a root with one sync child must
