@@ -1,18 +1,33 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation, then runs Bechamel microbenchmarks of the core data
-   structures (host-side wall-clock of this implementation).
+   evaluation, runs Bechamel microbenchmarks of the core data structures
+   (host-side wall-clock of this implementation), and emits the structured
+   BENCH_*.json reports the CI perf-regression gate compares against
+   bench/baseline.json.
 
    Usage:
      bench/main.exe                 run everything (full fidelity)
      bench/main.exe --quick         shorter simulations
      bench/main.exe table4 fig9 ... run selected experiments
      bench/main.exe micro           only the Bechamel microbenchmarks
+     bench/main.exe --jobs=N        run sweep points on an N-domain pool
+                                    (reports stay byte-identical to -j 1)
+     bench/main.exe --json-out=D    run the structured suite (engine, vm,
+                                    server, cluster) and write
+                                    D/BENCH_<experiment>.json
+     bench/main.exe --selftest-par  assert the pool is deterministic and
+                                    measurably faster (CI bench smoke)
      bench/main.exe --metrics-dir=D dump each figure point's machine
-                                    counters as D/<point>.prom *)
+                                    counters as D/<point>.prom
+
+   Unknown experiment names list the valid ones and exit 2. Timing chatter
+   goes to stderr so stdout is diffable across --jobs values. *)
 
 let quick = ref false
 let seeds = ref 1
 let metrics_dir = ref None
+let json_out = ref None
+let jobs = ref 1
+let selftest_par = ref false
 
 let section title =
   let bar = String.make 74 '=' in
@@ -170,26 +185,91 @@ let micro () =
         results)
     tests
 
+(* Run one structured-suite experiment: print its table and, when
+   --json-out is set, write its BENCH_<name>.json. *)
+let run_suite name =
+  section (Printf.sprintf "bench suite: %s" name);
+  match Jord_exp.Benchmarks.run_one ~quick:!quick name with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok doc ->
+      print_string (Jord_exp.Benchmarks.render doc);
+      (match !json_out with
+      | None -> ()
+      | Some dir ->
+          let path = Jord_util.Bench_json.write_dir ~dir doc in
+          Printf.eprintf "wrote %s\n%!" path)
+
+let prefixed_arg ~prefix a =
+  let n = String.length prefix in
+  if String.length a > n && String.sub a 0 n = prefix then
+    Some (String.sub a n (String.length a - n))
+  else None
+
+let set_jobs_arg v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> jobs := n
+  | Some _ | None ->
+      prerr_endline "bench: --jobs must be an integer >= 1";
+      exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" || a = "-q" then begin
-          quick := true;
-          false
-        end
-        else if String.length a > 8 && String.sub a 0 8 = "--seeds=" then begin
-          seeds := int_of_string (String.sub a 8 (String.length a - 8));
-          false
-        end
-        else if String.length a > 14 && String.sub a 0 14 = "--metrics-dir=" then begin
-          metrics_dir := Some (String.sub a 14 (String.length a - 14));
-          false
-        end
-        else true)
-      args
+  (* Flags accept both --flag=V and --flag V; everything else is an
+     experiment name. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--quick" | "-q") :: rest ->
+        quick := true;
+        parse acc rest
+    | "--selftest-par" :: rest ->
+        selftest_par := true;
+        parse acc rest
+    | "--seeds" :: v :: rest ->
+        seeds := int_of_string v;
+        parse acc rest
+    | "--metrics-dir" :: v :: rest ->
+        metrics_dir := Some v;
+        parse acc rest
+    | "--json-out" :: v :: rest ->
+        json_out := Some v;
+        parse acc rest
+    | ("--jobs" | "-j") :: v :: rest ->
+        set_jobs_arg v;
+        parse acc rest
+    | a :: rest -> (
+        match prefixed_arg ~prefix:"--seeds=" a with
+        | Some v ->
+            seeds := int_of_string v;
+            parse acc rest
+        | None -> (
+            match prefixed_arg ~prefix:"--metrics-dir=" a with
+            | Some v ->
+                metrics_dir := Some v;
+                parse acc rest
+            | None -> (
+                match prefixed_arg ~prefix:"--json-out=" a with
+                | Some v ->
+                    json_out := Some v;
+                    parse acc rest
+                | None -> (
+                    match prefixed_arg ~prefix:"--jobs=" a with
+                    | Some v ->
+                        set_jobs_arg v;
+                        parse acc rest
+                    | None -> parse (a :: acc) rest))))
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  Jord_exp.Exp_common.set_jobs !jobs;
+  if !selftest_par then begin
+    match Jord_exp.Benchmarks.par_selftest ~quick:!quick () with
+    | Ok summary ->
+        print_endline summary;
+        exit 0
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  end;
   (match !metrics_dir with
   | None -> ()
   | Some dir ->
@@ -200,15 +280,29 @@ let () =
             Jord_telemetry.Export.write_file
               ~path:(Filename.concat dir (name ^ ".prom"))
               (Jord_telemetry.Export.to_prometheus reg)));
-  let known = List.map fst experiments @ [ "micro" ] in
+  let suite = Jord_exp.Benchmarks.names in
+  let known = List.map fst experiments @ [ "micro" ] @ suite in
   List.iter
     (fun a ->
       if not (List.mem a known) then begin
-        Printf.eprintf "unknown experiment %S; known: %s\n" a (String.concat ", " known);
-        exit 1
+        Printf.eprintf "unknown experiment %S; valid experiments: %s\n" a
+          (String.concat ", " known);
+        exit 2
       end)
     args;
-  let selected = if args = [] then known else args in
+  let selected =
+    if args <> [] then args
+    else if !json_out <> None then
+      (* --json-out with no names: just the structured suite, which is what
+         the CI perf-regression job consumes. *)
+      suite
+    else known
+  in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun name -> if name = "micro" then micro () else (List.assoc name experiments) ()) selected;
-  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun name ->
+      if name = "micro" then micro ()
+      else if Jord_exp.Benchmarks.is_known name then run_suite name
+      else (List.assoc name experiments) ())
+    selected;
+  Printf.eprintf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

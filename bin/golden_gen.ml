@@ -1,6 +1,31 @@
 (* Print the golden-run report (see Jord_exp.Golden). Used to (re)generate
-   test/golden.expected and by CI's determinism check:
+   test/golden.expected and by CI's determinism check, which also proves
+   the domain pool changes nothing:
 
-     dune exec bin/golden_gen.exe > test/golden.expected *)
+     dune exec bin/golden_gen.exe > test/golden.expected
+     dune exec bin/golden_gen.exe -- -j 4   # must produce the same bytes *)
 
-let () = print_string (Jord_exp.Golden.report ())
+let usage () =
+  prerr_endline "usage: golden_gen [-j N | --jobs N | --jobs=N]";
+  exit 2
+
+let () =
+  let jobs = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            jobs := v;
+            parse rest
+        | Some _ | None -> usage ())
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+        match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+        | Some v when v >= 1 ->
+            jobs := v;
+            parse rest
+        | Some _ | None -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  print_string (Jord_exp.Golden.report ~jobs:!jobs ())

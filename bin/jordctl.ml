@@ -448,6 +448,48 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Run one simulation and show its full metric snapshot + timelines")
     Term.(const run $ app_t $ variant $ rate $ duration $ sample_us $ filter)
 
+(* --- bench --- *)
+
+let bench_cmd =
+  let names =
+    let all = Jord_exp.Benchmarks.names in
+    Arg.(value & pos_all (enum (List.map (fun e -> (e, e)) all)) all
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:"Structured benchmarks to run: engine, vm, server or cluster \
+                   (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shorter measurements.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"DIR"
+             ~doc:"Also write each experiment as DIR/BENCH_<experiment>.json \
+                   (the format the CI perf-regression gate compares against \
+                   bench/baseline.json).")
+  in
+  let run names quick json_out =
+    List.iter
+      (fun name ->
+        match Jord_exp.Benchmarks.run_one ~quick name with
+        | Error msg ->
+            prerr_endline msg;
+            exit 2
+        | Ok doc ->
+            print_string (Jord_exp.Benchmarks.render doc);
+            print_newline ();
+            (match json_out with
+            | None -> ()
+            | Some dir ->
+                let path = Jord_util.Bench_json.write_dir ~dir doc in
+                Printf.printf "wrote %s\n" path))
+      names
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the structured benchmark suite (machine-readable BENCH_*.json)")
+    Term.(const run $ names $ quick $ json_out)
+
 (* --- exp --- *)
 
 let exp_cmd =
@@ -458,7 +500,14 @@ let exp_cmd =
   let quick =
     Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Shorter simulations (coarser results).")
   in
-  let run names quick =
+  let jobs =
+    Arg.(value & opt pos_int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run independent sweep points on an N-domain pool. Reports are \
+                   byte-identical at any job count.")
+  in
+  let run names quick jobs =
+    Jord_exp.Exp_common.set_jobs jobs;
     List.iter
       (fun name ->
         Printf.printf "\n== %s ==\n%!" name;
@@ -480,7 +529,9 @@ let exp_cmd =
         print_string report)
       names
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures") Term.(const run $ names $ quick)
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ names $ quick $ jobs)
 
 (* --- sweep --- *)
 
@@ -588,4 +639,5 @@ let () =
   let info = Cmd.info "jordctl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; export_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; bench_cmd; export_cmd; list_cmd ]))

@@ -1,0 +1,295 @@
+(* Structured benchmarks: every experiment returns a Bench_json.doc whose
+   Time metrics are host wall-clock (median/IQR over repetitions; advisory
+   in CI) and whose Count metrics are deterministic — simulated results,
+   event counts and per-op minor-heap allocation. A Count moving beyond
+   tolerance means the implementation's arithmetic or allocation profile
+   changed, which is exactly what the perf-regression gate must catch.
+
+   Deterministic metrics carry a tight 0.1% tolerance: far above the JSON
+   round-trip's %.6g rounding, far below any real behaviour change.
+   Allocation metrics get 50%: minor words per op are stable for a given
+   compiler but may shift across OCaml versions. *)
+
+module B = Jord_util.Bench_json
+
+let det_tol = 0.001
+let alloc_tol = 0.5
+
+(* Wall-clock ns/op over [reps] repetitions of [iters] calls (one warmup
+   repetition is discarded). *)
+let time_ns ~reps ~iters f =
+  let rep () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  ignore (rep ());
+  List.init reps (fun _ -> rep ())
+
+(* Minor-heap words allocated per call, measured on the calling domain. *)
+let minor_words ~iters f =
+  f ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int iters
+
+let reps quick = if quick then 5 else 9
+
+(* --- engine: event-queue hot path --- *)
+
+let engine ~quick =
+  let iters = if quick then 20_000 else 60_000 in
+  let counter = ref 0 in
+  let batch () =
+    let q = Jord_sim.Event_queue.create () in
+    incr counter;
+    for i = 0 to 15 do
+      ignore
+        (Jord_sim.Event_queue.push q ~time:((!counter + i) mod 97) i
+          : Jord_sim.Event_queue.handle)
+    done;
+    while Jord_sim.Event_queue.pop q <> None do
+      ()
+    done
+  in
+  let per_batch = time_ns ~reps:(reps quick) ~iters batch in
+  let words = minor_words ~iters:2_000 batch in
+  {
+    B.experiment = "engine";
+    metrics =
+      [
+        B.metric ~name:"queue_push_pop_x16" ~unit_:"ns/batch" per_batch;
+        B.count ~tolerance:alloc_tol ~name:"queue_push_pop_x16_minor_words"
+          ~unit_:"words/batch" words;
+      ];
+  }
+
+(* --- vm: VLB / VMA-store / memsys hot paths --- *)
+
+let vm ~quick =
+  let cfg = Jord_vm.Va.default_config in
+  let mk_vte index =
+    let sc = Jord_vm.Size_class.of_size 4096 in
+    let base = Jord_vm.Va.encode cfg sc ~index ~offset:0 in
+    Jord_vm.Vte.create ~base ~bytes:4096 ~phys:(0x100000 + (index * 4096)) ()
+  in
+  let plain = Jord_vm.Vma_table.create cfg in
+  let btree = Jord_vm.Vma_btree.create () in
+  for i = 0 to 999 do
+    ignore (Jord_vm.Vma_table.insert plain (mk_vte i));
+    ignore (Jord_vm.Vma_btree.insert btree (mk_vte i))
+  done;
+  let probe = Jord_vm.Vte.base (mk_vte 500) + 64 in
+  let vlb = Jord_vm.Vlb.create ~entries:16 in
+  for i = 0 to 15 do
+    Jord_vm.Vlb.fill vlb ~vte_addr:i (mk_vte i)
+  done;
+  let vlb_probe = Jord_vm.Vte.base (mk_vte 7) + 5 in
+  let memsys =
+    Jord_arch.Memsys.create (Jord_arch.Topology.create Jord_arch.Config.default)
+  in
+  let iters = if quick then 50_000 else 200_000 in
+  let r = reps quick in
+  let t name f = B.metric ~name ~unit_:"ns/op" (time_ns ~reps:r ~iters f) in
+  {
+    B.experiment = "vm";
+    metrics =
+      [
+        t "vlb_lookup" (fun () -> ignore (Jord_vm.Vlb.lookup vlb ~va:vlb_probe));
+        t "vma_plain_lookup" (fun () ->
+            ignore (Jord_vm.Vma_table.lookup plain ~va:probe));
+        t "vma_btree_lookup" (fun () ->
+            ignore (Jord_vm.Vma_btree.lookup btree ~va:probe));
+        t "memsys_read_hit" (fun () ->
+            ignore (Jord_arch.Memsys.read memsys ~core:0 ~addr:0x4000));
+        B.count ~tolerance:det_tol ~name:"btree_rebalances_1k" ~unit_:"ops"
+          (float_of_int (Jord_vm.Vma_btree.rebalance_ops btree));
+      ];
+  }
+
+(* --- server: steady-state throughput of one seeded simulation --- *)
+
+let server ~quick =
+  let config = Exp_common.config_for Jord_faas.Variant.Jord in
+  let duration_us = if quick then 800.0 else 2500.0 in
+  let t0 = Unix.gettimeofday () in
+  let server, recorder =
+    Jord_workloads.Loadgen.run ~warmup:200 ~app:Jord_workloads.Hipster.app ~config
+      ~rate_mrps:4.0 ~duration_us ()
+  in
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let events = Jord_sim.Engine.processed (Jord_faas.Server.engine server) in
+  let open Jord_metrics.Recorder in
+  {
+    B.experiment = "server";
+    metrics =
+      [
+        B.count ~tolerance:det_tol ~name:"completed" ~unit_:"requests"
+          (float_of_int (count recorder));
+        B.count ~tolerance:det_tol ~name:"events" ~unit_:"events"
+          (float_of_int events);
+        B.count ~tolerance:det_tol ~name:"throughput" ~unit_:"mrps"
+          (throughput_mrps recorder);
+        B.count ~tolerance:det_tol ~name:"p99" ~unit_:"us" (p99_us recorder);
+        B.metric ~name:"wall_per_event" ~unit_:"ns/event"
+          [ wall_ns /. float_of_int (Int.max 1 events) ];
+      ];
+  }
+
+(* --- cluster: cross-server forwarding under tight queues --- *)
+
+let fanout_app =
+  let open Jord_faas.Model in
+  let leaf =
+    {
+      name = "leaf";
+      make_phases = (fun _ -> [ compute 2000.0 ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  let entry =
+    {
+      name = "entry";
+      make_phases =
+        (fun _ ->
+          List.init 6 (fun _ -> invoke ~mode:Async ~arg_bytes:256 "leaf") @ [ wait ]);
+      state_bytes = 1024;
+      code_bytes = 1024;
+    }
+  in
+  { app_name = "fanout"; fns = [ entry; leaf ]; entries = [ ("entry", 1.0) ] }
+
+let cluster ~quick =
+  let config =
+    {
+      (Exp_common.config_for Jord_faas.Variant.Jord) with
+      Jord_faas.Server.machine =
+        Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+      queue_capacity = 2;
+    }
+  in
+  let duration_us = if quick then 600.0 else 2000.0 in
+  let t0 = Unix.gettimeofday () in
+  let cluster, recorder =
+    Jord_workloads.Loadgen.run_cluster ~forward_after:2 ~servers:3 ~warmup:50
+      ~app:fanout_app ~config ~rate_mrps:1.5 ~duration_us ()
+  in
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let events = Jord_sim.Engine.processed (Jord_faas.Cluster.engine cluster) in
+  let members = Jord_faas.Cluster.servers cluster in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
+  {
+    B.experiment = "cluster";
+    metrics =
+      [
+        B.count ~tolerance:det_tol ~name:"completed" ~unit_:"requests"
+          (float_of_int (Jord_metrics.Recorder.count recorder));
+        B.count ~tolerance:det_tol ~name:"events" ~unit_:"events"
+          (float_of_int events);
+        B.count ~tolerance:det_tol ~name:"forwarded_out" ~unit_:"requests"
+          (float_of_int (sum Jord_faas.Server.forwarded_out));
+        B.count ~tolerance:det_tol ~name:"received_in" ~unit_:"requests"
+          (float_of_int (sum Jord_faas.Server.received_in));
+        B.metric ~name:"wall_per_event" ~unit_:"ns/event"
+          [ wall_ns /. float_of_int (Int.max 1 events) ];
+      ];
+  }
+
+(* --- registry --- *)
+
+let experiments =
+  [ ("engine", engine); ("vm", vm); ("server", server); ("cluster", cluster) ]
+
+let names = List.map fst experiments
+let is_known name = List.mem_assoc name experiments
+
+let run_one ~quick name =
+  match List.assoc_opt name experiments with
+  | Some f -> Ok (f ~quick)
+  | None ->
+      Error
+        (Printf.sprintf "unknown bench experiment %S; valid: %s" name
+           (String.concat ", " names))
+
+let render (doc : B.doc) =
+  Jord_util.Render.table
+    ~title:(Printf.sprintf "bench [%s]" doc.B.experiment)
+    ~header:[ "metric"; "kind"; "value"; "unit"; "iqr"; "reps" ]
+    ~rows:
+      (List.map
+         (fun (m : B.metric) ->
+           [
+             m.B.name;
+             (match m.B.kind with B.Time -> "time" | B.Count -> "count");
+             Printf.sprintf "%g" m.B.value;
+             m.B.unit_;
+             Printf.sprintf "%g" m.B.iqr;
+             string_of_int m.B.repetitions;
+           ])
+         doc.B.metrics)
+    ()
+
+(* --- parallel selftest: byte-identical + measurably faster --- *)
+
+let par_selftest ?jobs ?(quick = true) () =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Int.min 4 (Int.max 2 (Domain.recommended_domain_count ()))
+  in
+  let duration_us = if quick then 1200.0 else 3000.0 in
+  let points =
+    [ (1.0, 0); (2.0, 0); (3.0, 0); (4.0, 0); (1.5, 1); (2.5, 1); (3.5, 1); (4.5, 1) ]
+  in
+  let run_case (rate, seed_offset) =
+    let config = Exp_common.config_for Jord_faas.Variant.Jord in
+    let config =
+      { config with Jord_faas.Server.seed = config.Jord_faas.Server.seed + (1000 * seed_offset) }
+    in
+    let server, recorder =
+      Jord_workloads.Loadgen.run ~warmup:100 ~app:Jord_workloads.Hipster.app ~config
+        ~rate_mrps:rate ~duration_us ~seed:(7 + (100 * seed_offset)) ()
+    in
+    Printf.sprintf "r%g_s%d count=%d events=%d p99=%.17g tput=%.17g" rate seed_offset
+      (Jord_metrics.Recorder.count recorder)
+      (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
+      (Jord_metrics.Recorder.p99_us recorder)
+      (Jord_metrics.Recorder.throughput_mrps recorder)
+  in
+  (* Warm code paths once so the sequential leg is not paying one-time
+     initialization the parallel leg then skips. *)
+  ignore (run_case (List.hd points));
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_report, seq_s = timed (fun () -> List.map run_case points) in
+  let par_report, par_s =
+    timed (fun () ->
+        Jord_par.Pool.with_pool ~jobs (fun pool ->
+            Jord_par.Pool.parmap pool run_case points))
+  in
+  if seq_report <> par_report then
+    Error
+      (Printf.sprintf
+         "parallel report differs from sequential (jobs=%d): determinism broken" jobs)
+  else begin
+    let speedup = seq_s /. Float.max par_s 1e-9 in
+    let cores = Domain.recommended_domain_count () in
+    let summary =
+      Printf.sprintf
+        "par-selftest: %d points byte-identical at jobs=%d; seq=%.2fs par=%.2fs \
+         speedup=%.2fx (%d cores)"
+        (List.length points) jobs seq_s par_s speedup cores
+    in
+    if cores >= jobs && jobs >= 4 && speedup < 1.8 then
+      Error (summary ^ " — expected >= 1.8x on a machine with >= 4 cores")
+    else Ok summary
+  end

@@ -61,6 +61,19 @@ let scale f spec =
 
 let config_for variant = { Server.default_config with Server.variant }
 
+(* --- domain-parallel execution of independent simulation points ---
+
+   Every sweep point is a whole seeded simulation with its own engine and
+   PRNGs, so points are embarrassingly parallel. [par_map] fans them out on
+   the shared Jord_par pool; results come back in submission order, which
+   keeps every figure (and the golden file) bit-identical to a sequential
+   run. The only cross-point state, [slo_cache] and [metrics_sink], is
+   written exclusively from the calling domain / to per-point files. *)
+
+let set_jobs n = Jord_par.Pool.set_default_jobs n
+let jobs () = Jord_par.Pool.default_jobs ()
+let par_map f xs = Jord_par.Pool.parmap (Jord_par.Pool.default ()) f xs
+
 (* When set (bench --metrics-dir), every simulated point dumps its machine
    counters through this sink, named after the figure point. *)
 let metrics_sink : (name:string -> Jord_telemetry.Registry.t -> unit) option ref =
@@ -104,25 +117,32 @@ let slo_us spec =
       slo
 
 let sweep spec ~config =
-  List.map (fun rate -> (rate, snd (run_point spec ~config ~rate_mrps:rate))) spec.rates
+  par_map (fun rate -> (rate, snd (run_point spec ~config ~rate_mrps:rate))) spec.rates
 
 (* Replicated sweep: run every rate with [seeds] independent seeds and
    report the median p99 and mean throughput per rate — squeezes run-to-run
-   noise out of the knee region. *)
+   noise out of the knee region. The rate x seed cross product is one flat
+   parallel batch; regrouping by rate preserves the per-rate seed order, so
+   medians and sums see the samples in the sequential order. *)
 let sweep_replicated spec ~config ~seeds =
   if seeds < 1 then invalid_arg "Exp_common.sweep_replicated";
-  List.map
-    (fun rate ->
-      let runs =
-        List.init seeds (fun i ->
-            let _, r = run_point ~seed_offset:i spec ~config ~rate_mrps:rate in
-            (Jord_metrics.Recorder.p99_us r, Jord_metrics.Recorder.throughput_mrps r))
-      in
-      let p99s = Array.of_list (List.map fst runs) in
-      let tputs = List.map snd runs in
-      ( rate,
-        Jord_util.Stats.percentile p99s 50.0,
-        List.fold_left ( +. ) 0.0 tputs /. float_of_int seeds ))
+  let points =
+    List.concat_map (fun rate -> List.init seeds (fun i -> (rate, i))) spec.rates
+  in
+  let runs =
+    par_map
+      (fun (rate, i) ->
+        let _, r = run_point ~seed_offset:i spec ~config ~rate_mrps:rate in
+        (Jord_metrics.Recorder.p99_us r, Jord_metrics.Recorder.throughput_mrps r))
+      points
+  in
+  let runs = Array.of_list runs in
+  List.mapi
+    (fun ri rate ->
+      let per_rate = Array.sub runs (ri * seeds) seeds in
+      let p99s = Array.map fst per_rate in
+      let tput_sum = Array.fold_left (fun acc (_, t) -> acc +. t) 0.0 per_rate in
+      (rate, Jord_util.Stats.percentile p99s 50.0, tput_sum /. float_of_int seeds))
     spec.rates
 
 let throughput_under_slo ~slo_us pts =

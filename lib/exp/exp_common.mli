@@ -25,6 +25,20 @@ val scale : float -> spec -> spec
 
 val config_for : Jord_faas.Variant.t -> Jord_faas.Server.config
 
+val set_jobs : int -> unit
+(** Size of the shared domain pool that {!par_map}, {!sweep} and
+    {!sweep_replicated} fan simulation points out on (default 1, i.e.
+    sequential; also settable via the [JORD_JOBS] environment variable).
+    Results are gathered in submission order, so figures and golden runs
+    are bit-identical at any job count. *)
+
+val jobs : unit -> int
+(** Current shared pool size. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Deterministic parallel map over independent simulation points on the
+    shared pool (sequential [List.map] when {!jobs} is 1). *)
+
 val metrics_sink : (name:string -> Jord_telemetry.Registry.t -> unit) option ref
 (** When set, {!run_point} snapshots the simulated machine's full metric
     registry after each point and hands it to the sink under a

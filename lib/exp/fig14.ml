@@ -20,7 +20,9 @@ let scales =
   ]
 
 let run ?(quick = false) () =
-  List.map
+  (* Each scale point is an independent simulation: fan them out on the
+     shared domain pool (Exp_common.set_jobs); order is preserved. *)
+  Exp_common.par_map
     (fun (label, cores, sockets) ->
       let machine =
         Jord_arch.Config.with_cores

@@ -156,32 +156,48 @@ let cluster buf =
     (Printf.sprintf "cluster latency=%s isolation=%s dispatch=%s comm=%s\n" (f17 lat)
        (f17 iso) (f17 disp) (f17 comm))
 
-let loadgen buf =
-  List.iter
-    (fun (label, app, variant, rate) ->
-      let config = { Server.default_config with Server.variant } in
-      let server, recorder =
-        Jord_workloads.Loadgen.run ~warmup:100 ~app ~config ~rate_mrps:rate
-          ~duration_us:600.0 ()
-      in
-      let open Jord_metrics.Recorder in
-      Buffer.add_string buf
-        (Printf.sprintf "loadgen/%s count=%d events=%d mean=%s p50=%s p99=%s tput=%s\n"
-           label (count recorder)
-           (Engine.processed (Server.engine server))
-           (f17 (mean_us recorder)) (f17 (p50_us recorder)) (f17 (p99_us recorder))
-           (f17 (throughput_mrps recorder))))
-    [
-      ("hipster-jord", Jord_workloads.Hipster.app, Variant.Jord, 1.0);
-      ("hotel-ni", Jord_workloads.Hotel.app, Variant.Jord_ni, 0.8);
-      ("hipster-nightcore", Jord_workloads.Hipster.app, Variant.Nightcore, 0.4);
-    ]
+let loadgen buf (label, app, variant, rate) =
+  let config = { Server.default_config with Server.variant } in
+  let server, recorder =
+    Jord_workloads.Loadgen.run ~warmup:100 ~app ~config ~rate_mrps:rate
+      ~duration_us:600.0 ()
+  in
+  let open Jord_metrics.Recorder in
+  Buffer.add_string buf
+    (Printf.sprintf "loadgen/%s count=%d events=%d mean=%s p50=%s p99=%s tput=%s\n"
+       label (count recorder)
+       (Engine.processed (Server.engine server))
+       (f17 (mean_us recorder)) (f17 (p50_us recorder)) (f17 (p99_us recorder))
+       (f17 (throughput_mrps recorder)))
 
-let report () =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "# jord golden run (seeded, bit-exact)\n";
-  List.iter (single_server buf)
-    [ Variant.Jord; Variant.Jord_ni; Variant.Jord_bt; Variant.Nightcore ];
-  cluster buf;
-  loadgen buf;
-  Buffer.contents buf
+(* Every scenario is a self-contained seeded simulation writing its own
+   buffer, so the list can run on a domain pool: parmap returns the pieces
+   in this exact order and the concatenation is byte-identical to a
+   sequential run at any job count (CI diffs -j 1/4/8 against the golden
+   file to prove it). *)
+let scenarios : (unit -> string) list =
+  let in_buf f () =
+    let buf = Buffer.create 1024 in
+    f buf;
+    Buffer.contents buf
+  in
+  List.map
+    (fun v -> in_buf (fun buf -> single_server buf v))
+    [ Variant.Jord; Variant.Jord_ni; Variant.Jord_bt; Variant.Nightcore ]
+  @ [ in_buf cluster ]
+  @ List.map
+      (fun case -> in_buf (fun buf -> loadgen buf case))
+      [
+        ("hipster-jord", Jord_workloads.Hipster.app, Variant.Jord, 1.0);
+        ("hotel-ni", Jord_workloads.Hotel.app, Variant.Jord_ni, 0.8);
+        ("hipster-nightcore", Jord_workloads.Hipster.app, Variant.Nightcore, 0.4);
+      ]
+
+let report ?(jobs = 1) () =
+  let parts =
+    if jobs <= 1 then List.map (fun f -> f ()) scenarios
+    else
+      Jord_par.Pool.with_pool ~jobs (fun pool ->
+          Jord_par.Pool.parmap pool (fun f -> f ()) scenarios)
+  in
+  "# jord golden run (seeded, bit-exact)\n" ^ String.concat "" parts

@@ -9,4 +9,6 @@
     Regenerate the expectation with [bin/golden_gen.exe] only when a change
     is {e meant} to move numbers, and say so in the commit. *)
 
-val report : unit -> string
+val report : ?jobs:int -> unit -> string
+(** [jobs] (default 1) runs the scenarios on a dedicated domain pool of
+    that size; the output is byte-identical at any job count. *)

@@ -1,0 +1,160 @@
+(* A fixed-size domain pool feeding workers from one mutex-protected queue.
+
+   Determinism contract: parmap writes each result into a slot indexed by
+   the item's submission position and re-raises the lowest-index exception
+   only after every submitted item finished, so the observable outcome is
+   independent of which worker ran what and in which order. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable worker_ids : Domain.id list;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec await () =
+      if pool.stop then begin
+        Mutex.unlock pool.mutex;
+        None
+      end
+      else
+        match Queue.take_opt pool.tasks with
+        | Some task ->
+            Mutex.unlock pool.mutex;
+            Some task
+        | None ->
+            Condition.wait pool.nonempty pool.mutex;
+            await ()
+    in
+    match await () with
+    | None -> ()
+    | Some task ->
+        (* Tasks wrap their own exceptions; a raise here is a pool bug. *)
+        task ();
+        next ()
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [];
+      worker_ids = [];
+    }
+  in
+  if jobs > 1 then begin
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+    pool.worker_ids <- List.map Domain.get_id pool.workers
+  end;
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- [];
+  pool.worker_ids <- []
+
+let in_pool pool = List.mem (Domain.self ()) pool.worker_ids
+
+let parmap pool f xs =
+  if pool.jobs <= 1 || pool.workers = [] || in_pool pool then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let finished = Mutex.create () in
+      let all_done = Condition.create () in
+      let remaining = ref n in
+      let run i x () =
+        let r =
+          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock finished;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock finished
+      in
+      Mutex.lock pool.mutex;
+      Array.iteri (fun i x -> Queue.add (run i x) pool.tasks) items;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      Mutex.lock finished;
+      while !remaining > 0 do
+        Condition.wait all_done finished
+      done;
+      Mutex.unlock finished;
+      (* Sequential semantics: the first (submission-order) failure wins. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None -> assert false)
+           results)
+    end
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* --- process-wide shared pool --- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "JORD_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let configured_jobs : int option ref = ref None
+let shared : t option ref = ref None
+
+let default_jobs () =
+  match !configured_jobs with
+  | Some n -> n
+  | None -> ( match env_jobs () with Some n -> n | None -> 1)
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  configured_jobs := Some n;
+  match !shared with
+  | Some pool when pool.jobs <> n ->
+      shutdown pool;
+      shared := None
+  | Some _ | None -> ()
+
+let default () =
+  match !shared with
+  | Some pool -> pool
+  | None ->
+      let pool = create ~jobs:(default_jobs ()) in
+      shared := Some pool;
+      pool

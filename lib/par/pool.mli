@@ -1,0 +1,53 @@
+(** Fixed-size OCaml 5 Domain pool with a deterministic [parmap].
+
+    Work items are expected to be independent, single-threaded computations
+    (in this repo: whole seeded simulations). [parmap] gathers results in
+    submission order and re-raises the first (by submission index) exception
+    a work item threw, so a pool of size 1 — which runs everything in the
+    calling domain without spawning — is observably identical to
+    [List.map]. With size > 1 the items' side effects may interleave, but
+    the returned list (and any raised exception) cannot tell the difference
+    as long as items are independent.
+
+    [parmap] called from inside one of the pool's own worker domains falls
+    back to a sequential [List.map] instead of deadlocking on its own
+    queue. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool of [jobs] worker domains ([jobs - 0] domains are spawned when
+    [jobs > 1]; a size-1 pool spawns none).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The pool size given to {!create}. *)
+
+val parmap : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parmap pool f xs] applies [f] to every element of [xs] on the pool and
+    returns the results in the order of [xs]. All items run to completion
+    even when one raises; afterwards the exception of the lowest-index
+    failed item is re-raised (with its backtrace) and the pool remains
+    usable. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool must be idle. After
+    shutdown, [parmap] falls back to sequential execution. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val set_default_jobs : int -> unit
+(** Configure the process-wide shared pool used by {!default}. Shuts down
+    any previously created default pool (which must be idle) and takes
+    effect at the next {!default} call.
+    @raise Invalid_argument when the argument is [< 1]. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created lazily at first use. Its size is
+    the last [set_default_jobs] value, else the [JORD_JOBS] environment
+    variable, else 1 — so unconfigured processes stay sequential. *)
+
+val default_jobs : unit -> int
+(** The size {!default} has (or would be created with). *)

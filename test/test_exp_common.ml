@@ -43,9 +43,44 @@ let test_replicated_sweep () =
       Alcotest.(check bool) "tput near offered" true (tput > 1.5 && tput < 2.5)
   | _ -> Alcotest.fail "expected one point"
 
+let test_parallel_sweep_identical () =
+  (* The acceptance bar for the domain pool: a sweep fanned out on workers
+     must be float-for-float identical to the sequential run. *)
+  let spec =
+    {
+      (Jord_exp.Exp_common.scale 0.1 Jord_exp.Exp_common.hipster) with
+      Jord_exp.Exp_common.rates = [ 1.0; 3.0; 5.0 ];
+    }
+  in
+  let config = Jord_exp.Exp_common.config_for Jord_faas.Variant.Jord in
+  let summarize pts =
+    List.map
+      (fun (rate, r) ->
+        Printf.sprintf "%g:%d:%.17g" rate
+          (Jord_metrics.Recorder.count r)
+          (Jord_metrics.Recorder.p99_us r))
+      pts
+  in
+  let with_jobs n f =
+    Jord_exp.Exp_common.set_jobs n;
+    Fun.protect ~finally:(fun () -> Jord_exp.Exp_common.set_jobs 1) f
+  in
+  let seq = summarize (Jord_exp.Exp_common.sweep spec ~config) in
+  let par = with_jobs 3 (fun () -> summarize (Jord_exp.Exp_common.sweep spec ~config)) in
+  Alcotest.(check (list string)) "sweep jobs=3 == jobs=1" seq par;
+  let rep_seq = Jord_exp.Exp_common.sweep_replicated spec ~config ~seeds:2 in
+  let rep_par =
+    with_jobs 3 (fun () -> Jord_exp.Exp_common.sweep_replicated spec ~config ~seeds:2)
+  in
+  let show = List.map (fun (r, p, t) -> Printf.sprintf "%g:%.17g:%.17g" r p t) in
+  Alcotest.(check (list string)) "replicated sweep jobs=3 == jobs=1" (show rep_seq)
+    (show rep_par)
+
 let suite =
   [
     Alcotest.test_case "scale and ordering" `Quick test_throughput_under_slo;
     Alcotest.test_case "all specs valid" `Quick test_all_specs_valid;
     Alcotest.test_case "replicated sweep" `Slow test_replicated_sweep;
+    Alcotest.test_case "parallel sweep is bit-identical" `Slow
+      test_parallel_sweep_identical;
   ]

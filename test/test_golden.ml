@@ -49,9 +49,17 @@ let test_golden_reruns_identically () =
   let b = Jord_exp.Golden.report () in
   Alcotest.(check bool) "report is reproducible in-process" true (String.equal a b)
 
+let test_golden_parallel_identical () =
+  (* The domain pool must not move a single byte: scenarios are gathered
+     in submission order regardless of which worker ran them. *)
+  let a = Jord_exp.Golden.report () in
+  let b = Jord_exp.Golden.report ~jobs:4 () in
+  Alcotest.(check bool) "report at jobs=4 is byte-identical" true (String.equal a b)
+
 let suite =
   [
     Alcotest.test_case "bit-identical to golden.expected" `Quick
       test_golden_bit_identical;
     Alcotest.test_case "re-run determinism" `Quick test_golden_reruns_identically;
+    Alcotest.test_case "domain-pool determinism" `Slow test_golden_parallel_identical;
   ]

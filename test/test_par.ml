@@ -1,0 +1,114 @@
+(* Jord_par.Pool: the deterministic parmap contract. Pool size 1 must be
+   List.map; any size must agree with it on order, values and exception
+   behaviour; a raising work item must not wedge the pool. *)
+
+module Pool = Jord_par.Pool
+
+let test_create_invalid () =
+  Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0))
+
+let test_sequential_identity () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "size-1 pool is List.map" (List.map succ xs)
+        (Pool.parmap pool succ xs))
+
+let test_order_preserved () =
+  (* Items finishing out of submission order (earlier items do more work)
+     must still come back in submission order. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 64 Fun.id in
+      let work i =
+        let spin = (64 - i) * 2000 in
+        let acc = ref 0 in
+        for k = 1 to spin do
+          acc := (!acc + k) mod 1000003
+        done;
+        ignore !acc;
+        i * i
+      in
+      Alcotest.(check (list int)) "order preserved" (List.map work xs)
+        (Pool.parmap pool work xs))
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.parmap pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.parmap pool succ [ 7 ]))
+
+let test_exception_propagates_pool_survives () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let boom x = if x = 5 then failwith "boom" else x * 2 in
+      (match Pool.parmap pool boom (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      (* The pool must stay usable: workers consumed the failing batch
+         without dying or leaving queued garbage behind. *)
+      Alcotest.(check (list int))
+        "pool usable after a raise"
+        (List.init 20 (fun i -> i * 3))
+        (Pool.parmap pool (fun i -> i * 3) (List.init 20 Fun.id)))
+
+let test_first_exception_wins () =
+  (* Two raising items: the one with the lower submission index is the one
+     re-raised, matching sequential List.map semantics. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let boom x = if x = 3 || x = 7 then failwith (string_of_int x) else x in
+      match Pool.parmap pool boom (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "lowest index raised" "3" m)
+
+let test_shutdown_falls_back () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "parmap after shutdown is sequential" [ 2; 3; 4 ]
+    (Pool.parmap pool succ [ 1; 2; 3 ])
+
+let test_nested_parmap_does_not_deadlock () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let nested x =
+        (* From a worker domain, parmap must fall back to sequential rather
+           than feed (and wait on) its own queue. *)
+        List.fold_left ( + ) 0 (Pool.parmap pool Fun.id [ x; x; x ])
+      in
+      Alcotest.(check (list int)) "nested" [ 0; 3; 6 ]
+        (Pool.parmap pool nested [ 0; 1; 2 ]))
+
+(* qcheck: parmap == List.map for arbitrary inputs and pool sizes. *)
+let prop_parmap_is_map =
+  QCheck.Test.make ~name:"parmap equals List.map (any pool size)" ~count:30
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * 7) + 1 in
+      Pool.with_pool ~jobs (fun pool -> Pool.parmap pool f xs = List.map f xs))
+
+let prop_parmap_raises_like_map =
+  QCheck.Test.make ~name:"parmap raises iff List.map raises" ~count:30
+    QCheck.(pair (int_range 1 4) (small_list (int_range 0 20)))
+    (fun (jobs, xs) ->
+      let f x = if x = 13 then raise Exit else x in
+      let seq = match List.map f xs with l -> Ok l | exception Exit -> Error () in
+      let par =
+        Pool.with_pool ~jobs (fun pool ->
+            match Pool.parmap pool f xs with l -> Ok l | exception Exit -> Error ())
+      in
+      seq = par)
+
+let suite =
+  [
+    Alcotest.test_case "create rejects jobs=0" `Quick test_create_invalid;
+    Alcotest.test_case "size-1 pool is sequential" `Quick test_sequential_identity;
+    Alcotest.test_case "order preserved under imbalance" `Quick test_order_preserved;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "raise propagates, pool survives" `Quick
+      test_exception_propagates_pool_survives;
+    Alcotest.test_case "first exception wins" `Quick test_first_exception_wins;
+    Alcotest.test_case "shutdown falls back to sequential" `Quick
+      test_shutdown_falls_back;
+    Alcotest.test_case "nested parmap does not deadlock" `Quick
+      test_nested_parmap_does_not_deadlock;
+    QCheck_alcotest.to_alcotest prop_parmap_is_map;
+    QCheck_alcotest.to_alcotest prop_parmap_raises_like_map;
+  ]
