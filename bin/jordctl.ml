@@ -104,6 +104,13 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON of the run (chrome://tracing, Perfetto).")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the raw event trace as JSONL for offline analysis with \
+                   $(b,jordctl trace) (exact integer-picosecond timestamps; works \
+                   for clusters too).")
+  in
   let metrics_out =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE"
@@ -171,7 +178,7 @@ let run_cmd =
              ~doc:"Transfer attempts before a forwarded request is abandoned and \
                    re-executed locally (clusters under a fault plan only).")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max =
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max =
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -257,11 +264,39 @@ let run_cmd =
         "per-request: exec=%.0fns isolation=%.0fns dispatch=%.0fns data=%.0fns (%.2f invocations)\n"
         b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations recorder)
     in
+    let want_trace = trace_file <> None || trace_out <> None in
+    (* One tracer shared by every server: events carry the server id, so the
+       offline tools can tell the tracks apart. *)
+    let tracer = if want_trace then Some (Jord_faas.Trace.create ()) else None in
+    let write_traces tr ~orch_cores =
+      (match trace_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Jord_faas.Trace.to_chrome_json ~orch_cores tr);
+          close_out oc;
+          Printf.printf "trace: %d events (%d retained) -> %s\n"
+            (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path);
+      match trace_out with
+      | None -> ()
+      | Some path ->
+          let meta =
+            [
+              ("variant", Jord_util.Json.String (Jord_faas.Variant.name variant));
+              ("app", Jord_util.Json.String app.Jord_faas.Model.app_name);
+              ("servers", Jord_util.Json.Int servers);
+              ( "orch_cores",
+                Jord_util.Json.List (List.map (fun c -> Jord_util.Json.Int c) orch_cores)
+              );
+            ]
+          in
+          Jord_obsv.Tracefile.save ~path ~meta tr;
+          Printf.printf "trace: %d events (%d retained) -> %s\n"
+            (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path
+    in
     if servers > 1 then begin
       (* Cluster mode: one shared engine, round-robin front end, forwarding
-         between peers. Tracing is single-server only. *)
-      if trace_file <> None then
-        prerr_endline "jordctl: note: --trace is ignored with --servers > 1";
+         between peers. *)
       let on_cluster cluster =
         if metrics_out <> None then begin
           Jord_faas.Cluster.register_metrics cluster registry;
@@ -270,11 +305,16 @@ let run_cmd =
         end
       in
       let cluster, recorder =
-        Jord_workloads.Loadgen.run_cluster ~on_cluster ~forward_after ~servers ~warmup
-          ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
+        Jord_workloads.Loadgen.run_cluster ?tracer ~on_cluster ~forward_after ~servers
+          ~warmup ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
       in
       export_metrics ();
       let members = Jord_faas.Cluster.servers cluster in
+      (match tracer with
+      | Some tr ->
+          write_traces tr
+            ~orch_cores:(Jord_faas.Server.orchestrator_cores members.(0))
+      | None -> ());
       let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
       Printf.printf "workload=%s system=%s cluster=%d servers x (%d cores / %d sockets)\n"
         app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) servers cores
@@ -319,7 +359,6 @@ let run_cmd =
         (Unix.gettimeofday () -. t0)
     end
     else begin
-      let tracer = Option.map (fun _ -> Jord_faas.Trace.create ()) trace_file in
       let on_server server =
         if metrics_out <> None then begin
           Jord_faas.Server.register_metrics server registry;
@@ -332,14 +371,10 @@ let run_cmd =
           ~rate_mrps:rate ~duration_us:duration ~seed ()
       in
       export_metrics ();
-      (match (trace_file, tracer) with
-      | Some path, Some tr ->
-          let oc = open_out path in
-          output_string oc (Jord_faas.Trace.to_chrome_json tr);
-          close_out oc;
-          Printf.printf "trace: %d events (%d retained) -> %s\n"
-            (Jord_faas.Trace.total_emitted tr) (Jord_faas.Trace.length tr) path
-      | _ -> ());
+      (match tracer with
+      | Some tr ->
+          write_traces tr ~orch_cores:(Jord_faas.Server.orchestrator_cores server)
+      | None -> ());
       Printf.printf "workload=%s system=%s machine=%d cores / %d sockets\n"
         app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) cores sockets;
       print_recorder recorder ~dropped:(Jord_faas.Server.dropped_requests server);
@@ -375,7 +410,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one simulation and print a summary")
     Term.(
       const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
-      $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ metrics_out
+      $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ trace_out $ metrics_out
       $ metrics_format $ sample_us $ servers $ forward_after $ net_one_way
       $ net_per_byte $ fault_plan $ deadline_us $ retry_base_us $ retry_cap
       $ retry_max)
@@ -616,6 +651,99 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Write every experiment's data as CSV files")
     Term.(const run $ dir $ quick)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let file_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"JSONL trace written by $(b,jordctl run --trace-out).")
+  in
+  let spans_of path =
+    match Jord_obsv.Tracefile.load ~path with
+    | Error msg ->
+        prerr_endline ("jordctl: " ^ msg);
+        exit 2
+    | Ok l -> (l, Jord_obsv.Tracefile.spans l)
+  in
+  (* Attribution that does not sum exactly to end-to-end latency is a tool
+     bug, not a degraded report — fail loudly (CI greps for this). *)
+  let check r = if not (Jord_obsv.Report.conservation_ok r) then exit 3 in
+  let breakdown_cmd =
+    let run path =
+      let _, r = spans_of path in
+      print_string (Jord_obsv.Report.breakdown r);
+      check r
+    in
+    Cmd.v
+      (Cmd.info "breakdown"
+         ~doc:"Per-phase latency attribution per entry function, with the \
+               conservation verdict")
+      Term.(const run $ file_pos)
+  in
+  let slowest_cmd =
+    let n =
+      Arg.(value & opt pos_int 10
+           & info [ "n" ] ~docv:"N" ~doc:"How many requests to show.")
+    in
+    let run path n =
+      let _, r = spans_of path in
+      print_string (Jord_obsv.Report.slowest ~n r)
+    in
+    Cmd.v
+      (Cmd.info "slowest" ~doc:"The N slowest completed requests with their phase splits")
+      Term.(const run $ file_pos $ n)
+  in
+  let critical_cmd =
+    let run path =
+      let _, r = spans_of path in
+      print_string (Jord_obsv.Report.critical_path r);
+      check r
+    in
+    Cmd.v
+      (Cmd.info "critical-path"
+         ~doc:"Blame along the longest causal chain of each fan-out tree, plus \
+               the p99 tail verdict")
+      Term.(const run $ file_pos)
+  in
+  let export_cmd =
+    let out =
+      Arg.(required & opt (some string) None
+           & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+    in
+    let fmt =
+      Arg.(value
+           & opt (enum [ ("chrome", `Chrome); ("json", `Json); ("csv", `Csv) ]) `Chrome
+           & info [ "format" ] ~docv:"FMT"
+               ~doc:"chrome (Perfetto trace with causal flow arrows), json or csv \
+                     (per-function blame profiles).")
+    in
+    let run path out fmt =
+      let l, r = spans_of path in
+      let body =
+        match fmt with
+        | `Chrome ->
+            Jord_obsv.Export.chrome_json
+              ~orch_cores:(Jord_obsv.Tracefile.orch_cores l)
+              ~events:l.Jord_obsv.Tracefile.events r
+        | `Json -> Jord_obsv.Export.blame_json r
+        | `Csv -> Jord_obsv.Export.blame_csv r
+      in
+      let oc = open_out out in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:"Convert a trace to a Perfetto document or a blame profile")
+      Term.(const run $ file_pos $ out $ fmt)
+  in
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Analyze a --trace-out file: breakdown, slowest, critical-path, export")
+    [ breakdown_cmd; slowest_cmd; critical_cmd; export_cmd ]
+
 (* --- list --- *)
 
 let list_cmd =
@@ -640,4 +768,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; bench_cmd; export_cmd; list_cmd ]))
+          [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; bench_cmd; export_cmd; trace_cmd; list_cmd ]))

@@ -201,10 +201,59 @@ let cluster ~quick =
       ];
   }
 
+(* --- trace: cost of causal tracing on the single-server hot path --- *)
+
+let trace ~quick =
+  let config = Exp_common.config_for Jord_faas.Variant.Jord in
+  let duration_us = if quick then 500.0 else 1200.0 in
+  let run ?tracer () =
+    let t0 = Unix.gettimeofday () in
+    let server, _ =
+      Jord_workloads.Loadgen.run ?tracer ~warmup:100
+        ~app:Jord_workloads.Hipster.app ~config ~rate_mrps:3.0 ~duration_us ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (Jord_sim.Engine.processed (Jord_faas.Server.engine server), wall_s)
+  in
+  ignore (run ());
+  let r = reps quick in
+  let emitted = ref 0 in
+  let pairs =
+    List.init r (fun _ ->
+        let events_off, off_s = run () in
+        let tr = Jord_faas.Trace.create () in
+        let events_on, on_s = run ~tracer:tr () in
+        emitted := Jord_faas.Trace.total_emitted tr;
+        ((events_off, off_s), (events_on, on_s)))
+  in
+  let rate_of (events, s) = float_of_int events /. Float.max s 1e-9 in
+  {
+    B.experiment = "trace";
+    metrics =
+      [
+        B.metric ~name:"events_per_sec_off" ~unit_:"events/s"
+          (List.map (fun (off, _) -> rate_of off) pairs);
+        B.metric ~name:"events_per_sec_on" ~unit_:"events/s"
+          (List.map (fun (_, on) -> rate_of on) pairs);
+        (* Wall-clock slowdown of the traced run over the untraced run of
+           the same seeded simulation (1.0 = free). *)
+        B.metric ~name:"trace_overhead" ~unit_:"ratio"
+          (List.map (fun ((_, off_s), (_, on_s)) -> on_s /. Float.max off_s 1e-9) pairs);
+        B.count ~tolerance:det_tol ~name:"trace_events_emitted" ~unit_:"events"
+          (float_of_int !emitted);
+      ];
+  }
+
 (* --- registry --- *)
 
 let experiments =
-  [ ("engine", engine); ("vm", vm); ("server", server); ("cluster", cluster) ]
+  [
+    ("engine", engine);
+    ("vm", vm);
+    ("server", server);
+    ("cluster", cluster);
+    ("trace", trace);
+  ]
 
 let names = List.map fst experiments
 let is_known name = List.mem_assoc name experiments

@@ -5,7 +5,7 @@
     profiles (hard perf-regression gates). *)
 
 val names : string list
-(** Experiment names, in run order: engine, vm, server, cluster. *)
+(** Experiment names, in run order: engine, vm, server, cluster, trace. *)
 
 val is_known : string -> bool
 

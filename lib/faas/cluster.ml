@@ -254,6 +254,18 @@ let create ?(forward_after = 3) ~servers:n ~config app =
 let engine t = t.engine
 let servers t = t.servers
 
+let set_tracer t tr =
+  let n = Array.length t.servers in
+  Array.iteri
+    (fun i s ->
+      Server.set_tracer s tr;
+      Server.set_trace_sid s i;
+      (* Disjoint request-id spaces: a shared tracer must never see two
+         servers' requests under one id. Only done when tracing, so
+         untraced runs keep the historical id sequence. *)
+      if tr <> None then Server.set_req_id_space s ~base:i ~stride:n)
+    t.servers
+
 let submit t ?entry () =
   let server = t.servers.(t.rr mod Array.length t.servers) in
   t.rr <- t.rr + 1;

@@ -50,6 +50,10 @@ val create :
 val engine : t -> Jord_sim.Engine.t
 val servers : t -> Server.t array
 
+val set_tracer : t -> Trace.t option -> unit
+(** Install one shared tracer on every member (each stamps its own server
+    id on emitted events); [None] disables emission cluster-wide. *)
+
 val submit : t -> ?entry:string -> unit -> unit
 (** Round-robin external submission. *)
 

@@ -18,7 +18,9 @@ type ctx = {
   prng : Jord_util.Prng.t;
   core_busy_ps : float array;
   mutable tracer : Trace.t option;
+  mutable trace_sid : int;
   mutable next_req_id : int;
+  mutable req_id_stride : int;
   mutable next_cid : int;
   mutable root_cb : Request.root -> unit;
   mutable completed : int;
@@ -81,24 +83,50 @@ let uplink e =
 
 let fresh_req_id ctx =
   let id = ctx.next_req_id in
-  ctx.next_req_id <- id + 1;
+  ctx.next_req_id <- id + ctx.req_id_stride;
   id
 
 let charge_core ctx core ns =
   ctx.core_busy_ps.(core) <- ctx.core_busy_ps.(core) +. (ns *. 1000.0)
 
-let trace ctx ~kind ~req ~core ?dur_ns ?detail () =
+(* Durations convert with [Time.of_ns] — the same rounding the engine
+   applies to its schedule offsets — or arrive pre-rounded via [dur_ps], so
+   an event's [at + dur] lands exactly on the engine timestamp of the next
+   lifecycle event. The offline span builder relies on this to make
+   per-phase attribution telescope exactly to end-to-end latency. *)
+let trace ctx ~kind ~req ~core ?dur_ns ?dur_ps ?stall_ns ?detail () =
   match ctx.tracer with
   | None -> ()
   | Some tr ->
       let dur_ps =
-        match dur_ns with Some ns -> int_of_float (ns *. 1000.0) | None -> 0
+        match (dur_ps, dur_ns) with
+        | Some ps, _ -> ps
+        | None, Some ns -> Time.of_ns ns
+        | None, None -> 0
+      in
+      let stall_ps =
+        match stall_ns with
+        | Some ns -> Int.min dur_ps (Int.max 0 (Time.of_ns ns))
+        | None -> 0
       in
       Trace.emit tr
         ~at_ps:(Engine.now ctx.engine)
         ~kind ~req_id:req.Request.id
         ~root_id:req.Request.root.Request.root_id
-        ~fn:req.Request.fn_name ~core ~dur_ps ?detail ()
+        ~parent_id:req.Request.parent_id ~fn:req.Request.fn_name ~core
+        ~sid:ctx.trace_sid ~dur_ps ~stall_ps ?detail ()
+
+(* Per-request VM-stall attribution: reset the hardware's stall accumulator
+   at the start of each synchronous compute block and read the delta when
+   the block's trace event is emitted. Only isolated variants attribute VM
+   time to requests — under page-table baselines (Jord_NI, NightCore) walk
+   and shootdown costs are architectural background, folded into run. *)
+let stall_begin ctx = if ctx.tracer <> None then Jord_vm.Hw.stall_mark ctx.hw
+
+let stall_take ctx =
+  if ctx.tracer <> None && Variant.isolated ctx.variant then
+    Jord_vm.Hw.stall_since_mark ctx.hw
+  else 0.0
 
 let add_cost (root : Request.root) (c : Runtime.cost) =
   root.Request.isolation_ns <- root.Request.isolation_ns +. c.Runtime.isolation_ns;
@@ -115,6 +143,7 @@ let rec poll ctx e (_ : Engine.t) =
 
 and start_request ctx e req ~deq_ns =
   e.busy <- true;
+  stall_begin ctx;
   let root = req.Request.root in
   (* Executor-queue wait since the dispatch stamp (pure accounting). *)
   let wait_ns =
@@ -182,8 +211,9 @@ and crash_request ctx e inj req ~deq_ns =
   in
   add_cost root ab;
   root.Request.comm_ns <- root.Request.comm_ns +. deq_ns;
-  trace ctx ~kind:Trace.Crash ~req ~core:e.core ~detail:"executor" ();
   let dt = deq_ns +. Runtime.total cost +. Runtime.total ab in
+  trace ctx ~kind:Trace.Crash ~req ~core:e.core ~dur_ns:dt
+    ~stall_ns:(stall_take ctx) ~detail:"executor" ();
   charge_core ctx e.core dt;
   e.down_until <- Time.(now + Time.of_ns (dt +. Jord_fault_inject.Injector.restart_ns inj));
   let up = uplink e in
@@ -209,6 +239,7 @@ and crash_request ctx e inj req ~deq_ns =
 
 and resume_cont ctx e (cont : t Continuation.t) =
   e.busy <- true;
+  stall_begin ctx;
   trace ctx ~kind:Trace.Resume ~req:cont.Continuation.req ~core:e.core ();
   e.suspended <- e.suspended - 1;
   cont.Continuation.status <- Continuation.Running;
@@ -315,7 +346,8 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
         add_cost root c;
         dt := !dt +. Runtime.total c
   done;
-  trace ctx ~kind:Trace.Segment ~req:cont.Continuation.req ~core:e.core ~dur_ns:!dt ();
+  trace ctx ~kind:Trace.Segment ~req:cont.Continuation.req ~core:e.core ~dur_ns:!dt
+    ~stall_ns:(stall_take ctx) ();
   charge_core ctx e.core !dt;
   let at = Time.(now + Time.of_ns !dt) in
   if !finished then
@@ -337,7 +369,7 @@ and suspend_cont ctx e (cont : t Continuation.t) engine =
 
 and finish_cont ctx e (cont : t Continuation.t) engine =
   let now = Engine.now engine in
-  trace ctx ~kind:Trace.Complete ~req:cont.Continuation.req ~core:e.core ();
+  stall_begin ctx;
   let req = cont.Continuation.req in
   let root = req.Request.root in
   let c =
@@ -369,6 +401,13 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
     end
   in
   root.Request.comm_ns <- root.Request.comm_ns +. notify_charge;
+  (* The Complete event's duration is the ps distance to the exact engine
+     timestamp where the request's life ends (parent reap notification or
+     external completion), so span end = at + dur with no rounding slack. *)
+  let trace_complete ~at =
+    trace ctx ~kind:Trace.Complete ~req ~core:e.core ~dur_ps:Time.(at - now)
+      ~stall_ns:(stall_take ctx) ()
+  in
   (match req.Request.on_complete with
   | Some f when req.Request.forwarded ->
       (* Forwarded request: the response travels back over the network; the
@@ -383,15 +422,18 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
       root.Request.comm_ns <- root.Request.comm_ns +. resp;
       req.Request.argbuf <- req.Request.home_argbuf;
       let at = Time.(now + Time.of_ns (dt +. notify_lat +. resp)) in
+      trace_complete ~at;
       Engine.schedule_at ctx.engine ~time:at (fun eng -> f eng notify_lat)
   | Some f ->
       (* Internal request: notify the parent's executor. *)
       let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
+      trace_complete ~at;
       Engine.schedule_at ctx.engine ~time:at (fun eng -> f eng notify_lat)
   | None ->
       (* External request: notify the orchestrator and finish measurement. *)
       let up = uplink e in
       let at = Time.(now + Time.of_ns (dt +. notify_lat)) in
+      trace_complete ~at;
       up.push_reclaim ~va:req.Request.argbuf ~bytes:req.Request.arg_bytes;
       Engine.schedule_at ctx.engine ~time:at (fun eng ->
           root.Request.completed_at <- at;

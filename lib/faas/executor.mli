@@ -30,7 +30,11 @@ type ctx = {
   prng : Jord_util.Prng.t;
   core_busy_ps : float array;
   mutable tracer : Trace.t option;
+  mutable trace_sid : int;
+      (** Server id stamped on trace events (cluster members share one
+          tracer; 0 outside cluster mode). *)
   mutable next_req_id : int;
+  mutable req_id_stride : int;
   mutable next_cid : int;
   mutable root_cb : Request.root -> unit;
   mutable completed : int;
@@ -106,9 +110,24 @@ val trace :
   req:Request.t ->
   core:int ->
   ?dur_ns:float ->
+  ?dur_ps:int ->
+  ?stall_ns:float ->
   ?detail:string ->
   unit ->
   unit
+(** Emit on the context's tracer (no-op when tracing is off). [dur_ns]
+    converts with {!Jord_sim.Time.of_ns} — the engine's own rounding — so
+    event durations telescope exactly onto engine timestamps; [dur_ps]
+    bypasses the conversion for pre-rounded values. [stall_ns] is the VM
+    time inside the duration (clamped to it). *)
+
+val stall_begin : ctx -> unit
+(** Mark the hardware VM-stall accumulator at the start of a synchronous
+    compute block (no-op when tracing is off). *)
+
+val stall_take : ctx -> float
+(** VM stall ns accumulated since {!stall_begin} — 0 for non-isolated
+    variants, whose walk/shootdown costs are architectural background. *)
 
 val add_cost : Request.root -> Runtime.cost -> unit
 (** Fold a runtime cost into the root's isolation/communication accounting. *)

@@ -205,7 +205,9 @@ let dispatch_one (ctx : Executor.ctx) t engine =
                 Recovery.backoff_ns ctx.Executor.recovery (t.pending_retries - 1)
               in
               ctx.on_retry_backoff back;
-              Executor.trace ctx ~kind:Trace.Retry ~req ~core:t.core ();
+              (* dur = the backoff beat: the span builder attributes the
+                 interval up to the next dispatch attempt to backoff. *)
+              Executor.trace ctx ~kind:Trace.Retry ~req ~core:t.core ~dur_ns:back ();
               t.pending <- Some req;
               Engine.schedule ctx.engine ~after:(Time.of_ns back) t.dispatch_fn)
       | Some i ->
@@ -246,6 +248,10 @@ let dispatch_one (ctx : Executor.ctx) t engine =
 
 let internal_arrival ctx t req engine =
   req.Request.enqueued_at <- Engine.now engine;
+  (* Arrival checkpoint for every internally-queued request: child births,
+     crash re-queues, and forwarded requests landing from the wire — the
+     span builder closes a wire hop (or a queue interval) here. *)
+  Executor.trace ctx ~kind:Trace.Arrive ~req ~core:t.core ();
   Queue.push req t.internal_q;
   if not t.busy then begin
     t.busy <- true;

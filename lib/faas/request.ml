@@ -17,6 +17,7 @@ type t = {
   fn_name : string;
   arg_bytes : int;
   root : root;
+  parent_id : int;
   depth : int;
   mutable argbuf : int;
   mutable enqueued_at : Jord_sim.Time.t;
@@ -47,6 +48,7 @@ let make_root ~id ~entry ~arrival ~arg_bytes =
       fn_name = entry;
       arg_bytes;
       root;
+      parent_id = -1;
       depth = 0;
       argbuf = 0;
       enqueued_at = arrival;
@@ -64,6 +66,7 @@ let make_child ~id ~parent ~fn_name ~arg_bytes =
     fn_name;
     arg_bytes;
     root = parent.root;
+    parent_id = parent.id;
     depth = parent.depth + 1;
     argbuf = 0;
     enqueued_at = Jord_sim.Time.zero;

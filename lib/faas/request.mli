@@ -29,6 +29,7 @@ type t = {
   fn_name : string;
   arg_bytes : int;
   root : root;
+  parent_id : int;  (** Spawning invocation's [id], -1 for external requests. *)
   depth : int;  (** 0 for external requests. *)
   mutable argbuf : int;  (** ArgBuf base VA (0 until allocated). *)
   mutable enqueued_at : Jord_sim.Time.t;

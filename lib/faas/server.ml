@@ -68,6 +68,17 @@ let arrivals t = t.arrivals
 let queue_full_retries t = t.ctx.Executor.queue_full_retries
 let set_forward t cb = t.ctx.Executor.forward_cb <- cb
 let set_tracer t tr = t.ctx.Executor.tracer <- tr
+let set_trace_sid t sid = t.ctx.Executor.trace_sid <- sid
+
+(* Give a cluster member a disjoint request-id space (member [base] of
+   [stride] servers allocates base, base+stride, ...) so spans built from a
+   shared tracer never merge two servers' requests. Must be called before
+   any request is admitted. *)
+let set_req_id_space t ~base ~stride =
+  t.ctx.Executor.next_req_id <- base;
+  t.ctx.Executor.req_id_stride <- stride
+let orchestrator_cores t =
+  Array.to_list (Array.map (fun o -> o.Orchestrator.core) t.orchs)
 let forwarded_out t = t.ctx.Executor.forwarded_out
 let received_in t = t.ctx.Executor.received_in
 let timed_out_requests t = t.ctx.Executor.timed_out
@@ -176,7 +187,9 @@ let create ?engine cfg app =
       prng = Jord_util.Prng.create ~seed:cfg.seed;
       core_busy_ps = Array.make n 0.0;
       tracer = None;
+      trace_sid = 0;
       next_req_id = 0;
+      req_id_stride = 1;
       next_cid = 0;
       root_cb = (fun _ -> ());
       completed = 0;

@@ -169,6 +169,18 @@ val attach_sampler :
 val set_tracer : t -> Trace.t option -> unit
 (** Attach an execution tracer; [None] (the default) disables emission. *)
 
+val set_trace_sid : t -> int -> unit
+(** Server id stamped on this server's trace events — lets cluster members
+    share a single tracer while staying distinguishable (default 0). *)
+
+val set_req_id_space : t -> base:int -> stride:int -> unit
+(** Allocate request ids [base], [base+stride], ... so cluster members
+    sharing one tracer never collide. Call before any request is admitted;
+    the default is [base:0 ~stride:1]. *)
+
+val orchestrator_cores : t -> int list
+(** The cores running orchestrators (for trace track naming). *)
+
 val core_busy_ns : t -> core:int -> float
 (** Accumulated busy time charged to a core. *)
 

@@ -19,9 +19,12 @@ type event = {
   kind : kind;
   req_id : int;
   root_id : int;
+  parent_id : int;
   fn : string;
   core : int;
+  sid : int;
   dur_ps : int;
+  stall_ps : int;
   detail : string;
 }
 
@@ -35,22 +38,36 @@ let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create";
   { ring = Array.make capacity None; next = 0; total = 0 }
 
-let emit t ~at_ps ~kind ~req_id ~root_id ~fn ~core ?(dur_ps = 0) ?(detail = "") () =
-  t.ring.(t.next) <- Some { at_ps; kind; req_id; root_id; fn; core; dur_ps; detail };
+let emit t ~at_ps ~kind ~req_id ~root_id ?(parent_id = -1) ~fn ~core ?(sid = 0)
+    ?(dur_ps = 0) ?(stall_ps = 0) ?(detail = "") () =
+  t.ring.(t.next) <-
+    Some
+      { at_ps; kind; req_id; root_id; parent_id; fn; core; sid; dur_ps; stall_ps; detail };
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1
 
 let length t = Int.min t.total (Array.length t.ring)
 let total_emitted t = t.total
+let capacity t = Array.length t.ring
+let truncated t = t.total > Array.length t.ring
 
-let events t =
+let iter t f =
   let cap = Array.length t.ring in
   let n = length t in
   let start = if t.total <= cap then 0 else t.next in
-  List.init n (fun i ->
-      match t.ring.((start + i) mod cap) with
-      | Some e -> e
-      | None -> invalid_arg "Trace.events: ring corrupted")
+  for i = 0 to n - 1 do
+    match t.ring.((start + i) mod cap) with
+    | Some e -> f e
+    | None -> invalid_arg "Trace.iter: ring corrupted"
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let events t =
+  List.rev (fold t ~init:[] (fun acc e -> e :: acc))
 
 let kind_name = function
   | Arrive -> "arrive"
@@ -68,19 +85,75 @@ let kind_name = function
   | Recover -> "recover"
   | Duplicate -> "duplicate"
 
-let to_chrome_json t =
+let kind_of_name = function
+  | "arrive" -> Some Arrive
+  | "dispatch" -> Some Dispatch
+  | "start" -> Some Start
+  | "segment" -> Some Segment
+  | "suspend" -> Some Suspend
+  | "resume" -> Some Resume
+  | "complete" -> Some Complete
+  | "forward" -> Some Forward
+  | "drop" -> Some Drop
+  | "timeout" -> Some Timeout
+  | "retry" -> Some Retry
+  | "crash" -> Some Crash
+  | "recover" -> Some Recover
+  | "duplicate" -> Some Duplicate
+  | _ -> None
+
+let us_of_ps ps = float_of_int ps /. 1e6
+
+(* Process/thread metadata: Perfetto shows named tracks instead of bare
+   tids. One process per server (pid = sid + 1, pid 0 is reserved), one
+   thread per core that appears in the retained window. *)
+let metadata_events ?(orch_cores = []) t =
   let open Jord_util.Json in
-  let us_of_ps ps = float_of_int ps /. 1e6 in
+  let seen = Hashtbl.create 16 in
+  let sids = Hashtbl.create 4 in
+  iter t (fun e ->
+      if e.core >= 0 then Hashtbl.replace seen (e.sid, e.core) ();
+      Hashtbl.replace sids e.sid ());
+  let meta ~pid ~name ?tid what =
+    Obj
+      ([ ("ph", String "M"); ("pid", Int pid); ("name", String what) ]
+      @ (match tid with Some tid -> [ ("tid", Int tid) ] | None -> [])
+      @ [ ("args", Obj [ ("name", String name) ]) ])
+  in
+  let procs =
+    Hashtbl.fold
+      (fun sid () acc ->
+        meta ~pid:(sid + 1) ~name:(Printf.sprintf "jord server %d" sid) "process_name"
+        :: acc)
+      sids []
+  in
+  let threads =
+    Hashtbl.fold
+      (fun (sid, core) () acc ->
+        let name =
+          if List.mem core orch_cores then Printf.sprintf "orchestrator (core %d)" core
+          else Printf.sprintf "core %d" core
+        in
+        meta ~pid:(sid + 1) ~tid:core ~name "thread_name" :: acc)
+      seen []
+  in
+  List.sort compare procs @ List.sort compare threads
+
+let to_chrome_json ?orch_cores t =
+  let open Jord_util.Json in
   let entry e =
     let common =
       [
         ("name", String (e.fn ^ "/" ^ kind_name e.kind));
-        ("pid", Int 1);
+        ("pid", Int (e.sid + 1));
         ("tid", Int (Int.max 0 e.core));
         ("ts", Float (us_of_ps e.at_ps));
         ( "args",
           Obj
             ([ ("req", Int e.req_id); ("root", Int e.root_id); ("fn", String e.fn) ]
+            @ (if e.parent_id < 0 then [] else [ ("parent", Int e.parent_id) ])
+            @ (if e.stall_ps = 0 then []
+               else [ ("vm_stall_us", Float (us_of_ps e.stall_ps)) ])
             @ if e.detail = "" then [] else [ ("detail", String e.detail) ]) );
       ]
     in
@@ -91,7 +164,8 @@ let to_chrome_json t =
     | Timeout | Retry | Crash | Recover | Duplicate ->
         Obj (("ph", String "i") :: ("s", String "t") :: common)
   in
-  to_string (Obj [ ("traceEvents", List (List.map entry (events t))) ])
+  let evs = metadata_events ?orch_cores t @ List.map entry (events t) in
+  to_string (Obj [ ("traceEvents", List evs) ])
 
 let to_text ?limit t =
   let evs = events t in

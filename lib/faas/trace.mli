@@ -5,22 +5,27 @@
     bounded ring buffer, exportable as Chrome trace-event JSON
     (chrome://tracing, Perfetto) or a readable text log.
 
+    Events carry causal context ([parent_id] of the spawning invocation,
+    [sid] of the emitting server) and exact phase accounting ([dur_ps],
+    [stall_ps]) so that {!Jord_obsv} can rebuild per-root span trees and
+    attribute every picosecond of end-to-end latency offline.
+
     Tracing is optional and off by default; the server emits events through
     a sink the harness installs. *)
 
 type kind =
-  | Arrive  (** External request received by an orchestrator. *)
+  | Arrive  (** Request received by an orchestrator (external or internal). *)
   | Dispatch  (** Orchestrator placed a request on an executor queue. *)
   | Start  (** Executor began an invocation (setup + ccall done). *)
   | Segment  (** One run segment (until suspend or finish), dur = length. *)
   | Suspend  (** cexit while waiting on children. *)
   | Resume  (** center back into the continuation. *)
-  | Complete  (** Invocation subtree finished. *)
+  | Complete  (** Invocation subtree finished; dur = teardown + notify cost. *)
   | Forward  (** Request shipped to another worker server. *)
   | Drop  (** Request shed; [detail] carries the reason. *)
   | Timeout  (** External request shed by the deadline policy. *)
-  | Retry  (** Dispatch held and retried after a backoff beat. *)
-  | Crash  (** An invocation crashed mid-flight (fault injection). *)
+  | Retry  (** Dispatch held and retried; dur = backoff until next attempt. *)
+  | Crash  (** An invocation crashed mid-flight; dur = wasted work + abort. *)
   | Recover  (** A crashed/abandoned request re-queued for re-execution. *)
   | Duplicate  (** A duplicated wire copy arrived and was deduplicated. *)
 
@@ -29,9 +34,15 @@ type event = {
   kind : kind;
   req_id : int;
   root_id : int;
+  parent_id : int;  (** Spawning invocation's req_id, -1 for roots. *)
   fn : string;
   core : int;  (** Core involved (-1 when not applicable). *)
+  sid : int;  (** Emitting server id (0 outside cluster mode). *)
   dur_ps : int;  (** Duration for span-like events, 0 otherwise. *)
+  stall_ps : int;
+      (** VM time (VLB misses, VTW walks, shootdown waits) inside [dur_ps],
+          attributed to this request. Always [<= dur_ps]; 0 for
+          non-isolated variants, whose VM cost is architectural. *)
   detail : string;
       (** Refinement of [kind]: the drop/shed reason ("queue_full",
           "deadline", "peer_dead"), the crash site, ""-when-absent. *)
@@ -48,23 +59,40 @@ val emit :
   kind:kind ->
   req_id:int ->
   root_id:int ->
+  ?parent_id:int ->
   fn:string ->
   core:int ->
+  ?sid:int ->
   ?dur_ps:int ->
+  ?stall_ps:int ->
   ?detail:string ->
   unit ->
   unit
 
 val length : t -> int
 val total_emitted : t -> int
+
+val capacity : t -> int
+val truncated : t -> bool
+(** True when the ring wrapped: [total_emitted > capacity], i.e. the oldest
+    events were overwritten and analyses cover a suffix of the run only. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest-retained first, without materializing a list. *)
+
+val fold : t -> init:'a -> ('a -> event -> 'a) -> 'a
+
 val events : t -> event list
 (** Oldest first (only the retained window). *)
 
 val kind_name : kind -> string
+val kind_of_name : string -> kind option
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?orch_cores:int list -> t -> string
 (** Chrome trace-event format: spans per core track, instant events for
-    arrivals/drops/forwards. *)
+    arrivals/drops/forwards, plus [ph:"M"] process/thread metadata naming
+    each track ("core N", or "orchestrator (core N)" for cores listed in
+    [orch_cores]). *)
 
 val to_text : ?limit:int -> t -> string
 (** Human-readable log lines, newest [limit] events (default all retained). *)

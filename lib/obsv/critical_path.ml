@@ -1,0 +1,81 @@
+(* Critical-path extraction over a root's span tree.
+
+   A root's own timeline already accounts every picosecond of its life; the
+   only intervals that hide nested structure are suspend waits. For each
+   suspend interval we resolve the child whose completion released the wait
+   (the child of this span with the latest end inside the interval), splice
+   the child's attributed timeline into the window, and recurse — the
+   result is the longest causal chain's per-phase blame. Residue the child
+   does not cover (it was born later, or its completion notification
+   preceded the resume) stays suspend wait, as do waits whose child was
+   lost to ring wraparound. *)
+
+type blame = {
+  phases : int array;  (** ps per {!Span.phase} along the critical path. *)
+  chain : (int * string) list;  (** (req_id, fn) of spans on the path. *)
+  unresolved_ps : int;  (** Suspend wait left unattributed to any child. *)
+}
+
+type acc = {
+  blame_acc : int array;
+  mutable chain_acc : (int * string) list;
+  mutable unresolved : int;
+}
+
+let max_depth = 64
+
+let clip (t0, t1) (w0, w1) = (Int.max t0 w0, Int.min t1 w1)
+
+let rec walk r (sp : Span.t) ~window:(w0, w1) ~depth acc =
+  if depth > max_depth || w1 <= w0 then ()
+  else begin
+    acc.chain_acc <- (sp.Span.req_id, sp.Span.fn) :: acc.chain_acc;
+    List.iter
+      (fun (ph, t0, t1) ->
+        let c0, c1 = clip (t0, t1) (w0, w1) in
+        if c1 > c0 then
+          match ph with
+          | Span.Suspend_wait -> resolve_wait r sp ~window:(c0, c1) ~depth acc
+          | ph ->
+              acc.blame_acc.(Span.phase_index ph) <-
+                acc.blame_acc.(Span.phase_index ph) + (c1 - c0))
+      (Span.timeline sp)
+  end
+
+and resolve_wait r (sp : Span.t) ~window:(c0, c1) ~depth acc =
+  (* The child that released this wait: latest end inside the interval. *)
+  let best =
+    List.fold_left
+      (fun best id ->
+        match Span.find r id with
+        | Some ch when Span.complete ch && ch.Span.end_ps > c0 && ch.Span.end_ps <= c1
+          -> (
+            match best with
+            | Some b when b.Span.end_ps >= ch.Span.end_ps -> best
+            | Some _ | None -> Some ch)
+        | Some _ | None -> best)
+      None
+      (Span.children_of r sp.Span.req_id)
+  in
+  let suspend ps =
+    if ps > 0 then
+      acc.blame_acc.(Span.phase_index Span.Suspend_wait) <-
+        acc.blame_acc.(Span.phase_index Span.Suspend_wait) + ps
+  in
+  match best with
+  | None ->
+      suspend (c1 - c0);
+      acc.unresolved <- acc.unresolved + (c1 - c0)
+  | Some ch ->
+      let b0 = Int.max c0 ch.Span.born and b1 = Int.min c1 ch.Span.end_ps in
+      (* Residue outside the child's life stays suspend wait. *)
+      suspend (c1 - c0 - (b1 - b0));
+      walk r ch ~window:(b0, b1) ~depth:(depth + 1) acc
+
+let of_root r (root : Span.t) =
+  let acc = { blame_acc = Array.make Span.phase_count 0; chain_acc = []; unresolved = 0 } in
+  if Span.complete root then
+    walk r root ~window:(root.Span.born, root.Span.end_ps) ~depth:0 acc;
+  { phases = acc.blame_acc; chain = List.rev acc.chain_acc; unresolved_ps = acc.unresolved }
+
+let total_ps b = Array.fold_left ( + ) 0 b.phases

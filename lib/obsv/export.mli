@@ -1,0 +1,16 @@
+(** Offline exporters over a loaded trace.
+
+    [chrome_json] produces a Chrome/Perfetto [traceEvents] document with
+    [ph:"M"] process/thread metadata and [ph:"s"]/[ph:"f"] flow arrows for
+    parent->child spawns (flow id = child request id) and forward->arrive
+    wire hops (flow ids offset by {!hop_flow_base}).  [blame_json] /
+    [blame_csv] export the per-function phase attribution and mean
+    critical-path blame. *)
+
+val hop_flow_base : int
+
+val chrome_json :
+  ?orch_cores:int list -> events:Jord_faas.Trace.event list -> Span.result -> string
+
+val blame_json : Span.result -> string
+val blame_csv : Span.result -> string

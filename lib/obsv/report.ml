@@ -1,0 +1,218 @@
+(* Text reports over a span forest — what [jordctl trace] prints. *)
+
+let us ps = float_of_int ps /. 1e6
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(Int.max 0 (Int.min (n - 1) rank))
+
+let complete_roots r = List.filter Span.complete (Span.roots r)
+
+let truncation_note r =
+  if r.Span.truncated then
+    "NOTE: the trace ring wrapped (truncated=true): oldest events were lost and\n\
+     analyses cover only the retained suffix of the run.\n"
+  else ""
+
+type fn_stats = {
+  fn : string;
+  n : int;
+  mean_ps : float;
+  p50_ps : int;
+  p99_ps : int;
+  phase_mean_ps : float array;  (** Indexed by {!Span.phase_index}. *)
+}
+
+let by_function r =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt tbl sp.Span.fn) in
+      Hashtbl.replace tbl sp.Span.fn (sp :: l))
+    (complete_roots r);
+  Hashtbl.fold
+    (fun fn sps acc ->
+      let n = List.length sps in
+      let lat = Array.of_list (List.map Span.e2e_ps sps) in
+      Array.sort compare lat;
+      let phase_mean_ps =
+        Array.init Span.phase_count (fun i ->
+            List.fold_left
+              (fun s sp -> s +. float_of_int sp.Span.phases.(i))
+              0.0 sps
+            /. float_of_int n)
+      in
+      {
+        fn;
+        n;
+        mean_ps =
+          Array.fold_left (fun s v -> s +. float_of_int v) 0.0 lat /. float_of_int n;
+        p50_ps = percentile 50.0 lat;
+        p99_ps = percentile 99.0 lat;
+        phase_mean_ps;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.fn b.fn)
+
+let conservation_ok r = Span.conservation_violations r = []
+
+let conservation_line r =
+  let roots = complete_roots r in
+  match Span.conservation_violations r with
+  | [] ->
+      Printf.sprintf
+        "conservation: ok (%d complete spans, %d roots; phases sum exactly to \
+         end-to-end)"
+        (let _, done_, _, _ = Span.stats r in
+         done_)
+        (List.length roots)
+  | errs ->
+      Printf.sprintf "conservation: VIOLATED (%d spans)\n  %s" (List.length errs)
+        (String.concat "\n  " errs)
+
+let phase_table buf ~label rows =
+  (* rows : (name, total_ps array) — prints one line per row with per-phase
+     microseconds and shares. *)
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %10s" label "e2e_us");
+  Array.iter
+    (fun ph -> Buffer.add_string buf (Printf.sprintf " %12s" (Span.phase_name ph)))
+    Span.all_phases;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, phases) ->
+      let total = Array.fold_left ( +. ) 0.0 phases in
+      Buffer.add_string buf (Printf.sprintf "%-14s %10.3f" name (total /. 1e6));
+      Array.iter
+        (fun ph ->
+          let v = phases.(Span.phase_index ph) in
+          let share = if total > 0.0 then 100.0 *. v /. total else 0.0 in
+          Buffer.add_string buf
+            (Printf.sprintf " %7.3f/%3.0f%%" (v /. 1e6) share))
+        Span.all_phases;
+      Buffer.add_char buf '\n')
+    rows
+
+let breakdown r =
+  let buf = Buffer.create 2048 in
+  let total, done_, dead, partial = Span.stats r in
+  Buffer.add_string buf (truncation_note r);
+  Buffer.add_string buf
+    (Printf.sprintf "spans: %d (%d completed, %d shed, %d partial) from %d events\n"
+       total done_ dead partial r.Span.total_events);
+  let stats = by_function r in
+  if stats = [] then Buffer.add_string buf "no complete root spans\n"
+  else begin
+    Buffer.add_string buf
+      "per-phase attribution, complete roots (mean us per request / share of e2e):\n";
+    phase_table buf ~label:"fn"
+      (List.map (fun s -> (Printf.sprintf "%s(%d)" s.fn s.n, s.phase_mean_ps)) stats)
+  end;
+  Buffer.add_string buf (conservation_line r);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let slowest ?(n = 10) r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (truncation_note r);
+  let roots =
+    List.sort (fun a b -> compare (Span.e2e_ps b) (Span.e2e_ps a)) (complete_roots r)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  let picked = take n roots in
+  if picked = [] then Buffer.add_string buf "no complete root spans\n"
+  else begin
+    Buffer.add_string buf (Printf.sprintf "slowest %d roots:\n" (List.length picked));
+    phase_table buf ~label:"req"
+      (List.map
+         (fun sp ->
+           ( Printf.sprintf "#%d %s" sp.Span.req_id sp.Span.fn,
+             Array.map float_of_int sp.Span.phases ))
+         picked)
+  end;
+  Buffer.contents buf
+
+(* Aggregate critical-path blame per entry function plus the tail verdict
+   ("for p99 requests, phase X is Y% of latency"). *)
+let critical_path r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (truncation_note r);
+  let roots = complete_roots r in
+  if roots = [] then begin
+    Buffer.add_string buf "no complete root spans\n";
+    Buffer.contents buf
+  end
+  else begin
+    let blames = List.map (fun sp -> (sp, Critical_path.of_root r sp)) roots in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ((sp : Span.t), (b : Critical_path.blame)) ->
+        let n, acc =
+          Option.value ~default:(0, Array.make Span.phase_count 0.0)
+            (Hashtbl.find_opt tbl sp.Span.fn)
+        in
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) +. float_of_int v) b.Critical_path.phases;
+        Hashtbl.replace tbl sp.Span.fn (n + 1, acc))
+      blames;
+    let rows =
+      Hashtbl.fold
+        (fun fn (n, acc) l ->
+          (Printf.sprintf "%s(%d)" fn n, Array.map (fun v -> v /. float_of_int n) acc)
+          :: l)
+        tbl []
+      |> List.sort compare
+    in
+    Buffer.add_string buf
+      "critical-path blame, complete roots (mean us on the longest causal chain):\n";
+    phase_table buf ~label:"fn" rows;
+    (* Tail report over the p99 slice. *)
+    let lat = Array.of_list (List.map (fun (sp, _) -> Span.e2e_ps sp) blames) in
+    Array.sort compare lat;
+    let p99 = percentile 99.0 lat in
+    let tail = List.filter (fun (sp, _) -> Span.e2e_ps sp >= p99) blames in
+    let acc = Array.make Span.phase_count 0 in
+    List.iter
+      (fun (_, (b : Critical_path.blame)) ->
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) b.Critical_path.phases)
+      tail;
+    let total = Array.fold_left ( + ) 0 acc in
+    if total > 0 then begin
+      let worst = ref 0 in
+      Array.iteri (fun i v -> if v > acc.(!worst) then worst := i) acc;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "tail: for p99 requests (>= %.3f us, n=%d), %s is %.1f%% of \
+            critical-path latency\n"
+           (us p99) (List.length tail)
+           (Span.phase_name Span.all_phases.(!worst))
+           (100.0 *. float_of_int acc.(!worst) /. float_of_int total))
+    end;
+    let longest =
+      List.fold_left
+        (fun best (_, (b : Critical_path.blame)) ->
+          if List.length b.Critical_path.chain
+             > List.length best.Critical_path.chain
+          then b
+          else best)
+        (snd (List.hd blames))
+        blames
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "longest chain (%d spans): %s\n"
+         (List.length longest.Critical_path.chain)
+         (String.concat " -> "
+            (List.map
+               (fun (id, fn) -> Printf.sprintf "%s#%d" fn id)
+               longest.Critical_path.chain)));
+    Buffer.add_string buf (conservation_line r);
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

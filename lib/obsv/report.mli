@@ -1,0 +1,37 @@
+(** Text reports over a span forest — what [jordctl trace] prints.
+
+    Every report leads with a truncation note when the source ring wrapped
+    (the analysis covers only the retained suffix), and the breakdown /
+    critical-path reports end with the conservation verdict. *)
+
+type fn_stats = {
+  fn : string;
+  n : int;
+  mean_ps : float;
+  p50_ps : int;
+  p99_ps : int;
+  phase_mean_ps : float array;  (** Indexed by {!Span.phase_index}. *)
+}
+
+val by_function : Span.result -> fn_stats list
+(** Complete roots grouped by entry function, sorted by name. *)
+
+val complete_roots : Span.result -> Span.t list
+
+val conservation_ok : Span.result -> bool
+
+val breakdown : Span.result -> string
+(** Per-function per-phase attribution table + conservation verdict. *)
+
+val slowest : ?n:int -> Span.result -> string
+(** The [n] (default 10) slowest complete roots with their phase splits. *)
+
+val critical_path : Span.result -> string
+(** Mean critical-path blame per entry function, the p99 tail verdict, the
+    longest causal chain, and the conservation verdict. *)
+
+val percentile : float -> int array -> int
+(** Nearest-rank percentile over a sorted array. *)
+
+val us : int -> float
+(** ps to microseconds. *)

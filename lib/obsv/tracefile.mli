@@ -1,0 +1,31 @@
+(** JSONL trace files — the interchange between [jordctl run --trace-out]
+    and [jordctl trace].
+
+    Line 1 is a header object ([jord_trace] version, emission totals,
+    truncation flag, plus caller metadata such as [variant] and
+    [orch_cores]); each further line is one event, oldest retained first.
+    All times are integer picoseconds, so files round-trip exactly — the
+    conservation identity survives save/load, unlike the Chrome export's
+    float microseconds. *)
+
+val format_version : int
+
+val save :
+  path:string -> ?meta:(string * Jord_util.Json.t) list -> Jord_faas.Trace.t -> unit
+(** Write the retained window. [meta] is appended to the header object. *)
+
+type loaded = {
+  events : Jord_faas.Trace.event list;  (** Oldest first. *)
+  truncated : bool;
+  total_emitted : int;
+  capacity : int;
+  meta : Jord_util.Json.t;
+}
+
+val load : path:string -> (loaded, string) result
+
+val orch_cores : loaded -> int list
+(** The [orch_cores] header list ([[]] when absent). *)
+
+val spans : loaded -> Span.result
+(** Build the span forest from a loaded file (truncation propagated). *)

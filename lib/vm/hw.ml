@@ -8,6 +8,12 @@ type t = {
   mutable shootdown_ns : float;
   mutable walks : int;
   mutable walk_ns : float;
+  mutable cur_stall_ns : float;
+      (* Running VM-stall accumulator for per-request attribution: walks,
+         I-VLB refill bubbles and shootdown waits add to it as they are
+         charged. The executor marks it at the start of each synchronous
+         compute block and reads the delta at the end (reset-and-read), so
+         stray accumulation outside a block is harmless. *)
   faults : int array; (* indexed by fault_class *)
 }
 
@@ -34,6 +40,7 @@ let create ?(i_entries = 16) ?(d_entries = 16) ~memsys ~store ~va_cfg () =
     shootdown_ns = 0.0;
     walks = 0;
     walk_ns = 0.0;
+    cur_stall_ns = 0.0;
     faults = Array.make (Array.length fault_classes) 0;
   }
 
@@ -48,6 +55,8 @@ let shootdown_count t = t.shootdowns
 let shootdown_ns_total t = t.shootdown_ns
 let walk_count t = t.walks
 let walk_ns_total t = t.walk_ns
+let stall_mark t = t.cur_stall_ns <- 0.0
+let stall_since_mark t = t.cur_stall_ns
 
 (* Aggregate VLB statistics across every core. *)
 let vlb_totals t =
@@ -157,6 +166,7 @@ let translate_unchecked t ~core ~va ~access ~kind =
           | `Instr -> Jord_arch.Config.cycles_ns (config t) ivlb_stall_cycles
           | `Data -> 0.0
         in
+        t.cur_stall_ns <- t.cur_stall_ns +. lat +. stall;
         (vte, lat +. stall)
   in
   let perm_lat = check_perm t ~core ~mmu ~va ~access vte in
@@ -216,6 +226,7 @@ let shootdown t ~core ~va =
     cores;
   Vtd.note_write t.vtd ~vte_addr:tag;
   t.shootdown_ns <- t.shootdown_ns +. !worst;
+  t.cur_stall_ns <- t.cur_stall_ns +. !worst;
   !worst
 
 (* Mean occupancy fraction of one VLB kind across every core — a sampled

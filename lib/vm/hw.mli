@@ -78,6 +78,15 @@ val walk_count : t -> int
 val walk_ns_total : t -> float
 (** VTW walk statistics (VLB miss penalty measurements). *)
 
+val stall_mark : t -> unit
+(** Reset the per-request VM-stall accumulator. The executor calls this at
+    the start of each synchronous compute block. *)
+
+val stall_since_mark : t -> float
+(** VM time (VTW walks, I-VLB refill bubbles, shootdown round trips)
+    accumulated since the last {!stall_mark}, in ns — the tracing layer
+    attributes it to the request that ran the block. *)
+
 val vlb_totals : t -> int * int
 (** (hits, misses) summed over every core's I- and D-VLB. *)
 

@@ -56,10 +56,11 @@ let run ?(warmup = 2000) ?tracer ?on_server ~app ~config ~rate_mrps ~duration_us
   Server.run ~until:(Time.of_us (3.0 *. duration_us)) server;
   (server, recorder)
 
-let run_cluster ?(warmup = 2000) ?on_cluster ?forward_after ~servers ~app ~config
-    ~rate_mrps ~duration_us ?(seed = 7) () =
+let run_cluster ?(warmup = 2000) ?tracer ?on_cluster ?forward_after ~servers ~app
+    ~config ~rate_mrps ~duration_us ?(seed = 7) () =
   let cluster = Cluster.create ?forward_after ~servers ~config app in
   (match on_cluster with Some f -> f cluster | None -> ());
+  (match tracer with Some tr -> Cluster.set_tracer cluster (Some tr) | None -> ());
   let recorder = Jord_metrics.Recorder.create ~warmup () in
   Cluster.on_root_complete cluster (Jord_metrics.Recorder.observe recorder);
   let duration = Time.of_us duration_us in

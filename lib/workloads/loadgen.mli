@@ -37,6 +37,7 @@ val run :
 
 val run_cluster :
   ?warmup:int ->
+  ?tracer:Jord_faas.Trace.t ->
   ?on_cluster:(Jord_faas.Cluster.t -> unit) ->
   ?forward_after:int ->
   servers:int ->

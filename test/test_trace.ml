@@ -106,7 +106,13 @@ let test_ring_wrap_then_chrome_json () =
   | Error e -> Alcotest.fail e
   | Ok doc -> (
       match Json.member "traceEvents" doc with
-      | Some (Json.List evs) -> Alcotest.(check int) "retained only" 3 (List.length evs)
+      | Some (Json.List evs) ->
+          (* Metadata (ph:"M") rides along; only retained events are real. *)
+          let is_meta ev = Json.member "ph" ev = Some (Json.String "M") in
+          Alcotest.(check int) "retained only" 3
+            (List.length (List.filter (fun ev -> not (is_meta ev)) evs));
+          Alcotest.(check bool) "names tracks" true
+            (List.exists is_meta evs)
       | _ -> Alcotest.fail "no traceEvents list")
 
 let test_text_log () =
@@ -134,7 +140,9 @@ let test_server_emits () =
   let by k = List.length (List.filter (fun e -> e.Trace.kind = k) evs) in
   Alcotest.(check int) "one arrive per external" (by Trace.Arrive)
     (List.length (List.filter (fun e -> e.Trace.kind = Trace.Arrive) evs));
-  Alcotest.(check bool) "starts >= arrivals (nested)" true (by Trace.Start >= by Trace.Arrive);
+  (* Every start was preceded by an arrival (external submit or internal
+     child birth), and unfinished tails can leave extra arrivals. *)
+  Alcotest.(check bool) "arrivals >= starts" true (by Trace.Arrive >= by Trace.Start);
   Alcotest.(check bool) "dispatches recorded" true (by Trace.Dispatch > 0);
   Alcotest.(check bool) "completes match starts" true (by Trace.Complete = by Trace.Start);
   (* Timestamps are monotone. *)
