@@ -62,6 +62,19 @@ let fault_plan_conv =
   Arg.conv
     (parse, fun ppf p -> Format.pp_print_string ppf (Jord_fault_inject.Plan.to_string p))
 
+(* An SLO spec: preset name, inline objectives, or a spec file path. *)
+let slo_conv =
+  let parse s =
+    match Jord_obsv.Slo.parse_arg s with
+    | Ok objectives -> Ok objectives
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf objectives ->
+        Format.pp_print_string ppf
+          (String.concat ";" (List.map Jord_obsv.Slo.to_string objectives)) )
+
 (* --- run --- *)
 
 let run_cmd =
@@ -178,7 +191,22 @@ let run_cmd =
              ~doc:"Transfer attempts before a forwarded request is abandoned and \
                    re-executed locally (clusters under a fault plan only).")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max =
+  let slo_spec =
+    Arg.(value & opt (some slo_conv) None
+         & info [ "slo" ] ~docv:"SPEC"
+             ~doc:"Evaluate SLO objectives online during the run: a preset (none, \
+                   default, tight, ci), inline objectives \
+                   (p=99,threshold_us=25,window_us=250), or a spec file. Prints a \
+                   verdict table and the burn-rate alert log after the summary; \
+                   $(b,none) (or omitting the flag) leaves the run untouched.")
+  in
+  let slo_out =
+    Arg.(value & opt (some string) None
+         & info [ "slo-out" ] ~docv:"FILE"
+             ~doc:"Write the online SLO report (objective snapshots plus the alert \
+                   log) as JSON.")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max slo_spec slo_out =
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -264,11 +292,40 @@ let run_cmd =
         "per-request: exec=%.0fns isolation=%.0fns dispatch=%.0fns data=%.0fns (%.2f invocations)\n"
         b.exec_ns b.isolation_ns b.dispatch_ns b.comm_ns (mean_invocations recorder)
     in
-    let want_trace = trace_file <> None || trace_out <> None in
+    (* The online SLO plane rides the tracer's emit sink, so --slo forces a
+       tracer even when no trace file was asked for. *)
+    let objectives = match slo_spec with None -> [] | Some objs -> objs in
+    let pipeline =
+      if objectives = [] then None else Some (Jord_obsv.Online.create objectives)
+    in
+    let want_trace = trace_file <> None || trace_out <> None || pipeline <> None in
     (* One tracer shared by every server: events carry the server id, so the
        offline tools can tell the tracks apart. *)
     let tracer = if want_trace then Some (Jord_faas.Trace.create ()) else None in
-    let write_traces tr ~orch_cores =
+    (match (pipeline, tracer) with
+    | Some p, Some tr ->
+        Jord_obsv.Online.attach p tr;
+        if metrics_out <> None then Jord_obsv.Online.register_metrics p registry
+    | _ -> ());
+    let finish_slo engine =
+      Option.iter
+        (fun p -> Jord_obsv.Online.finish p ~now_ps:(Jord_sim.Engine.now engine))
+        pipeline
+    in
+    let print_slo () =
+      match pipeline with
+      | None -> ()
+      | Some p -> (
+          print_string (Jord_obsv.Online.report_text p);
+          match slo_out with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Jord_obsv.Online.report_json p);
+              close_out oc;
+              Printf.printf "slo: report -> %s\n" path)
+    in
+    let write_traces tr ~orch_cores ~end_ps =
       (match trace_file with
       | None -> ()
       | Some path ->
@@ -288,6 +345,9 @@ let run_cmd =
               ( "orch_cores",
                 Jord_util.Json.List (List.map (fun c -> Jord_util.Json.Int c) orch_cores)
               );
+              (* The engine's final time: `jordctl slo` replays finish here,
+                 so offline reports close the same windows the live run did. *)
+              ("end_ps", Jord_util.Json.Int end_ps);
             ]
           in
           Jord_obsv.Tracefile.save ~path ~meta tr;
@@ -308,12 +368,14 @@ let run_cmd =
         Jord_workloads.Loadgen.run_cluster ?tracer ~on_cluster ~forward_after ~servers
           ~warmup ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
       in
+      finish_slo (Jord_faas.Cluster.engine cluster);
       export_metrics ();
       let members = Jord_faas.Cluster.servers cluster in
       (match tracer with
       | Some tr ->
           write_traces tr
             ~orch_cores:(Jord_faas.Server.orchestrator_cores members.(0))
+            ~end_ps:(Jord_sim.Engine.now (Jord_faas.Cluster.engine cluster))
       | None -> ());
       let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
       Printf.printf "workload=%s system=%s cluster=%d servers x (%d cores / %d sockets)\n"
@@ -353,6 +415,7 @@ let run_cmd =
               s.Jord_faas.Cluster.peers_marked_dead
         | None -> ()
       end;
+      print_slo ();
       verdict (Jord_faas.Cluster.check_invariants cluster);
       Printf.printf "[simulated %d events in %.1fs wall]\n"
         (Jord_sim.Engine.processed (Jord_faas.Cluster.engine cluster))
@@ -370,10 +433,13 @@ let run_cmd =
         Jord_workloads.Loadgen.run ?tracer ~on_server ~warmup ~app ~config
           ~rate_mrps:rate ~duration_us:duration ~seed ()
       in
+      finish_slo (Jord_faas.Server.engine server);
       export_metrics ();
       (match tracer with
       | Some tr ->
-          write_traces tr ~orch_cores:(Jord_faas.Server.orchestrator_cores server)
+          write_traces tr
+            ~orch_cores:(Jord_faas.Server.orchestrator_cores server)
+            ~end_ps:(Jord_sim.Engine.now (Jord_faas.Server.engine server))
       | None -> ());
       Printf.printf "workload=%s system=%s machine=%d cores / %d sockets\n"
         app.Jord_faas.Model.app_name (Jord_faas.Variant.name variant) cores sockets;
@@ -400,6 +466,7 @@ let run_cmd =
           (Jord_faas.Server.recovered server)
           (Jord_faas.Server.stalls server)
           (Jord_faas.Server.slowdowns server);
+      print_slo ();
       verdict (Jord_faas.Server.check_invariants server);
       Printf.printf "[simulated %d events in %.1fs wall]\n"
         (Jord_sim.Engine.processed (Jord_faas.Server.engine server))
@@ -413,7 +480,7 @@ let run_cmd =
       $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ trace_out $ metrics_out
       $ metrics_format $ sample_us $ servers $ forward_after $ net_one_way
       $ net_per_byte $ fault_plan $ deadline_us $ retry_base_us $ retry_cap
-      $ retry_max)
+      $ retry_max $ slo_spec $ slo_out)
 
 (* --- stats --- *)
 
@@ -664,7 +731,14 @@ let trace_cmd =
     | Error msg ->
         prerr_endline ("jordctl: " ^ msg);
         exit 2
-    | Ok l -> (l, Jord_obsv.Tracefile.spans l)
+    | Ok l ->
+        (* A wrapped ring means every report below covers a suffix of the run
+           only — say so where the user will see it. *)
+        if l.Jord_obsv.Tracefile.truncated then
+          Printf.eprintf "WARNING: ring truncated, %d events dropped\n"
+            (l.Jord_obsv.Tracefile.total_emitted
+            - List.length l.Jord_obsv.Tracefile.events);
+        (l, Jord_obsv.Tracefile.spans l)
   in
   (* Attribution that does not sum exactly to end-to-end latency is a tool
      bug, not a degraded report — fail loudly (CI greps for this). *)
@@ -744,6 +818,124 @@ let trace_cmd =
        ~doc:"Analyze a --trace-out file: breakdown, slowest, critical-path, export")
     [ breakdown_cmd; slowest_cmd; critical_cmd; export_cmd ]
 
+(* --- slo --- *)
+
+let slo_cmd =
+  let file_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"JSONL trace written by $(b,jordctl run --trace-out).")
+  in
+  let spec =
+    Arg.(value & opt string "default"
+         & info [ "slo" ] ~docv:"SPEC"
+             ~doc:"Objectives to evaluate: a preset (default, tight, ci), inline \
+                   objectives, or a spec file (same syntax as $(b,jordctl run \
+                   --slo)).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  (* Replaying the recorded events through the same pipeline the live run
+     uses: a run with --slo and an offline `jordctl slo` over its --trace-out
+     produce identical reports. *)
+  let replay_of path spec =
+    match Jord_obsv.Slo.parse_arg spec with
+    | Error msg ->
+        prerr_endline ("jordctl: bad --slo spec: " ^ msg);
+        exit 2
+    | Ok [] ->
+        prerr_endline "jordctl: the spec selects no objectives (preset \"none\")";
+        exit 2
+    | Ok objectives -> (
+        match Jord_obsv.Tracefile.load ~path with
+        | Error msg ->
+            prerr_endline ("jordctl: " ^ msg);
+            exit 2
+        | Ok l ->
+            if l.Jord_obsv.Tracefile.truncated then
+              Printf.eprintf "WARNING: ring truncated, %d events dropped\n"
+                (l.Jord_obsv.Tracefile.total_emitted
+                - List.length l.Jord_obsv.Tracefile.events);
+            (* Finish where the recording run's engine stopped (when the
+               file says), so replayed reports match live ones exactly. *)
+            let finish_ps =
+              match
+                Jord_util.Json.member "end_ps" l.Jord_obsv.Tracefile.meta
+              with
+              | Some (Jord_util.Json.Int i) -> Some i
+              | _ -> None
+            in
+            Jord_obsv.Online.replay ~objectives ?finish_ps
+              l.Jord_obsv.Tracefile.events)
+  in
+  let emit out body =
+    match out with
+    | None -> print_string body
+    | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let report_cmd =
+    let fmt =
+      Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"FMT" ~doc:"text or json.")
+    in
+    let run path spec fmt out =
+      let p = replay_of path spec in
+      emit out
+        (match fmt with
+        | `Text -> Jord_obsv.Online.report_text p
+        | `Json -> Jord_obsv.Online.report_json p)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Verdict table per objective (requests, budget burn, measured \
+               quantile, alert counts)")
+      Term.(const run $ file_pos $ spec $ fmt $ out)
+  in
+  let alerts_cmd =
+    let fmt =
+      Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"FMT" ~doc:"text or json.")
+    in
+    let run path spec fmt out =
+      let p = replay_of path spec in
+      emit out
+        (match fmt with
+        | `Text -> Jord_obsv.Online.alerts_text p
+        | `Json -> Jord_obsv.Online.alerts_json p)
+    in
+    Cmd.v
+      (Cmd.info "alerts"
+         ~doc:"The chronological burn-rate alert log (fire/resolve transitions)")
+      Term.(const run $ file_pos $ spec $ fmt $ out)
+  in
+  let burn_cmd =
+    let fmt =
+      Arg.(value & opt (enum [ ("text", `Text); ("csv", `Csv) ]) `Text
+           & info [ "format" ] ~docv:"FMT" ~doc:"text or csv.")
+    in
+    let run path spec fmt out =
+      let p = replay_of path spec in
+      emit out
+        (match fmt with
+        | `Text -> Jord_obsv.Online.burn_text p
+        | `Csv -> Jord_obsv.Online.burn_csv p)
+    in
+    Cmd.v
+      (Cmd.info "burn"
+         ~doc:"Per-window burn rates for every objective, with a sparkline")
+      Term.(const run $ file_pos $ spec $ fmt $ out)
+  in
+  Cmd.group
+    (Cmd.info "slo"
+       ~doc:"Evaluate SLO objectives over a recorded trace: report, alerts, burn")
+    [ report_cmd; alerts_cmd; burn_cmd ]
+
 (* --- list --- *)
 
 let list_cmd =
@@ -768,4 +960,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; bench_cmd; export_cmd; trace_cmd; list_cmd ]))
+          [ run_cmd; stats_cmd; sweep_cmd; exp_cmd; bench_cmd; export_cmd; trace_cmd; slo_cmd; list_cmd ]))

@@ -244,6 +244,76 @@ let trace ~quick =
       ];
   }
 
+(* --- slo_overhead: cost of the online SLO plane over plain tracing --- *)
+
+let slo_overhead ~quick =
+  let config = Exp_common.config_for Jord_faas.Variant.Jord in
+  let duration_us = if quick then 500.0 else 1200.0 in
+  (* A threshold below this workload's p99 so windows carry bad requests and
+     the burn-rate rule does real transitions, not just bookkeeping. *)
+  let objectives =
+    match Jord_obsv.Slo.parse "p=99,threshold_us=6,window_us=100,budget=0.02,slow=3" with
+    | Ok objs -> objs
+    | Error msg -> failwith ("slo_overhead: " ^ msg)
+  in
+  let run ~slo () =
+    let tracer = Jord_faas.Trace.create () in
+    let pipeline =
+      if slo then begin
+        let p = Jord_obsv.Online.create objectives in
+        Jord_obsv.Online.attach p tracer;
+        Some p
+      end
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let server, _ =
+      Jord_workloads.Loadgen.run ~tracer ~warmup:100
+        ~app:Jord_workloads.Hipster.app ~config ~rate_mrps:3.0 ~duration_us ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Option.iter
+      (fun p ->
+        Jord_obsv.Online.finish p
+          ~now_ps:(Jord_sim.Engine.now (Jord_faas.Server.engine server)))
+      pipeline;
+    (wall_s, pipeline)
+  in
+  ignore (run ~slo:true ());
+  let r = reps quick in
+  let last_pipeline = ref None in
+  let pairs =
+    List.init r (fun _ ->
+        let off_s, _ = run ~slo:false () in
+        let on_s, p = run ~slo:true () in
+        last_pipeline := p;
+        (off_s, on_s))
+  in
+  let snaps =
+    match !last_pipeline with
+    | Some p -> Jord_obsv.Online.snapshot p
+    | None -> []
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 snaps in
+  {
+    B.experiment = "slo_overhead";
+    metrics =
+      [
+        (* Wall-clock slowdown of traced+SLO over traced-only of the same
+           seeded simulation (1.0 = the pipeline is free). *)
+        B.metric ~name:"slo_overhead" ~unit_:"ratio"
+          (List.map (fun (off_s, on_s) -> on_s /. Float.max off_s 1e-9) pairs);
+        B.count ~tolerance:det_tol ~name:"slo_requests" ~unit_:"requests"
+          (float_of_int (sum (fun s -> s.Jord_obsv.Online.s_completed + s.Jord_obsv.Online.s_shed)));
+        B.count ~tolerance:det_tol ~name:"slo_bad" ~unit_:"requests"
+          (float_of_int (sum (fun s -> s.Jord_obsv.Online.s_bad)));
+        B.count ~tolerance:det_tol ~name:"slo_windows_closed" ~unit_:"windows"
+          (float_of_int (sum (fun s -> s.Jord_obsv.Online.s_windows_closed)));
+        B.count ~tolerance:det_tol ~name:"slo_transitions" ~unit_:"transitions"
+          (float_of_int (sum (fun s -> s.Jord_obsv.Online.s_fired + s.Jord_obsv.Online.s_resolved)));
+      ];
+  }
+
 (* --- registry --- *)
 
 let experiments =
@@ -253,6 +323,7 @@ let experiments =
     ("server", server);
     ("cluster", cluster);
     ("trace", trace);
+    ("slo_overhead", slo_overhead);
   ]
 
 let names = List.map fst experiments

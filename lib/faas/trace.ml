@@ -13,6 +13,7 @@ type kind =
   | Crash
   | Recover
   | Duplicate
+  | Alert
 
 type event = {
   at_ps : int;
@@ -32,19 +33,24 @@ type t = {
   ring : event option array;
   mutable next : int;
   mutable total : int;
+  mutable sink : (event -> unit) option;
 }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create";
-  { ring = Array.make capacity None; next = 0; total = 0 }
+  { ring = Array.make capacity None; next = 0; total = 0; sink = None }
+
+let set_sink t sink = t.sink <- sink
 
 let emit t ~at_ps ~kind ~req_id ~root_id ?(parent_id = -1) ~fn ~core ?(sid = 0)
     ?(dur_ps = 0) ?(stall_ps = 0) ?(detail = "") () =
-  t.ring.(t.next) <-
-    Some
-      { at_ps; kind; req_id; root_id; parent_id; fn; core; sid; dur_ps; stall_ps; detail };
+  let e =
+    { at_ps; kind; req_id; root_id; parent_id; fn; core; sid; dur_ps; stall_ps; detail }
+  in
+  t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod Array.length t.ring;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  match t.sink with None -> () | Some f -> f e
 
 let length t = Int.min t.total (Array.length t.ring)
 let total_emitted t = t.total
@@ -84,6 +90,7 @@ let kind_name = function
   | Crash -> "crash"
   | Recover -> "recover"
   | Duplicate -> "duplicate"
+  | Alert -> "alert"
 
 let kind_of_name = function
   | "arrive" -> Some Arrive
@@ -100,6 +107,7 @@ let kind_of_name = function
   | "crash" -> Some Crash
   | "recover" -> Some Recover
   | "duplicate" -> Some Duplicate
+  | "alert" -> Some Alert
   | _ -> None
 
 let us_of_ps ps = float_of_int ps /. 1e6
@@ -160,6 +168,13 @@ let to_chrome_json ?orch_cores t =
     match e.kind with
     | Segment ->
         Obj (("ph", String "X") :: ("dur", Float (us_of_ps e.dur_ps)) :: common)
+    | Alert ->
+        (* SLO transitions are process-global markers: they belong to no
+           request and must line up against every track in Perfetto. *)
+        Obj
+          (("ph", String "i") :: ("s", String "g")
+          :: ("name", String (Printf.sprintf "slo:%s:%s" e.fn e.detail))
+          :: List.filter (fun (k, _) -> k <> "name") common)
     | Arrive | Dispatch | Start | Suspend | Resume | Complete | Forward | Drop
     | Timeout | Retry | Crash | Recover | Duplicate ->
         Obj (("ph", String "i") :: ("s", String "t") :: common)

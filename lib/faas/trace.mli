@@ -28,6 +28,10 @@ type kind =
   | Crash  (** An invocation crashed mid-flight; dur = wasted work + abort. *)
   | Recover  (** A crashed/abandoned request re-queued for re-execution. *)
   | Duplicate  (** A duplicated wire copy arrived and was deduplicated. *)
+  | Alert
+      (** An SLO burn-rate alert transition ([detail] is ["fire"] or
+          ["resolve"], [fn] the objective name). System-scoped: emitted with
+          [req_id = -1] and ignored by span building. *)
 
 type event = {
   at_ps : int;  (** Simulated timestamp. *)
@@ -52,6 +56,13 @@ type t
 
 val create : ?capacity:int -> unit -> t
 (** Ring buffer of the most recent [capacity] events (default 65536). *)
+
+val set_sink : t -> (event -> unit) option -> unit
+(** Install a streaming consumer called with every event as it is emitted
+    (before any ring wraparound can lose it) — the hook the online SLO
+    pipeline rides. [None] (the default) removes it. The sink runs inside
+    {!emit}: it must not re-enter the simulation, though it may itself
+    [emit] system events (e.g. alerts), which are delivered back to it. *)
 
 val emit :
   t ->

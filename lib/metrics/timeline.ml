@@ -44,14 +44,19 @@ let render_snapshot ?(filter = fun _ -> true) reg =
               Some [ s.name; labels_str s.labels; "counter"; Render.f2 v ]
           | Registry.Gauge_v v ->
               Some [ s.name; labels_str s.labels; "gauge"; Render.f2 v ]
-          | Registry.Histogram_v { count; sum; _ } ->
+          | Registry.Histogram_v { buckets; count; sum } ->
+              let q p =
+                if count = 0 then "-"
+                else Render.f2 (Sketch.quantile_of_buckets buckets p)
+              in
               Some
                 [
                   s.name;
                   labels_str s.labels;
                   "histogram";
-                  Printf.sprintf "n=%d mean=%s" count
-                    (Render.f2 (if count = 0 then 0.0 else sum /. float_of_int count));
+                  Printf.sprintf "n=%d mean=%s p50=%s p95=%s p99=%s" count
+                    (Render.f2 (if count = 0 then 0.0 else sum /. float_of_int count))
+                    (q 50.0) (q 95.0) (q 99.0);
                 ])
       (Registry.snapshot reg)
   in

@@ -70,6 +70,13 @@ let entry (e : Trace.event) =
   match e.Trace.kind with
   | Trace.Segment ->
       Json.Obj (("ph", Json.String "X") :: ("dur", Json.Float (us e.Trace.dur_ps)) :: common)
+  | Trace.Alert ->
+      (* Global instant markers: SLO fire/resolve transitions line up with
+         every span track on the Perfetto timeline. *)
+      Json.Obj
+        (("ph", Json.String "i") :: ("s", Json.String "g")
+        :: ("name", Json.String (Printf.sprintf "slo:%s:%s" e.Trace.fn e.Trace.detail))
+        :: List.filter (fun (k, _) -> k <> "name") common)
   | _ -> Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common)
 
 let flow ~ph ~id ~pid ~tid ~ts ~name =

@@ -1,0 +1,577 @@
+module Trace = Jord_faas.Trace
+module Sketch = Jord_telemetry.Sketch
+module Json = Jord_util.Json
+
+type transition = {
+  tr_at_ps : int;
+  tr_objective : string;
+  tr_firing : bool;
+  tr_window : int;
+  tr_burn_fast : float;
+  tr_burn_slow : float;
+}
+
+type window_summary = {
+  w_index : int;
+  w_total : int;
+  w_bad : int;
+  w_burn_fast : float;
+  w_burn_slow : float;
+  w_firing : bool;
+}
+
+(* One open tumbling window on one server: exact counts plus sketches of
+   the completions that landed in it. *)
+type win = {
+  mutable total : int;
+  mutable bad : int;
+  mutable shed : int;
+  lat : Sketch.t;
+}
+
+type closed = { c_total : int; c_bad : int }
+
+type ostate = {
+  obj : Slo.objective;
+  open_wins : (int * int, win) Hashtbl.t;  (* (window index, sid) -> win *)
+  mutable next_close : int;
+  mutable recent : closed list;  (* newest first, length <= slow_windows *)
+  mutable history : window_summary list;  (* newest first *)
+  mutable firing : bool;
+  mutable fired : int;
+  mutable resolved : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable bad : int;
+  mutable e2e_sum_ps : int;
+  phase_sum_ps : int array;
+  all : Sketch.t;
+  per_sid : (int, Sketch.t) Hashtbl.t;
+  mutable windows_closed : int;
+  mutable trans : transition list;  (* newest first *)
+}
+
+type tracked = { sp : Span.t; mutable decided : bool }
+
+type t = {
+  objs : ostate list;
+  spans : (int, tracked) Hashtbl.t;
+  kids : (int, int list) Hashtbl.t;
+  mutable watermark : int;
+  mutable tracer : Trace.t option;
+  mutable finished : bool;
+}
+
+let create objectives =
+  {
+    objs =
+      List.map
+        (fun o ->
+          {
+            obj = o;
+            open_wins = Hashtbl.create 16;
+            next_close = 0;
+            recent = [];
+            history = [];
+            firing = false;
+            fired = 0;
+            resolved = 0;
+            completed = 0;
+            shed = 0;
+            bad = 0;
+            e2e_sum_ps = 0;
+            phase_sum_ps = Array.make Span.phase_count 0;
+            all = Sketch.create ();
+            per_sid = Hashtbl.create 4;
+            trans = [];
+            windows_closed = 0;
+          })
+        objectives;
+    spans = Hashtbl.create 1024;
+    kids = Hashtbl.create 256;
+    watermark = 0;
+    tracer = None;
+    finished = false;
+  }
+
+let objectives t = List.map (fun os -> os.obj) t.objs
+
+(* --- burn-rate evaluation --- *)
+
+let burn_over obj windows =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | w :: rest -> w :: take (k - 1) rest
+  in
+  let frac ws =
+    let total = List.fold_left (fun a w -> a + w.c_total) 0 ws in
+    let bad = List.fold_left (fun a w -> a + w.c_bad) 0 ws in
+    if total = 0 then (0.0, 0)
+    else (float_of_int bad /. float_of_int total, bad)
+  in
+  let fast_frac, fast_bad = frac (take obj.Slo.fast_windows windows) in
+  let slow_frac, _ = frac (take obj.Slo.slow_windows windows) in
+  (fast_frac /. obj.Slo.budget, slow_frac /. obj.Slo.budget, fast_bad)
+
+let emit_transition t os ~at_ps ~window ~firing ~burn_fast ~burn_slow =
+  os.trans <-
+    {
+      tr_at_ps = at_ps;
+      tr_objective = os.obj.Slo.name;
+      tr_firing = firing;
+      tr_window = window;
+      tr_burn_fast = burn_fast;
+      tr_burn_slow = burn_slow;
+    }
+    :: os.trans;
+  if firing then os.fired <- os.fired + 1 else os.resolved <- os.resolved + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr ~at_ps ~kind:Trace.Alert ~req_id:(-1) ~root_id:(-1)
+        ~fn:os.obj.Slo.name ~core:(-1)
+        ~detail:(if firing then "fire" else "resolve")
+        ()
+
+(* Close window [idx]: merge the member servers' sketches (ascending sid,
+   though any order would do — Sketch merging is associative and
+   commutative), push the burn history and run the alert rule. *)
+let close_window t os idx =
+  let sids =
+    Hashtbl.fold
+      (fun (w, sid) _ acc -> if w = idx then sid :: acc else acc)
+      os.open_wins []
+    |> List.sort compare
+  in
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun sid ->
+      let w = Hashtbl.find os.open_wins (idx, sid) in
+      total := !total + w.total;
+      bad := !bad + w.bad;
+      Hashtbl.remove os.open_wins (idx, sid))
+    sids;
+  let rec cap k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | w :: rest -> w :: cap (k - 1) rest
+  in
+  os.recent <- cap os.obj.Slo.slow_windows ({ c_total = !total; c_bad = !bad } :: os.recent);
+  let burn_fast, burn_slow, fast_bad = burn_over os.obj os.recent in
+  let should_fire =
+    burn_fast >= os.obj.Slo.burn_threshold
+    && burn_slow >= os.obj.Slo.burn_threshold
+    && fast_bad > 0
+  in
+  if should_fire <> os.firing then begin
+    os.firing <- should_fire;
+    emit_transition t os
+      ~at_ps:((idx + 1) * os.obj.Slo.window_ps)
+      ~window:idx ~firing:should_fire ~burn_fast ~burn_slow
+  end;
+  os.history <-
+    {
+      w_index = idx;
+      w_total = !total;
+      w_bad = !bad;
+      w_burn_fast = burn_fast;
+      w_burn_slow = burn_slow;
+      w_firing = os.firing;
+    }
+    :: os.history;
+  os.windows_closed <- os.windows_closed + 1;
+  os.next_close <- idx + 1
+
+let close_due t =
+  List.iter
+    (fun os ->
+      while (os.next_close + 1) * os.obj.Slo.window_ps <= t.watermark do
+        close_window t os os.next_close
+      done)
+    t.objs
+
+(* --- recording decided roots --- *)
+
+let matches os (sp : Span.t) =
+  match os.obj.Slo.fn with None -> true | Some fn -> fn = sp.Span.fn
+
+let win_for os ~idx ~sid =
+  match Hashtbl.find_opt os.open_wins (idx, sid) with
+  | Some w -> w
+  | None ->
+      let w = { total = 0; bad = 0; shed = 0; lat = Sketch.create () } in
+      Hashtbl.add os.open_wins (idx, sid) w;
+      w
+
+let record_completion t (sp : Span.t) =
+  let e2e = Span.e2e_ps sp in
+  List.iter
+    (fun os ->
+      if matches os sp then begin
+        let idx = sp.Span.end_ps / os.obj.Slo.window_ps in
+        let w = win_for os ~idx ~sid:sp.Span.sid in
+        let is_bad = e2e > os.obj.Slo.threshold_ps in
+        w.total <- w.total + 1;
+        if is_bad then w.bad <- w.bad + 1;
+        Sketch.add w.lat e2e;
+        os.completed <- os.completed + 1;
+        if is_bad then os.bad <- os.bad + 1;
+        os.e2e_sum_ps <- os.e2e_sum_ps + e2e;
+        Array.iteri
+          (fun i v -> os.phase_sum_ps.(i) <- os.phase_sum_ps.(i) + v)
+          sp.Span.phases;
+        Sketch.add os.all e2e;
+        let per =
+          match Hashtbl.find_opt os.per_sid sp.Span.sid with
+          | Some s -> s
+          | None ->
+              let s = Sketch.create () in
+              Hashtbl.add os.per_sid sp.Span.sid s;
+              s
+        in
+        Sketch.add per e2e
+      end)
+    t.objs
+
+(* Shed roots (queue-full drops, deadline timeouts) never complete but do
+   consume error budget: bad with no latency observation, in the window of
+   the shedding instant. *)
+let record_shed t (sp : Span.t) ~at_ps =
+  List.iter
+    (fun os ->
+      if matches os sp then begin
+        let idx = at_ps / os.obj.Slo.window_ps in
+        let w = win_for os ~idx ~sid:sp.Span.sid in
+        w.total <- w.total + 1;
+        w.bad <- w.bad + 1;
+        w.shed <- w.shed + 1;
+        os.shed <- os.shed + 1;
+        os.bad <- os.bad + 1
+      end)
+    t.objs
+
+let rec forget t req_id =
+  Hashtbl.remove t.spans req_id;
+  match Hashtbl.find_opt t.kids req_id with
+  | None -> ()
+  | Some kids ->
+      Hashtbl.remove t.kids req_id;
+      List.iter (forget t) kids
+
+let is_root (sp : Span.t) = sp.Span.parent_id < 0 && sp.Span.req_id = sp.Span.root_id
+
+let observe t (e : Trace.event) =
+  if e.Trace.req_id >= 0 then begin
+    if e.Trace.at_ps > t.watermark then begin
+      t.watermark <- e.Trace.at_ps;
+      close_due t
+    end;
+    let tracked =
+      match Hashtbl.find_opt t.spans e.Trace.req_id with
+      | Some tr -> tr
+      | None ->
+          let tr = { sp = Span.fresh e; decided = false } in
+          Hashtbl.add t.spans e.Trace.req_id tr;
+          if e.Trace.parent_id >= 0 then
+            Hashtbl.replace t.kids e.Trace.parent_id
+              (e.Trace.req_id
+              :: Option.value ~default:[] (Hashtbl.find_opt t.kids e.Trace.parent_id));
+          tr
+    in
+    Span.feed tracked.sp e;
+    if (not tracked.decided) && is_root tracked.sp then
+      if tracked.sp.Span.state = Span.Done && Span.complete tracked.sp then begin
+        tracked.decided <- true;
+        record_completion t tracked.sp;
+        forget t e.Trace.req_id
+      end
+      else if tracked.sp.Span.dead then begin
+        tracked.decided <- true;
+        record_shed t tracked.sp ~at_ps:e.Trace.at_ps;
+        forget t e.Trace.req_id
+      end
+  end
+
+let attach t tracer =
+  t.tracer <- Some tracer;
+  Trace.set_sink tracer (Some (observe t))
+
+let finish t ~now_ps =
+  if not t.finished then begin
+    t.finished <- true;
+    if now_ps > t.watermark then t.watermark <- now_ps;
+    close_due t;
+    (* Close the final partial window so end-of-run reports include it. *)
+    List.iter
+      (fun os ->
+        if os.next_close * os.obj.Slo.window_ps <= t.watermark then
+          close_window t os os.next_close)
+      t.objs
+  end
+
+let replay ~objectives ?finish_ps events =
+  let t = create objectives in
+  let last = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.at_ps > !last then last := e.Trace.at_ps;
+      observe t e)
+    events;
+  finish t ~now_ps:(match finish_ps with Some ps -> ps | None -> !last);
+  t
+
+(* --- snapshots --- *)
+
+type objective_snapshot = {
+  s_objective : Slo.objective;
+  s_completed : int;
+  s_shed : int;
+  s_bad : int;
+  s_e2e_sum_ps : int;
+  s_phase_sum_ps : int array;
+  s_sketch : Sketch.t;
+  s_quantile_ps : int;
+  s_windows_closed : int;
+  s_fired : int;
+  s_resolved : int;
+  s_firing : bool;
+  s_transitions : transition list;
+  s_windows : window_summary list;
+  s_per_sid : (int * Sketch.t) list;
+}
+
+let snapshot t =
+  List.map
+    (fun os ->
+      {
+        s_objective = os.obj;
+        s_completed = os.completed;
+        s_shed = os.shed;
+        s_bad = os.bad;
+        s_e2e_sum_ps = os.e2e_sum_ps;
+        s_phase_sum_ps = Array.copy os.phase_sum_ps;
+        s_sketch = Sketch.copy os.all;
+        s_quantile_ps = Sketch.quantile os.all os.obj.Slo.percentile;
+        s_windows_closed = os.windows_closed;
+        s_fired = os.fired;
+        s_resolved = os.resolved;
+        s_firing = os.firing;
+        s_transitions = List.rev os.trans;
+        s_windows = List.rev os.history;
+        s_per_sid =
+          Hashtbl.fold (fun sid s acc -> (sid, Sketch.copy s) :: acc) os.per_sid []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
+      })
+    t.objs
+
+let transitions t =
+  List.concat_map (fun os -> List.rev os.trans) t.objs
+  |> List.sort (fun a b ->
+         compare (a.tr_at_ps, a.tr_objective) (b.tr_at_ps, b.tr_objective))
+
+(* --- telemetry --- *)
+
+let register_metrics t ?(labels = []) registry =
+  let module R = Jord_telemetry.Registry in
+  List.iter
+    (fun os ->
+      let l = labels @ [ ("slo", os.obj.Slo.name) ] in
+      let c name help f = R.counter_fn registry ~help ~labels:l name f in
+      let g name help f = R.gauge_fn registry ~help ~labels:l name f in
+      c "jord_slo_requests_total" "Roots decided against this objective"
+        (fun () -> float_of_int (os.completed + os.shed));
+      c "jord_slo_bad_total" "Budget-consuming requests (over threshold or shed)"
+        (fun () -> float_of_int os.bad);
+      c "jord_slo_shed_total" "Shed roots charged to the objective" (fun () ->
+          float_of_int os.shed);
+      c "jord_slo_windows_closed_total" "Tumbling windows evaluated" (fun () ->
+          float_of_int os.windows_closed);
+      c "jord_slo_alerts_fired_total" "Burn-rate alert firings" (fun () ->
+          float_of_int os.fired);
+      c "jord_slo_alerts_resolved_total" "Burn-rate alert resolutions" (fun () ->
+          float_of_int os.resolved);
+      g "jord_slo_firing" "1 while the alert is firing" (fun () ->
+          if os.firing then 1.0 else 0.0);
+      g "jord_slo_budget_remaining_ratio"
+        "Share of the error budget not yet consumed" (fun () ->
+          let total = os.completed + os.shed in
+          if total = 0 then 1.0
+          else
+            Float.max 0.0
+              (1.0
+              -. float_of_int os.bad
+                 /. (os.obj.Slo.budget *. float_of_int total))))
+    t.objs
+
+(* --- rendering --- *)
+
+let us ps = float_of_int ps /. 1e6
+
+let verdict_row s =
+  let o = s.s_objective in
+  let total = s.s_completed + s.s_shed in
+  let budget_used =
+    if total = 0 then 0.0
+    else float_of_int s.s_bad /. (o.Slo.budget *. float_of_int total) *. 100.0
+  in
+  [
+    o.Slo.name;
+    (match o.Slo.fn with None -> "*" | Some fn -> fn);
+    Printf.sprintf "p%g<%.1fus" o.Slo.percentile (us o.Slo.threshold_ps);
+    string_of_int total;
+    string_of_int s.s_bad;
+    string_of_int s.s_shed;
+    (if s.s_completed = 0 then "-" else Printf.sprintf "%.3f" (us s.s_quantile_ps));
+    Printf.sprintf "%.1f%%" budget_used;
+    string_of_int s.s_windows_closed;
+    Printf.sprintf "%d/%d" s.s_fired s.s_resolved;
+    (if s.s_firing then "FIRING"
+     else if s.s_completed = 0 && s.s_shed = 0 then "no-data"
+     else if s.s_quantile_ps <= o.Slo.threshold_ps && budget_used <= 100.0 then "met"
+     else "VIOLATED");
+  ]
+
+let transition_line tr =
+  Printf.sprintf "%12.3fus %-7s %-16s window=%-4d burn fast=%.2f slow=%.2f"
+    (us tr.tr_at_ps)
+    (if tr.tr_firing then "FIRE" else "resolve")
+    tr.tr_objective tr.tr_window tr.tr_burn_fast tr.tr_burn_slow
+
+let alerts_text t =
+  match transitions t with
+  | [] -> "no alert transitions\n"
+  | trs -> String.concat "\n" (List.map transition_line trs) ^ "\n"
+
+let report_text t =
+  let buf = Buffer.create 2048 in
+  let snaps = snapshot t in
+  Buffer.add_string buf
+    (Jord_util.Render.table
+       ~title:(Printf.sprintf "SLO report (%d objectives)" (List.length snaps))
+       ~header:
+         [
+           "objective"; "fn"; "target"; "requests"; "bad"; "shed"; "measured_us";
+           "budget_used"; "windows"; "fire/res"; "state";
+         ]
+       ~rows:(List.map verdict_row snaps) ());
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s\n" s.s_objective.Slo.name
+           (Slo.describe s.s_objective)))
+    snaps;
+  Buffer.add_string buf "alerts:\n";
+  Buffer.add_string buf
+    (match transitions t with
+    | [] -> "  none\n"
+    | trs -> String.concat "\n" (List.map (fun tr -> "  " ^ transition_line tr) trs) ^ "\n");
+  Buffer.contents buf
+
+let burn_text t =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun s ->
+      let o = s.s_objective in
+      Buffer.add_string buf
+        (Jord_util.Render.table
+           ~title:
+             (Printf.sprintf "burn rate: %s (%s)" o.Slo.name (Slo.describe o))
+           ~header:
+             [ "window"; "start_us"; "end_us"; "total"; "bad"; "burn_fast";
+               "burn_slow"; "state" ]
+           ~rows:
+             (List.map
+                (fun w ->
+                  [
+                    string_of_int w.w_index;
+                    Printf.sprintf "%.1f" (us (w.w_index * o.Slo.window_ps));
+                    Printf.sprintf "%.1f" (us ((w.w_index + 1) * o.Slo.window_ps));
+                    string_of_int w.w_total;
+                    string_of_int w.w_bad;
+                    Printf.sprintf "%.2f" w.w_burn_fast;
+                    Printf.sprintf "%.2f" w.w_burn_slow;
+                    (if w.w_firing then "FIRING" else "ok");
+                  ])
+                s.s_windows) ());
+      Buffer.add_string buf
+        (Printf.sprintf "burn_fast: %s\n\n"
+           (Jord_util.Render.sparkline
+              (List.map (fun w -> w.w_burn_fast) s.s_windows))))
+    (snapshot t);
+  Buffer.contents buf
+
+let transition_json tr =
+  Json.Obj
+    [
+      ("at_us", Json.Float (us tr.tr_at_ps));
+      ("objective", Json.String tr.tr_objective);
+      ("transition", Json.String (if tr.tr_firing then "fire" else "resolve"));
+      ("window", Json.Int tr.tr_window);
+      ("burn_fast", Json.Float tr.tr_burn_fast);
+      ("burn_slow", Json.Float tr.tr_burn_slow);
+    ]
+
+let alerts_json t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("jord_slo_alerts", Json.Int 1);
+         ("alerts", Json.List (List.map transition_json (transitions t)));
+       ])
+
+let report_json t =
+  let snaps = snapshot t in
+  let obj_json s =
+    let o = s.s_objective in
+    Json.Obj
+      [
+        ("name", Json.String o.Slo.name);
+        ("spec", Json.String (Slo.to_string o));
+        ("completed", Json.Int s.s_completed);
+        ("shed", Json.Int s.s_shed);
+        ("bad", Json.Int s.s_bad);
+        ("e2e_sum_ps", Json.Int s.s_e2e_sum_ps);
+        ( "phase_sum_ps",
+          Json.Obj
+            (Array.to_list
+               (Array.map
+                  (fun ph ->
+                    ( Span.phase_name ph,
+                      Json.Int s.s_phase_sum_ps.(Span.phase_index ph) ))
+                  Span.all_phases)) );
+        ("measured_quantile_us", Json.Float (us s.s_quantile_ps));
+        ("threshold_us", Json.Float (us o.Slo.threshold_ps));
+        ("windows_closed", Json.Int s.s_windows_closed);
+        ("alerts_fired", Json.Int s.s_fired);
+        ("alerts_resolved", Json.Int s.s_resolved);
+        ("firing", Json.Bool s.s_firing);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("jord_slo_report", Json.Int 1);
+         ("objectives", Json.List (List.map obj_json snaps));
+         ("alerts", Json.List (List.map transition_json (transitions t)));
+       ])
+
+let burn_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "objective,window,start_us,end_us,total,bad,burn_fast,burn_slow,firing\n";
+  List.iter
+    (fun s ->
+      let o = s.s_objective in
+      List.iter
+        (fun w ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%.3f,%.3f,%d,%d,%.4f,%.4f,%d\n" o.Slo.name
+               w.w_index
+               (us (w.w_index * o.Slo.window_ps))
+               (us ((w.w_index + 1) * o.Slo.window_ps))
+               w.w_total w.w_bad w.w_burn_fast w.w_burn_slow
+               (if w.w_firing then 1 else 0)))
+        s.s_windows)
+    (snapshot t);
+  Buffer.contents buf

@@ -166,7 +166,7 @@ let feed sp (e : Trace.event) =
       sp.state <- Queued
   | Trace.Timeout -> sp.dead <- true
   | Trace.Drop -> if e.Trace.detail <> "peer_dead" then sp.dead <- true
-  | Trace.Dispatch | Trace.Recover | Trace.Duplicate -> ()
+  | Trace.Dispatch | Trace.Recover | Trace.Duplicate | Trace.Alert -> ()
 
 let build ?(truncated = false) iter_events =
   let spans = Hashtbl.create 1024 in
@@ -175,6 +175,8 @@ let build ?(truncated = false) iter_events =
   let total = ref 0 in
   iter_events (fun (e : Trace.event) ->
       incr total;
+      if e.Trace.req_id < 0 then () (* system events (alerts) span nothing *)
+      else
       let sp =
         match Hashtbl.find_opt spans e.Trace.req_id with
         | Some sp -> sp

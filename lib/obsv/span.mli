@@ -67,6 +67,16 @@ type result = {
   total_events : int;
 }
 
+val fresh : Jord_faas.Trace.event -> t
+(** A new span keyed by the event's ids, before any attribution. *)
+
+val feed : t -> Jord_faas.Trace.event -> unit
+(** Advance a span's attribution with its next event (events must arrive in
+    emission order). {!build} is a fold of [feed] over a whole trace; the
+    online SLO pipeline calls it one event at a time as the simulation
+    runs, which is how the streaming aggregates end up exactly equal to the
+    post-hoc fold. *)
+
 val build : ?truncated:bool -> ((Jord_faas.Trace.event -> unit) -> unit) -> result
 (** [build iter] folds the events produced by [iter] (oldest first) into
     spans. Pass [~truncated:true] when the source ring wrapped so reports
