@@ -1,31 +1,40 @@
 (* Print the golden-run report (see Jord_exp.Golden). Used to (re)generate
-   test/golden.expected and by CI's determinism check, which also proves
-   the domain pool changes nothing:
+   test/golden.expected and by CI's determinism checks, which prove that
+   neither the domain pool nor the sharded parallel core changes anything:
 
      dune exec bin/golden_gen.exe > test/golden.expected
-     dune exec bin/golden_gen.exe -- -j 4   # must produce the same bytes *)
+     dune exec bin/golden_gen.exe -- -j 4         # must produce the same bytes
+     dune exec bin/golden_gen.exe -- --shards 4   # must produce the same bytes *)
 
 let usage () =
-  prerr_endline "usage: golden_gen [-j N | --jobs N | --jobs=N]";
+  prerr_endline "usage: golden_gen [-j N | --jobs N | --jobs=N] [--shards N | --shards=N]";
   exit 2
 
 let () =
   let jobs = ref 1 in
+  let shards = ref 1 in
+  let set r n rest parse =
+    match int_of_string_opt n with
+    | Some v when v >= 1 ->
+        r := v;
+        parse rest
+    | Some _ | None -> usage ()
+  in
+  let prefixed arg prefix =
+    let p = String.length prefix in
+    if String.length arg > p && String.sub arg 0 p = prefix then
+      Some (String.sub arg p (String.length arg - p))
+    else None
+  in
   let rec parse = function
     | [] -> ()
-    | ("-j" | "--jobs") :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v >= 1 ->
-            jobs := v;
-            parse rest
-        | Some _ | None -> usage ())
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
-        match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
-        | Some v when v >= 1 ->
-            jobs := v;
-            parse rest
-        | Some _ | None -> usage ())
-    | _ -> usage ()
+    | ("-j" | "--jobs") :: n :: rest -> set jobs n rest parse
+    | "--shards" :: n :: rest -> set shards n rest parse
+    | arg :: rest -> (
+        match (prefixed arg "--jobs=", prefixed arg "--shards=") with
+        | Some n, _ -> set jobs n rest parse
+        | _, Some n -> set shards n rest parse
+        | None, None -> usage ())
   in
   parse (List.tl (Array.to_list Sys.argv));
-  print_string (Jord_exp.Golden.report ~jobs:!jobs ())
+  print_string (Jord_exp.Golden.report ~jobs:!jobs ~shards:!shards ())

@@ -152,14 +152,28 @@ let run_cmd =
              ~doc:"Full-scan retries before an internal request is forwarded to a peer \
                    server (clusters only).")
   in
+  (* --shards and the --net-* values are validated in the run body (not by
+     an Arg.conv) so a bad value exits 2 with a usage hint instead of
+     cmdliner's generic CLI-error status. *)
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Parallel engine shards for cluster runs: servers are partitioned \
+                   over N engines advanced in lock-step epochs bounded by the wire \
+                   latency (conservative parallel DES). Results are byte-identical \
+                   at any shard count; 1 (the default) is the historical \
+                   single-engine path.")
+  in
   let net_one_way =
-    Arg.(value & opt pos_float 2500.0
-         & info [ "net-one-way-ns" ] ~docv:"NS" ~doc:"Cross-server one-way wire latency.")
+    Arg.(value & opt float 2500.0
+         & info [ "net-one-way-ns" ] ~docv:"NS"
+             ~doc:"Cross-server one-way wire latency (must be > 0: it also bounds \
+                   the sharded mode's synchronization window).")
   in
   let net_per_byte =
     Arg.(value & opt float 0.05
          & info [ "net-per-byte-ns" ] ~docv:"NS"
-             ~doc:"Cross-server serialization/copy cost per payload byte.")
+             ~doc:"Cross-server serialization/copy cost per payload byte (>= 0).")
   in
   let fault_plan =
     Arg.(value & opt (some fault_plan_conv) None
@@ -206,7 +220,28 @@ let run_cmd =
              ~doc:"Write the online SLO report (objective snapshots plus the alert \
                    log) as JSON.")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max slo_spec slo_out =
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers shards forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max slo_spec slo_out =
+    let usage_fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "jordctl run: %s\n" m;
+          Printf.eprintf
+            "hint: try `jordctl run --servers N --shards S` with S >= 1, \
+             --net-one-way-ns > 0 and --net-per-byte-ns >= 0 (see `jordctl run \
+             --help`)\n";
+          exit 2)
+        fmt
+    in
+    if shards < 1 then usage_fail "--shards must be >= 1 (got %d)" shards;
+    if net_one_way <= 0.0 then
+      usage_fail "--net-one-way-ns must be > 0 (got %g)" net_one_way;
+    if net_per_byte < 0.0 then
+      usage_fail "--net-per-byte-ns must be >= 0 (got %g)" net_per_byte;
+    if shards > 1 && fault_plan <> None then
+      usage_fail
+        "--shards %d is incompatible with --fault-plan (the chaos transport \
+         needs the single shared engine); drop one of the two"
+        shards;
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -359,14 +394,24 @@ let run_cmd =
          between peers. *)
       let on_cluster cluster =
         if metrics_out <> None then begin
+          (* Counter registration is safe in any mode: collectors are read
+             once, after the run (the pool's join gives the happens-before).
+             The simulated-time sampler is not — it would read other
+             shards' gauges mid-epoch — so it stays on the sequential
+             path. *)
           Jord_faas.Cluster.register_metrics cluster registry;
-          Jord_faas.Cluster.attach_sampler cluster
-            (start_sampler (Jord_faas.Cluster.engine cluster))
+          if Jord_faas.Cluster.shards cluster > 1 then
+            Printf.eprintf
+              "note: gauge time series disabled at --shards > 1 (sampling would \
+               read across shards mid-run); counters are still exported\n"
+          else
+            Jord_faas.Cluster.attach_sampler cluster
+              (start_sampler (Jord_faas.Cluster.engine cluster))
         end
       in
       let cluster, recorder =
-        Jord_workloads.Loadgen.run_cluster ?tracer ~on_cluster ~forward_after ~servers
-          ~warmup ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
+        Jord_workloads.Loadgen.run_cluster ?tracer ~on_cluster ~forward_after ~shards
+          ~servers ~warmup ~app ~config ~rate_mrps:rate ~duration_us:duration ~seed ()
       in
       finish_slo (Jord_faas.Cluster.engine cluster);
       export_metrics ();
@@ -418,7 +463,7 @@ let run_cmd =
       print_slo ();
       verdict (Jord_faas.Cluster.check_invariants cluster);
       Printf.printf "[simulated %d events in %.1fs wall]\n"
-        (Jord_sim.Engine.processed (Jord_faas.Cluster.engine cluster))
+        (Jord_faas.Cluster.events_processed cluster)
         (Unix.gettimeofday () -. t0)
     end
     else begin
@@ -478,7 +523,7 @@ let run_cmd =
     Term.(
       const run $ app_t $ variant $ rate $ duration $ cores $ sockets $ orchestrators
       $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ trace_out $ metrics_out
-      $ metrics_format $ sample_us $ servers $ forward_after $ net_one_way
+      $ metrics_format $ sample_us $ servers $ shards $ forward_after $ net_one_way
       $ net_per_byte $ fault_plan $ deadline_us $ retry_base_us $ retry_cap
       $ retry_max $ slo_spec $ slo_out)
 

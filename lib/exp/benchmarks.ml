@@ -201,6 +201,83 @@ let cluster ~quick =
       ];
   }
 
+(* --- cluster_sharded: the conservative parallel core. One seeded 8-server
+   fanout workload run twice per repetition — sequentially (shards=1, the
+   historical shared engine) and on 4 parallel engine shards — with a full
+   result signature compared for byte-equality. The signature match is the
+   hard gate (determinism_ok); events/sec and the sharded/sequential
+   speedup are host wall-clock, so advisory. --- *)
+
+let cluster_sharded ~quick =
+  let servers = 8 in
+  let shards = 4 in
+  let config =
+    {
+      (Exp_common.config_for Jord_faas.Variant.Jord) with
+      Jord_faas.Server.machine =
+        Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+      queue_capacity = 2;
+    }
+  in
+  let duration_us = if quick then 600.0 else 2000.0 in
+  let run ~shards =
+    let t0 = Unix.gettimeofday () in
+    let cluster, recorder =
+      Jord_workloads.Loadgen.run_cluster ~forward_after:2 ~shards ~servers
+        ~warmup:50 ~app:fanout_app ~config ~rate_mrps:3.0 ~duration_us ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let members = Jord_faas.Cluster.servers cluster in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
+    let open Jord_metrics.Recorder in
+    let signature =
+      Printf.sprintf "count=%d events=%d out=%d in=%d p99=%.17g tput=%.17g"
+        (count recorder)
+        (Jord_faas.Cluster.events_processed cluster)
+        (sum Jord_faas.Server.forwarded_out)
+        (sum Jord_faas.Server.received_in)
+        (p99_us recorder) (throughput_mrps recorder)
+    in
+    ( signature,
+      float_of_int (count recorder),
+      Jord_faas.Cluster.events_processed cluster,
+      wall_s )
+  in
+  ignore (run ~shards);
+  ignore (run ~shards:1);
+  let pairs = List.init (reps quick) (fun _ -> (run ~shards:1, run ~shards)) in
+  let identical =
+    List.for_all (fun ((sig_seq, _, _, _), (sig_shd, _, _, _)) -> sig_seq = sig_shd)
+      pairs
+  in
+  let (_, completed, events, _), _ = List.hd pairs in
+  let rate_of (_, _, events, wall_s) =
+    float_of_int events /. Float.max wall_s 1e-9
+  in
+  {
+    B.experiment = "cluster_sharded";
+    metrics =
+      [
+        (* The conservative core's contract: 1.0 iff every repetition's
+           sharded signature was byte-equal to the sequential one. *)
+        B.count ~tolerance:det_tol ~name:"determinism_ok" ~unit_:"bool"
+          (if identical then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"completed" ~unit_:"requests" completed;
+        B.count ~tolerance:det_tol ~name:"events" ~unit_:"events"
+          (float_of_int events);
+        B.metric ~name:"events_per_sec_seq" ~unit_:"events/s"
+          (List.map (fun (seq, _) -> rate_of seq) pairs);
+        B.metric ~name:"events_per_sec_sharded" ~unit_:"events/s"
+          (List.map (fun (_, shd) -> rate_of shd) pairs);
+        (* > 1.0 whenever the host gives the 4 shard domains real cores;
+           on starved CI runners the barrier overhead can push it below. *)
+        B.metric ~name:"sharded_speedup" ~unit_:"ratio"
+          (List.map (fun (seq, shd) -> rate_of shd /. Float.max (rate_of seq) 1e-9)
+             pairs);
+      ];
+  }
+
 (* --- trace: cost of causal tracing on the single-server hot path --- *)
 
 let trace ~quick =
@@ -322,6 +399,7 @@ let experiments =
     ("vm", vm);
     ("server", server);
     ("cluster", cluster);
+    ("cluster_sharded", cluster_sharded);
     ("trace", trace);
     ("slo_overhead", slo_overhead);
   ]

@@ -5,7 +5,11 @@
     profiles (hard perf-regression gates). *)
 
 val names : string list
-(** Experiment names, in run order: engine, vm, server, cluster, trace. *)
+(** Experiment names, in run order: engine, vm, server, cluster,
+    cluster_sharded, trace, slo_overhead. [cluster_sharded] runs the same
+    seeded 8-server workload sequentially and on 4 parallel engine shards:
+    its [determinism_ok] count hard-gates result byte-equality, while
+    events/sec and the sharded speedup are advisory wall-clock. *)
 
 val is_known : string -> bool
 

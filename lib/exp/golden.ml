@@ -123,7 +123,12 @@ let single_server buf variant =
     (Printf.sprintf "server/%s dispatch_ns=%s\n" (Variant.name variant)
        (f17 (Server.dispatch_ns_total server)))
 
-let cluster buf =
+(* Arrivals go through [Cluster.submit_at] (round-robin resolved at
+   schedule time, which for nondecreasing times is exactly the live order)
+   so the very same scenario runs sequentially or sharded: with a fixed
+   seed the two must be byte-identical, and CI diffs --shards 1/2/4
+   golden outputs against each other to prove it. *)
+let cluster_scenario buf ~label ~shards ~servers:n ~arrivals ~gap_ns =
   let config =
     {
       Server.default_config with
@@ -132,29 +137,33 @@ let cluster buf =
       queue_capacity = 1;
     }
   in
-  let cluster = Cluster.create ~forward_after:2 ~servers:3 ~config fanout_app in
+  let cluster = Cluster.create ~forward_after:2 ~shards ~servers:n ~config fanout_app in
   let roots = ref [] in
   Cluster.on_root_complete cluster (fun r -> roots := r :: !roots);
-  let engine = Cluster.engine cluster in
-  for i = 0 to 119 do
-    Engine.schedule_at engine
-      ~time:(Time.of_ns (float_of_int i *. 900.0))
-      (fun _ -> Cluster.submit cluster ())
+  for i = 0 to arrivals - 1 do
+    Cluster.submit_at cluster ~time:(Time.of_ns (float_of_int i *. gap_ns)) ()
   done;
   Cluster.run cluster;
   let lat, _, iso, disp, comm = root_sums !roots in
   Buffer.add_string buf
-    (Printf.sprintf "cluster completed=%d events=%d\n" (List.length !roots)
-       (Engine.processed engine));
+    (Printf.sprintf "%s completed=%d events=%d\n" label (List.length !roots)
+       (Cluster.events_processed cluster));
   Array.iteri
     (fun i s ->
       Buffer.add_string buf
-        (Printf.sprintf "cluster server=%d completed=%d out=%d in=%d\n" i
+        (Printf.sprintf "%s server=%d completed=%d out=%d in=%d\n" label i
            (Server.completed_roots s) (Server.forwarded_out s) (Server.received_in s)))
     (Cluster.servers cluster);
   Buffer.add_string buf
-    (Printf.sprintf "cluster latency=%s isolation=%s dispatch=%s comm=%s\n" (f17 lat)
+    (Printf.sprintf "%s latency=%s isolation=%s dispatch=%s comm=%s\n" label (f17 lat)
        (f17 iso) (f17 disp) (f17 comm))
+
+let cluster buf ~shards = cluster_scenario buf ~label:"cluster" ~shards ~servers:3 ~arrivals:120 ~gap_ns:900.0
+
+(* Six servers so a --shards 4 run actually partitions (two shards hold two
+   servers each) and cross-shard forwards dominate the ring. *)
+let cluster6 buf ~shards =
+  cluster_scenario buf ~label:"cluster6" ~shards ~servers:6 ~arrivals:180 ~gap_ns:450.0
 
 let loadgen buf (label, app, variant, rate) =
   let config = { Server.default_config with Server.variant } in
@@ -175,7 +184,7 @@ let loadgen buf (label, app, variant, rate) =
    in this exact order and the concatenation is byte-identical to a
    sequential run at any job count (CI diffs -j 1/4/8 against the golden
    file to prove it). *)
-let scenarios : (unit -> string) list =
+let scenarios ~shards : (unit -> string) list =
   let in_buf f () =
     let buf = Buffer.create 1024 in
     f buf;
@@ -184,7 +193,7 @@ let scenarios : (unit -> string) list =
   List.map
     (fun v -> in_buf (fun buf -> single_server buf v))
     [ Variant.Jord; Variant.Jord_ni; Variant.Jord_bt; Variant.Nightcore ]
-  @ [ in_buf cluster ]
+  @ [ in_buf (cluster ~shards); in_buf (cluster6 ~shards) ]
   @ List.map
       (fun case -> in_buf (fun buf -> loadgen buf case))
       [
@@ -193,7 +202,8 @@ let scenarios : (unit -> string) list =
         ("hipster-nightcore", Jord_workloads.Hipster.app, Variant.Nightcore, 0.4);
       ]
 
-let report ?(jobs = 1) () =
+let report ?(jobs = 1) ?(shards = 1) () =
+  let scenarios = scenarios ~shards in
   let parts =
     if jobs <= 1 then List.map (fun f -> f ()) scenarios
     else

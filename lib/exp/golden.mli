@@ -9,6 +9,12 @@
     Regenerate the expectation with [bin/golden_gen.exe] only when a change
     is {e meant} to move numbers, and say so in the commit. *)
 
-val report : ?jobs:int -> unit -> string
+val report : ?jobs:int -> ?shards:int -> unit -> string
 (** [jobs] (default 1) runs the scenarios on a dedicated domain pool of
-    that size; the output is byte-identical at any job count. *)
+    that size; the output is byte-identical at any job count. [shards]
+    (default 1) runs the cluster scenarios on that many parallel engine
+    shards ({!Jord_faas.Cluster.create}); the output is byte-identical at
+    any shard count — that invariant {e is} the conservative parallel
+    core's correctness statement, and CI diffs --shards 1/2/4 outputs to
+    enforce it. Combine [jobs] and [shards] with care: each cluster
+    scenario then opens its own nested domain pool. *)

@@ -47,12 +47,34 @@ type chaos = {
   mutable on_retry_backoff : float -> unit;
 }
 
+(* Sharded (conservative parallel) mode: servers are partitioned over
+   [Jord_sim.Fleet] shards, each with a private engine; cross-shard
+   forwards and responses travel through the shard mailboxes. Observables
+   that the sequential cluster produced in one global event order —
+   completion callbacks and trace events — are buffered per server and
+   replayed in canonical (time, sid) order after the run, which is exactly
+   the sequential order whenever no two servers act at the same picosecond
+   (the golden suite pins this byte-for-byte). *)
+type sharded = {
+  fleet : Jord_sim.Fleet.t;
+  shard_of : int array;  (** server index -> shard index. *)
+  done_bufs : Request.root list ref array;  (** per-server completions. *)
+  mutable member_traces : Trace.t array;  (** per-server rings when tracing. *)
+  mutable user_tracer : Trace.t option;
+  mutable user_root_cb : Request.root -> unit;
+}
+
 type t = {
   engine : Jord_sim.Engine.t;
+      (** Single mode: the shared engine. Sharded: shard 0's engine — the
+          control shard, used for load-generator sentinels and end-of-run
+          timestamps (every shard's [now] agrees at the horizon). *)
+  sharded : sharded option;
   servers : Server.t array;
   net : Netmodel.t;
   chaos : chaos option;
   mutable rr : int;
+  mutable last_submit_at : Time.t;
 }
 
 (* --- chaos transport: ack-and-timeout retry over a faulty wire ---
@@ -182,17 +204,56 @@ let start_xfer t ch ~src req =
   ch.pending_xfers <- ch.pending_xfers + 1;
   send_attempt t ch xfer
 
-let create ?(forward_after = 3) ~servers:n ~config app =
+let create ?(forward_after = 3) ?(shards = 1) ~servers:n ~config app =
   if n < 1 then invalid_arg "Cluster.create";
-  let engine = Jord_sim.Engine.create () in
+  if shards < 1 then invalid_arg "Cluster.create: shards must be positive";
+  (* More shards than servers would leave empty engines; clamp so
+     [--shards 8] on a 3-server cluster means one server per shard. *)
+  let eff_shards = Int.min shards n in
+  if eff_shards > 1 && config.Server.fault_plan <> None then
+    invalid_arg
+      "Cluster.create: fault plans require --shards 1 (the chaos transport \
+       shares wire state across servers)";
   let config = { config with Server.forward_after } in
   (* One-way latency between servers (top-of-rack switch) comes from the
      servers' own network model, so wire and serialization costs share a
      single source of truth. *)
   let net_one_way = Netmodel.one_way config.Server.net in
+  let sharded =
+    if eff_shards <= 1 then None
+    else begin
+      let lookahead = Netmodel.lookahead config.Server.net in
+      if lookahead <= 0 then
+        invalid_arg "Cluster.create: sharding requires a positive one_way_ns";
+      let fleet = Jord_sim.Fleet.create ~shards:eff_shards ~lookahead in
+      Some
+        {
+          fleet;
+          (* Contiguous block partition: server i on shard i*S/n, so ring
+             neighbours mostly share a shard and the id -> shard map is
+             stable under any server count. *)
+          shard_of = Array.init n (fun i -> i * eff_shards / n);
+          done_bufs = Array.init n (fun _ -> ref []);
+          member_traces = [||];
+          user_tracer = None;
+          user_root_cb = (fun _ -> ());
+        }
+    end
+  in
+  let engine =
+    match sharded with
+    | None -> Jord_sim.Engine.create ()
+    | Some s -> Jord_sim.Fleet.engine s.fleet 0
+  in
   let servers = Array.init n (fun i ->
+      let engine =
+        match sharded with
+        | None -> engine
+        | Some s -> Jord_sim.Fleet.engine s.fleet s.shard_of.(i)
+      in
       Server.create ~engine { config with Server.seed = config.Server.seed + i } app)
   in
+  Array.iteri (fun i s -> Server.set_sid s i) servers;
   let chaos =
     match config.Server.fault_plan with
     | None -> None
@@ -225,21 +286,46 @@ let create ?(forward_after = 3) ~servers:n ~config app =
             on_retry_backoff = (fun _ -> ());
           }
   in
-  let t = { engine; servers; net = config.Server.net; chaos; rr = 0 } in
+  let t =
+    {
+      engine;
+      sharded;
+      servers;
+      net = config.Server.net;
+      chaos;
+      rr = 0;
+      last_submit_at = Time.zero;
+    }
+  in
   (match chaos with
   | None ->
       (* Fault-free wire: forward to the next server in the ring,
          fire-and-forget, delivery after the wire latency — byte-identical
-         to the historical (golden) behaviour. *)
+         to the historical (golden) behaviour. A cross-shard hop is the
+         same wire, but the delivery event travels through the shard
+         mailbox instead of being scheduled directly: the wire latency is
+         exactly the fleet's lookahead, so the timestamp always satisfies
+         the conservative contract. *)
       Array.iteri
         (fun i server ->
           if n > 1 then
             Server.set_forward server
               (Some
                  (fun req ->
-                   let target = servers.((i + 1) mod n) in
-                   Jord_sim.Engine.schedule engine ~after:net_one_way (fun _ ->
-                       Server.receive_forwarded target req))))
+                   let j = (i + 1) mod n in
+                   let target = servers.(j) in
+                   match sharded with
+                   | Some s when s.shard_of.(i) <> s.shard_of.(j) ->
+                       let src = Jord_sim.Fleet.shard s.fleet s.shard_of.(i) in
+                       let at =
+                         Time.(Engine.now (Server.engine server) + net_one_way)
+                       in
+                       Jord_sim.Shard.post src ~dst:s.shard_of.(j) ~at ~sid:i
+                         (fun _ -> Server.receive_forwarded target req)
+                   | Some _ | None ->
+                       Jord_sim.Engine.schedule (Server.engine server)
+                         ~after:net_one_way (fun _ ->
+                           Server.receive_forwarded target req))))
         servers
   | Some ch ->
       (* Chaos wire: health-aware peer choice, ack-and-timeout retries with
@@ -249,6 +335,30 @@ let create ?(forward_after = 3) ~servers:n ~config app =
           if n > 1 then
             Server.set_forward server (Some (fun req -> start_xfer t ch ~src:i req)))
         servers);
+  (match sharded with
+  | None -> ()
+  | Some s ->
+      Array.iteri
+        (fun i server ->
+          (* Responses for forwarded requests go home via the mailbox when
+             home and current server live on different shards; the response
+             delay is at least [response_ns >= one_way_ns], so the
+             lookahead contract holds by the same argument as forwards. *)
+          Server.set_route_return server
+            (Some
+               (fun req ~at fn ->
+                 let dst = s.shard_of.(req.Request.home_sid) in
+                 if dst = s.shard_of.(i) then
+                   Jord_sim.Engine.schedule_at (Server.engine server) ~time:at fn
+                 else
+                   Jord_sim.Shard.post
+                     (Jord_sim.Fleet.shard s.fleet s.shard_of.(i))
+                     ~dst ~at ~sid:i fn));
+          (* Completions are buffered per server and replayed in canonical
+             (completed_at, sid) order after the run (see [run]). *)
+          Server.on_root_complete server (fun root ->
+              s.done_bufs.(i) := root :: !(s.done_bufs.(i))))
+        servers);
   t
 
 let engine t = t.engine
@@ -256,24 +366,117 @@ let servers t = t.servers
 
 let set_tracer t tr =
   let n = Array.length t.servers in
-  Array.iteri
-    (fun i s ->
-      Server.set_tracer s tr;
-      Server.set_trace_sid s i;
-      (* Disjoint request-id spaces: a shared tracer must never see two
-         servers' requests under one id. Only done when tracing, so
-         untraced runs keep the historical id sequence. *)
-      if tr <> None then Server.set_req_id_space s ~base:i ~stride:n)
-    t.servers
+  match t.sharded with
+  | Some s ->
+      (* Per-shard engines cannot share one ring mid-run (parallel writers,
+         interleaved order); each server gets a private ring of the user's
+         capacity and [run] merges them into the user tracer afterwards in
+         canonical (at_ps, sid) order. *)
+      s.user_tracer <- tr;
+      (match tr with
+      | None ->
+          s.member_traces <- [||];
+          Array.iteri
+            (fun i sv ->
+              Server.set_tracer sv None;
+              Server.set_trace_sid sv i)
+            t.servers
+      | Some user ->
+          let cap = Trace.capacity user in
+          s.member_traces <- Array.init n (fun _ -> Trace.create ~capacity:cap ());
+          Array.iteri
+            (fun i sv ->
+              Server.set_tracer sv (Some s.member_traces.(i));
+              Server.set_trace_sid sv i;
+              Server.set_req_id_space sv ~base:i ~stride:n)
+            t.servers)
+  | None ->
+      Array.iteri
+        (fun i s ->
+          Server.set_tracer s tr;
+          Server.set_trace_sid s i;
+          (* Disjoint request-id spaces: a shared tracer must never see two
+             servers' requests under one id. Only done when tracing, so
+             untraced runs keep the historical id sequence. *)
+          if tr <> None then Server.set_req_id_space s ~base:i ~stride:n)
+        t.servers
 
 let submit t ?entry () =
+  if t.sharded <> None then
+    invalid_arg "Cluster.submit: sharded clusters take arrivals via submit_at";
   let server = t.servers.(t.rr mod Array.length t.servers) in
   t.rr <- t.rr + 1;
   Server.submit server ?entry ()
 
-let on_root_complete t f = Array.iter (fun s -> Server.on_root_complete s f) t.servers
+(* Round-robin target picked at schedule time; with nondecreasing [time]s
+   this is the order the arrival events fire in, so it matches what live
+   [submit] calls at those instants would have chosen. *)
+let submit_at t ?entry ~time () =
+  if time < t.last_submit_at then
+    invalid_arg "Cluster.submit_at: submission times must be nondecreasing";
+  t.last_submit_at <- time;
+  let server = t.servers.(t.rr mod Array.length t.servers) in
+  t.rr <- t.rr + 1;
+  Jord_sim.Engine.schedule_at (Server.engine server) ~time (fun _ ->
+      Server.submit server ?entry ())
 
-let run ?until t = Jord_sim.Engine.run ?until t.engine
+let on_root_complete t f =
+  match t.sharded with
+  | Some s -> s.user_root_cb <- f
+  | None -> Array.iter (fun s -> Server.on_root_complete s f) t.servers
+
+(* Replay the sharded run's buffered observables in one canonical global
+   order: completions by (completed_at, sid), trace events by (at_ps, sid).
+   Whenever no two servers act on the same picosecond — true of the golden
+   scenarios — this is exactly the order the sequential cluster produced
+   them in, which is what makes shard counts observationally equivalent. *)
+let finalize_sharded s =
+  let completions =
+    Array.to_list s.done_bufs
+    |> List.mapi (fun i buf ->
+           let roots = List.rev !buf in
+           buf := [];
+           List.map (fun r -> (i, r)) roots)
+    |> List.concat
+    |> List.stable_sort (fun (i, (a : Request.root)) (j, b) ->
+           match compare a.Request.completed_at b.Request.completed_at with
+           | 0 -> Int.compare i j
+           | c -> c)
+  in
+  List.iter (fun (_, r) -> s.user_root_cb r) completions;
+  match s.user_tracer with
+  | None -> ()
+  | Some user ->
+      Array.to_list s.member_traces
+      |> List.map Trace.events
+      |> List.concat
+      |> List.stable_sort (fun (a : Trace.event) b ->
+             match Int.compare a.Trace.at_ps b.Trace.at_ps with
+             | 0 -> Int.compare a.Trace.sid b.Trace.sid
+             | c -> c)
+      |> List.iter (Trace.emit_event user);
+      Array.iter Trace.clear s.member_traces
+
+let run ?until t =
+  match t.sharded with
+  | None -> Jord_sim.Engine.run ?until t.engine
+  | Some s ->
+      let jobs = Jord_sim.Fleet.shards s.fleet in
+      Jord_par.Pool.with_pool ~jobs (fun pool ->
+          let runner f n =
+            ignore
+              (Jord_par.Pool.parmap pool f (List.init n Fun.id) : unit list)
+          in
+          Jord_sim.Fleet.run ?until ~runner s.fleet);
+      finalize_sharded s
+
+let shards t =
+  match t.sharded with None -> 1 | Some s -> Jord_sim.Fleet.shards s.fleet
+
+let events_processed t =
+  match t.sharded with
+  | None -> Jord_sim.Engine.processed t.engine
+  | Some s -> Jord_sim.Fleet.processed s.fleet
 
 let forwarded t =
   Array.fold_left (fun acc s -> acc + Server.forwarded_out s) 0 t.servers

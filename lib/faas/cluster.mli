@@ -20,7 +20,25 @@
     attempts re-executed locally by the sender. Receivers deduplicate by
     transfer id, and the ack timeout strictly exceeds the worst-case
     round trip, so no request ever executes twice. Without a fault plan
-    the historical fire-and-forget path runs bit-identically. *)
+    the historical fire-and-forget path runs bit-identically.
+
+    {2 Sharded (conservative parallel) mode}
+
+    With [~shards > 1] the servers are block-partitioned over a
+    {!Jord_sim.Fleet} of engine shards that advance in lock-step epochs
+    bounded by the network model's {!Netmodel.lookahead} (the one-way wire
+    latency): no cross-server interaction is faster than one wire hop, so
+    within a lookahead window every shard is independent. Cross-shard
+    forwards and forwarded-response deliveries travel through the shard
+    mailboxes and are drained at epoch barriers in deterministic
+    [(timestamp, sid)] order; completions and trace events are buffered
+    per server and replayed in the same canonical order after the run.
+    Fixed-seed runs are byte-identical across shard counts, and
+    [~shards:1] is exactly the historical single-engine path.
+
+    Sharded mode requires a positive [one_way_ns], no fault plan, and
+    arrivals via {!submit_at} (pre-scheduled, nondecreasing times) rather
+    than live {!submit}. *)
 
 type net_stats = {
   mutable xfers : int;  (** Transfers started (forwarded requests). *)
@@ -40,27 +58,64 @@ type t
 
 val create :
   ?forward_after:int ->
+  ?shards:int ->
   servers:int ->
   config:Server.config ->
   Model.app ->
   t
 (** [forward_after] (default 3) full-scan retries before an internal request
-    leaves its server. All servers share one engine. *)
+    leaves its server. [shards] (default 1) partitions the servers over
+    that many parallel engine shards, clamped to the server count; with 1
+    every server shares one engine. Raises [Invalid_argument] if [shards]
+    is not positive, or — when the effective shard count exceeds 1 — if a
+    fault plan is installed or the network model's one-way latency is zero
+    (the lookahead would be empty). *)
 
 val engine : t -> Jord_sim.Engine.t
+(** The shared engine ([shards = 1]) or shard 0's engine — the control
+    shard, used for load-generator sentinels; at the end of a horizon run
+    every shard's clock agrees with it. *)
+
 val servers : t -> Server.t array
+
+val shards : t -> int
+(** Effective shard count (1 = sequential single-engine mode). *)
+
+val events_processed : t -> int
+(** Events executed so far, summed across shards — identical across shard
+    counts for the same workload. *)
 
 val set_tracer : t -> Trace.t option -> unit
 (** Install one shared tracer on every member (each stamps its own server
     id on emitted events); [None] disables emission cluster-wide. *)
 
 val submit : t -> ?entry:string -> unit -> unit
-(** Round-robin external submission. *)
+(** Round-robin external submission at the current simulated time. Raises
+    [Invalid_argument] on a sharded cluster (live submission would read
+    one shard's clock mid-epoch) — use {!submit_at}. *)
+
+val submit_at : t -> ?entry:string -> time:Jord_sim.Time.t -> unit -> unit
+(** Round-robin external submission at absolute simulated [time]
+    (scheduled on the chosen server's engine; works in both modes).
+    Successive calls must use nondecreasing times — that makes the
+    schedule-time round-robin choice identical to what live {!submit}
+    calls at those instants would pick — or [Invalid_argument] is
+    raised. *)
 
 val on_root_complete : t -> (Request.root -> unit) -> unit
-(** Install the completion callback on every server. *)
+(** Install the completion callback on every server. On a sharded cluster
+    the callback instead fires after {!run} returns, replaying all
+    completions in [(completed_at, server id)] order — the sequential
+    global order whenever no two servers complete roots on the same
+    picosecond. *)
 
 val run : ?until:Jord_sim.Time.t -> t -> unit
+(** Drive the cluster to quiescence (or to the horizon [until]). Sharded
+    mode runs the shards on a {!Jord_par.Pool} of domains, one per shard,
+    then replays buffered completions and trace events in canonical
+    order; per-server trace rings hold [capacity] events each, so a
+    sharded run's merged trace only matches the sequential ring when no
+    member overflowed. *)
 
 val forwarded : t -> int
 (** Total requests shipped between servers. *)

@@ -19,6 +19,9 @@ type ctx = {
   core_busy_ps : float array;
   mutable tracer : Trace.t option;
   mutable trace_sid : int;
+  mutable sid : int;
+      (** Fleet-wide server id; stamps [Request.home_sid] at the first
+          forward hop so the response can be routed back across shards. *)
   mutable next_req_id : int;
   mutable req_id_stride : int;
   mutable next_cid : int;
@@ -29,6 +32,11 @@ type ctx = {
   mutable dispatch_ns : float;
   mutable queue_full_retries : int;
   mutable forward_cb : (Request.t -> unit) option;
+  mutable route_return : (Request.t -> at:Time.t -> (Engine.t -> unit) -> unit) option;
+      (** Delivery of a forwarded request's response event to its home
+          server. [None] (the sequential cluster): schedule on the shared
+          engine. Under [Jord_sim.Fleet] the cluster installs a router that
+          posts cross-shard responses through the shard mailbox. *)
   mutable forwarded_out : int;
   mutable received_in : int;
   recovery : Recovery.t;
@@ -128,9 +136,14 @@ let stall_take ctx =
     Jord_vm.Hw.stall_since_mark ctx.hw
   else 0.0
 
-let add_cost (root : Request.root) (c : Runtime.cost) =
-  root.Request.isolation_ns <- root.Request.isolation_ns +. c.Runtime.isolation_ns;
-  root.Request.comm_ns <- root.Request.comm_ns +. c.Runtime.comm_ns
+(* All cost accumulation goes through [Request.acct] — the real root for
+   local requests, a detached ledger for forwarded ones (folded back at the
+   response event; see [Request.detach_acct]). Writing the shared root from
+   a remote server would race under the sharded engine and make float
+   summation order depend on interleaving. *)
+let add_cost (acct : Request.root) (c : Runtime.cost) =
+  acct.Request.isolation_ns <- acct.Request.isolation_ns +. c.Runtime.isolation_ns;
+  acct.Request.comm_ns <- acct.Request.comm_ns +. c.Runtime.comm_ns
 
 let rec poll ctx e (_ : Engine.t) =
   if not e.busy then begin
@@ -144,12 +157,12 @@ let rec poll ctx e (_ : Engine.t) =
 and start_request ctx e req ~deq_ns =
   e.busy <- true;
   stall_begin ctx;
-  let root = req.Request.root in
+  let acct = req.Request.acct in
   (* Executor-queue wait since the dispatch stamp (pure accounting). *)
   let wait_ns =
     Float.max 0.0 (Time.to_ns Time.(Engine.now ctx.engine - req.Request.enqueued_at))
   in
-  root.Request.queue_ns <- root.Request.queue_ns +. wait_ns;
+  acct.Request.queue_ns <- acct.Request.queue_ns +. wait_ns;
   ctx.queue_wait_ns <- ctx.queue_wait_ns +. wait_ns;
   match ctx.fault with
   | Some inj when Jord_fault_inject.Injector.draw_crash inj ->
@@ -161,7 +174,7 @@ and start_request ctx e req ~deq_ns =
         Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
           ~arg_bytes:req.Request.arg_bytes
       in
-      add_cost root cost;
+      add_cost acct cost;
       (* Injected anomalies: a transient stall before the first segment and
          a PrivLib slowdown scaling the setup's cost. Zero when no plan. *)
       let fault_ns =
@@ -176,11 +189,11 @@ and start_request ctx e req ~deq_ns =
             in
             if slow > 0.0 then begin
               ctx.slowdowns <- ctx.slowdowns + 1;
-              add_cost root { Runtime.isolation_ns = slow; comm_ns = 0.0 }
+              add_cost acct { Runtime.isolation_ns = slow; comm_ns = 0.0 }
             end;
             stall +. slow
       in
-      root.Request.comm_ns <- root.Request.comm_ns +. deq_ns;
+      acct.Request.comm_ns <- acct.Request.comm_ns +. deq_ns;
       let cid = ctx.next_cid in
       ctx.next_cid <- cid + 1;
       ctx.live_conts <- ctx.live_conts + 1;
@@ -199,18 +212,18 @@ and start_request ctx e req ~deq_ns =
 and crash_request ctx e inj req ~deq_ns =
   let now = Engine.now ctx.engine in
   ctx.crashes <- ctx.crashes + 1;
-  let root = req.Request.root in
+  let acct = req.Request.acct in
   let fn = Model.find_fn ctx.app req.Request.fn_name in
   let pd, state_va, cost =
     Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
       ~arg_bytes:req.Request.arg_bytes
   in
-  add_cost root cost;
+  add_cost acct cost;
   let ab =
     Runtime.abort ctx.rt ~core:e.core ~fn ~pd ~state_va ~argbuf:req.Request.argbuf
   in
-  add_cost root ab;
-  root.Request.comm_ns <- root.Request.comm_ns +. deq_ns;
+  add_cost acct ab;
+  acct.Request.comm_ns <- acct.Request.comm_ns +. deq_ns;
   let dt = deq_ns +. Runtime.total cost +. Runtime.total ab in
   trace ctx ~kind:Trace.Crash ~req ~core:e.core ~dur_ns:dt
     ~stall_ns:(stall_take ctx) ~detail:"executor" ();
@@ -243,7 +256,7 @@ and resume_cont ctx e (cont : t Continuation.t) =
   trace ctx ~kind:Trace.Resume ~req:cont.Continuation.req ~core:e.core ();
   e.suspended <- e.suspended - 1;
   cont.Continuation.status <- Continuation.Running;
-  let root = cont.Continuation.req.Request.root in
+  let acct = cont.Continuation.req.Request.acct in
   (* Reap completed children executor-side (PD 0) before re-entering. *)
   let dt = ref 0.0 in
   List.iter
@@ -251,18 +264,18 @@ and resume_cont ctx e (cont : t Continuation.t) =
       let c =
         Runtime.reap_argbuf ctx.rt ~core:e.core ~pd:cont.Continuation.pd ~va ~bytes
       in
-      add_cost root c;
+      add_cost acct c;
       dt := !dt +. Runtime.total c)
     (Continuation.take_reaps cont);
   let c = Runtime.resume ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
-  add_cost root c;
+  add_cost acct c;
   advance ctx e cont ~dt0:(!dt +. Runtime.total c)
 
 (* Run the continuation until it suspends or finishes, accumulating the
    segment's latency [dt]; schedule the segment-end event. *)
 and advance ctx e (cont : t Continuation.t) ~dt0 =
   let now = Engine.now ctx.engine in
-  let root = cont.Continuation.req.Request.root in
+  let acct = cont.Continuation.req.Request.acct in
   let dt = ref dt0 in
   let finished = ref false in
   let suspended = ref false in
@@ -274,12 +287,12 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
         finished := true
     | Model.Compute ns :: rest ->
         cont.Continuation.phases <- rest;
-        root.Request.exec_ns <- root.Request.exec_ns +. ns;
+        acct.Request.exec_ns <- acct.Request.exec_ns +. ns;
         let c =
           Runtime.touch_working_set ctx.rt ~core:e.core ~pd:cont.Continuation.pd
             ~fn:cont.Continuation.fn ~state_va:cont.Continuation.state_va
         in
-        add_cost root c;
+        add_cost acct c;
         dt := !dt +. ns +. Runtime.total c
     | Model.Invoke { target; arg_bytes; mode; cookie } :: rest ->
         cont.Continuation.phases <- rest;
@@ -291,7 +304,7 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
           Runtime.touch_working_set ctx.rt ~core:e.core ~pd:cont.Continuation.pd
             ~fn:cont.Continuation.fn ~state_va:cont.Continuation.state_va
         in
-        add_cost root (Runtime.( ++ ) (Runtime.( ++ ) c1 c2) c3);
+        add_cost acct (Runtime.( ++ ) (Runtime.( ++ ) c1 c2) c3);
         dt := !dt +. Runtime.total c1 +. Runtime.total c2 +. Runtime.total c3;
         let child =
           Request.make_child ~id:(fresh_req_id ctx) ~parent:cont.Continuation.req
@@ -305,7 +318,7 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
            into the internal queue, then an arrival event. *)
         let up = uplink e in
         let wr = Jord_arch.Memsys.write ctx.memsys ~core:e.core ~addr:up.int_line in
-        root.Request.dispatch_ns <- root.Request.dispatch_ns +. wr;
+        acct.Request.dispatch_ns <- acct.Request.dispatch_ns +. wr;
         dt := !dt +. wr;
         let arrival = Time.(now + Time.of_ns !dt) in
         up.submit_internal ~at:arrival child;
@@ -314,7 +327,7 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
         | Model.Sync ->
             cont.Continuation.wait <- Continuation.For_child child.Request.id;
             let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
-            add_cost root c;
+            add_cost acct c;
             dt := !dt +. Runtime.total c;
             suspended := true;
             continue := false)
@@ -324,7 +337,7 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
           cont.Continuation.phases <- rest;
           cont.Continuation.wait <- Continuation.For_all;
           let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
-          add_cost root c;
+          add_cost acct c;
           dt := !dt +. Runtime.total c;
           suspended := true;
           continue := false
@@ -336,14 +349,14 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
         | Some child_id ->
             cont.Continuation.wait <- Continuation.For_child child_id;
             let c = Runtime.suspend ctx.rt ~core:e.core ~pd:cont.Continuation.pd in
-            add_cost root c;
+            add_cost acct c;
             dt := !dt +. Runtime.total c;
             suspended := true;
             continue := false)
     | Model.Scratch bytes :: rest ->
         cont.Continuation.phases <- rest;
         let c = Runtime.scratch ctx.rt ~core:e.core ~bytes in
-        add_cost root c;
+        add_cost acct c;
         dt := !dt +. Runtime.total c
   done;
   trace ctx ~kind:Trace.Segment ~req:cont.Continuation.req ~core:e.core ~dur_ns:!dt
@@ -372,12 +385,13 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
   stall_begin ctx;
   let req = cont.Continuation.req in
   let root = req.Request.root in
+  let acct = req.Request.acct in
   let c =
     Runtime.teardown ctx.rt ~core:e.core ~fn:cont.Continuation.fn
       ~pd:cont.Continuation.pd ~state_va:cont.Continuation.state_va
       ~argbuf:req.Request.argbuf
   in
-  add_cost root c;
+  add_cost acct c;
   ctx.live_conts <- ctx.live_conts - 1;
   let dt = Runtime.total c in
   (* Completion notification: a line write under Jord, a pipe message under
@@ -400,7 +414,7 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
       (wr, wr, wr)
     end
   in
-  root.Request.comm_ns <- root.Request.comm_ns +. notify_charge;
+  acct.Request.comm_ns <- acct.Request.comm_ns +. notify_charge;
   (* The Complete event's duration is the ps distance to the exact engine
      timestamp where the request's life ends (parent reap notification or
      external completion), so span end = at + dur with no rounding slack. *)
@@ -419,11 +433,23 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
          further dispatches are pending on this server. *)
       Engine.schedule_at ctx.engine ~time:now up.wake;
       let resp = Netmodel.response_ns ctx.net in
-      root.Request.comm_ns <- root.Request.comm_ns +. resp;
+      acct.Request.comm_ns <- acct.Request.comm_ns +. resp;
       req.Request.argbuf <- req.Request.home_argbuf;
       let at = Time.(now + Time.of_ns (dt +. notify_lat +. resp)) in
       trace_complete ~at;
-      Engine.schedule_at ctx.engine ~time:at (fun eng -> f eng notify_lat)
+      (* The response event runs on the home server: fold the detached
+         ledger back into the enclosing one there (same fold point in
+         sequential and sharded runs, so float order is identical), then
+         resume the parent. Routing: local schedule on the shared engine,
+         or a shard-mailbox post when the home server lives on another
+         shard — [resp >= Netmodel.one_way] keeps the lookahead contract. *)
+      let deliver eng =
+        Request.settle_acct req;
+        f eng notify_lat
+      in
+      (match ctx.route_return with
+      | None -> Engine.schedule_at ctx.engine ~time:at deliver
+      | Some route -> route req ~at deliver)
   | Some f ->
       (* Internal request: notify the parent's executor. *)
       let at = Time.(now + Time.of_ns (dt +. notify_lat)) in

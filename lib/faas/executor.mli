@@ -33,6 +33,9 @@ type ctx = {
   mutable trace_sid : int;
       (** Server id stamped on trace events (cluster members share one
           tracer; 0 outside cluster mode). *)
+  mutable sid : int;
+      (** Fleet-wide server id; stamps [Request.home_sid] at the first
+          forward hop so the response can be routed back across shards. *)
   mutable next_req_id : int;
   mutable req_id_stride : int;
   mutable next_cid : int;
@@ -43,6 +46,12 @@ type ctx = {
   mutable dispatch_ns : float;
   mutable queue_full_retries : int;
   mutable forward_cb : (Request.t -> unit) option;
+  mutable route_return : (Request.t -> at:Time.t -> (Engine.t -> unit) -> unit) option;
+      (** Delivery of a forwarded request's response event to its home
+          server at absolute time [at]. [None] (the sequential cluster):
+          schedule on the shared engine. Under [Jord_sim.Fleet] the cluster
+          installs a router that posts cross-shard responses through the
+          shard mailbox. *)
   mutable forwarded_out : int;
   mutable received_in : int;
   recovery : Recovery.t;  (** Deadline / retry-backoff / health policy. *)

@@ -18,6 +18,11 @@ let response_bytes t = t.response_bytes
 
 (* Kept as [one_way +. per_byte *. bytes] — the exact expression the
    pre-split server evaluated, so shared use cannot drift the numbers. *)
+(* Conservative-DES window: nothing crosses the wire faster than one_way,
+   and every cross-server event (forward or response) pays at least that,
+   so the sharded engine may run each shard one_way ahead of the others. *)
+let lookahead t = Jord_sim.Time.of_ns t.one_way_ns
+
 let send_ns t ~bytes = t.one_way_ns +. (t.per_byte_ns *. float_of_int bytes)
 let copy_ns t ~bytes = t.per_byte_ns *. float_of_int bytes
 let response_ns t = t.one_way_ns +. (t.per_byte_ns *. float_of_int t.response_bytes)

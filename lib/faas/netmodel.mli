@@ -29,6 +29,14 @@ val one_way : t -> Jord_sim.Time.t
 val per_byte_ns : t -> float
 val response_bytes : t -> int
 
+val lookahead : t -> Jord_sim.Time.t
+(** The conservative-synchronization window for a sharded run
+    ({!Jord_sim.Fleet}), equal to {!one_way}: wire latency lower-bounds
+    every cross-server interaction — a forward costs {!send_ns} [>=]
+    [one_way] and a response {!response_ns} [>=] [one_way] — so two shards
+    can safely run [one_way] apart without reordering anything. Zero when
+    [one_way_ns] is zero; a parallel cluster requires it positive. *)
+
 val send_ns : t -> bytes:int -> float
 (** Cost of shipping a request with a [bytes]-byte payload to a peer:
     one-way latency plus serialization. *)

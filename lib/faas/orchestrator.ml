@@ -79,10 +79,10 @@ let pick_request (ctx : Executor.ctx) t =
             Runtime.external_input ctx.rt ~core:t.core ~bytes:req.Request.arg_bytes
           in
           req.Request.argbuf <- va;
-          Executor.add_cost req.Request.root c;
+          Executor.add_cost req.Request.acct c;
           let copy = Netmodel.copy_ns ctx.net ~bytes:req.Request.arg_bytes in
-          req.Request.root.Request.comm_ns <-
-            req.Request.root.Request.comm_ns +. copy;
+          req.Request.acct.Request.comm_ns <-
+            req.Request.acct.Request.comm_ns +. copy;
           Some (req, deq +. Runtime.total c +. copy)
         end
         else Some (req, deq)
@@ -95,7 +95,7 @@ let pick_request (ctx : Executor.ctx) t =
           Runtime.external_input ctx.rt ~core:t.core ~bytes:req.Request.arg_bytes
         in
         req.Request.argbuf <- va;
-        Executor.add_cost req.Request.root c;
+        Executor.add_cost req.Request.acct c;
         Some (req, deq +. Runtime.total c)
       end
       else None
@@ -158,19 +158,19 @@ let dispatch_one (ctx : Executor.ctx) t engine =
         Engine.schedule ctx.engine ~after:(Time.of_ns reclaim_ns) t.idle_fn
       else t.busy <- false
   | Some (req, intake_ns) ->
-      let root = req.Request.root in
+      let acct = req.Request.acct in
       (* Queueing-time accounting: credit the wait since the last stamp and
          re-stamp now, so a held or re-hopped request leaves every hop with
          a fresh [enqueued_at] and never double counts a wait (bugfix: the
          forward path used to ship requests with a stale stamp). *)
       let wait_ns = Float.max 0.0 (Time.to_ns Time.(now - req.Request.enqueued_at)) in
-      root.Request.queue_ns <- root.Request.queue_ns +. wait_ns;
+      acct.Request.queue_ns <- acct.Request.queue_ns +. wait_ns;
       ctx.queue_wait_ns <- ctx.queue_wait_ns +. wait_ns;
       req.Request.enqueued_at <- now;
       let choice, scan_ns, instr_ns = jbsq_scan ctx t in
       (match choice with
       | None -> (
-          root.Request.dispatch_ns <- root.Request.dispatch_ns +. scan_ns +. instr_ns;
+          acct.Request.dispatch_ns <- acct.Request.dispatch_ns +. scan_ns +. instr_ns;
           ctx.dispatch_ns <- ctx.dispatch_ns +. scan_ns +. instr_ns;
           t.pending_retries <- t.pending_retries + 1;
           ctx.queue_full_retries <- ctx.queue_full_retries + 1;
@@ -188,13 +188,22 @@ let dispatch_one (ctx : Executor.ctx) t engine =
                  the intermediate copy is reclaimed locally. *)
               if not req.Request.forwarded then begin
                 req.Request.forwarded <- true;
-                req.Request.home_argbuf <- req.Request.argbuf
+                req.Request.home_argbuf <- req.Request.argbuf;
+                (* First hop off the home server: remember where the
+                   response must land and detach the cost ledger so remote
+                   accumulation never touches the shared root (folded back
+                   at the response event — [Request.settle_acct]). *)
+                req.Request.home_sid <- ctx.Executor.sid;
+                Request.detach_acct req
               end
               else if req.Request.argbuf <> 0 then
                 t.reclaim <- (req.Request.argbuf, req.Request.arg_bytes) :: t.reclaim;
               req.Request.argbuf <- 0;
               let send = Netmodel.send_ns ctx.net ~bytes:req.Request.arg_bytes in
-              root.Request.dispatch_ns <- root.Request.dispatch_ns +. send;
+              (* The send is paid by the forwarding server into the ledger
+                 it owns: the enclosing one on the first hop (bound above,
+                 pre-detach), the travelling one on a re-hop. *)
+              acct.Request.dispatch_ns <- acct.Request.dispatch_ns +. send;
               forward req;
               Engine.schedule ctx.engine ~after:(Time.of_ns send) t.dispatch_fn
           | Some _ | None ->
@@ -229,7 +238,7 @@ let dispatch_one (ctx : Executor.ctx) t engine =
             else (0.0, 0.0)
           in
           let disp = scan_ns +. instr_ns +. enq_ns +. pipe_send +. pipe_wake in
-          root.Request.dispatch_ns <- root.Request.dispatch_ns +. disp;
+          acct.Request.dispatch_ns <- acct.Request.dispatch_ns +. disp;
           ctx.dispatch_count <- ctx.dispatch_count + 1;
           ctx.dispatch_ns <- ctx.dispatch_ns +. disp;
           (* Reclaim up to two finished root ArgBufs, amortized into the

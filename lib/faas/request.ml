@@ -24,6 +24,9 @@ type t = {
   mutable on_complete : (Jord_sim.Engine.t -> float -> unit) option;
   mutable forwarded : bool;
   mutable home_argbuf : int;
+  mutable home_sid : int;
+  mutable acct : root;
+  mutable home_acct : root;
 }
 
 let make_root ~id ~entry ~arrival ~arg_bytes =
@@ -55,12 +58,15 @@ let make_root ~id ~entry ~arrival ~arg_bytes =
       on_complete = None;
       forwarded = false;
       home_argbuf = 0;
+      home_sid = -1;
+      acct = root;
+      home_acct = root;
     }
   in
   (root, req)
 
 let make_child ~id ~parent ~fn_name ~arg_bytes =
-  parent.root.invocations <- parent.root.invocations + 1;
+  parent.acct.invocations <- parent.acct.invocations + 1;
   {
     id;
     fn_name;
@@ -73,7 +79,54 @@ let make_child ~id ~parent ~fn_name ~arg_bytes =
     on_complete = None;
     forwarded = false;
     home_argbuf = 0;
+    home_sid = -1;
+    (* A child accumulates into whatever ledger its parent was using at
+       spawn time: the real root locally, or the parent's detached ledger
+       on a remote server (see {!detach_acct}). *)
+    acct = parent.acct;
+    home_acct = parent.acct;
   }
+
+(* Cross-server accounting: when a request is forwarded, its cost
+   accumulators must not be mutated from the remote server — under the
+   sharded engine ([Jord_sim.Fleet]) the home and remote servers may run on
+   different domains, and even sequentially the fold order of float adds
+   must not depend on engine interleaving. [detach_acct] (called at the
+   first forward hop) swaps in a private zeroed ledger that travels with
+   the request; every accumulator write in the executor/orchestrator
+   targets [acct]. [settle_acct] folds the ledger back into the enclosing
+   one inside the response event, which runs on the home server — so the
+   addition order is fixed by the response schedule, identically in
+   sequential and sharded runs. *)
+
+let detach_acct req =
+  req.home_acct <- req.acct;
+  req.acct <-
+    {
+      root_id = req.id;
+      entry = req.fn_name;
+      arrival = Jord_sim.Time.zero;
+      completed_at = Jord_sim.Time.zero;
+      finished = false;
+      exec_ns = 0.0;
+      isolation_ns = 0.0;
+      dispatch_ns = 0.0;
+      comm_ns = 0.0;
+      queue_ns = 0.0;
+      invocations = 0;
+    }
+
+let settle_acct req =
+  if req.acct != req.home_acct then begin
+    let a = req.acct and o = req.home_acct in
+    o.exec_ns <- o.exec_ns +. a.exec_ns;
+    o.isolation_ns <- o.isolation_ns +. a.isolation_ns;
+    o.dispatch_ns <- o.dispatch_ns +. a.dispatch_ns;
+    o.comm_ns <- o.comm_ns +. a.comm_ns;
+    o.queue_ns <- o.queue_ns +. a.queue_ns;
+    o.invocations <- o.invocations + a.invocations;
+    req.acct <- o
+  end
 
 let latency_ns root = Jord_sim.Time.to_ns Jord_sim.Time.(root.completed_at - root.arrival)
 let overhead_ns root = root.isolation_ns +. root.dispatch_ns +. root.comm_ns

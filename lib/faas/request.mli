@@ -42,12 +42,37 @@ type t = {
   mutable home_argbuf : int;
       (** The origin server's ArgBuf VA, restored before the parent reaps a
           forwarded request's response. *)
+  mutable home_sid : int;
+      (** Server the request was first forwarded from (-1 until then); the
+          response event is routed back to it, across shards if needed. *)
+  mutable acct : root;
+      (** Where cost accumulators land: the real {!root} for local
+          requests, a private detached ledger once forwarded (see
+          {!detach_acct}) so remote servers never write the shared root —
+          which would race under the sharded engine and make float
+          summation order depend on interleaving. *)
+  mutable home_acct : root;
+      (** The ledger [acct] pointed at before {!detach_acct}; the fold
+          target for {!settle_acct}. *)
 }
 
 val make_root :
   id:int -> entry:string -> arrival:Jord_sim.Time.t -> arg_bytes:int -> root * t
 
 val make_child : id:int -> parent:t -> fn_name:string -> arg_bytes:int -> t
+(** The child accumulates into [parent.acct] — the real root locally, the
+    parent's detached ledger on a remote server. *)
+
+val detach_acct : t -> unit
+(** Called at the first forward hop: swap in a zeroed private ledger so all
+    accounting while the request is away from home — including nested
+    children spawned remotely — accumulates off to the side. *)
+
+val settle_acct : t -> unit
+(** Fold the detached ledger back into the enclosing one and re-attach.
+    Runs inside the response event on the home server, so the float
+    addition order is fixed by the response schedule — identical in
+    sequential and sharded runs. No-op if never detached. *)
 
 val latency_ns : root -> float
 (** Arrival-to-completion latency (valid once [finished]). *)

@@ -69,6 +69,8 @@ let queue_full_retries t = t.ctx.Executor.queue_full_retries
 let set_forward t cb = t.ctx.Executor.forward_cb <- cb
 let set_tracer t tr = t.ctx.Executor.tracer <- tr
 let set_trace_sid t sid = t.ctx.Executor.trace_sid <- sid
+let set_sid t sid = t.ctx.Executor.sid <- sid
+let set_route_return t r = t.ctx.Executor.route_return <- r
 
 (* Give a cluster member a disjoint request-id space (member [base] of
    [stride] servers allocates base, base+stride, ...) so spans built from a
@@ -188,6 +190,7 @@ let create ?engine cfg app =
       core_busy_ps = Array.make n 0.0;
       tracer = None;
       trace_sid = 0;
+      sid = 0;
       next_req_id = 0;
       req_id_stride = 1;
       next_cid = 0;
@@ -198,6 +201,7 @@ let create ?engine cfg app =
       dispatch_ns = 0.0;
       queue_full_retries = 0;
       forward_cb = None;
+      route_return = None;
       forwarded_out = 0;
       received_in = 0;
       recovery = cfg.recovery;

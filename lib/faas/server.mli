@@ -173,6 +173,17 @@ val set_trace_sid : t -> int -> unit
 (** Server id stamped on this server's trace events — lets cluster members
     share a single tracer while staying distinguishable (default 0). *)
 
+val set_sid : t -> int -> unit
+(** Fleet-wide server id (default 0): stamped on [Request.home_sid] at the
+    first forward hop so the cluster can route the response event back to
+    this server — across shards when it lives on another engine. *)
+
+val set_route_return : t -> (Request.t -> at:Jord_sim.Time.t -> (Jord_sim.Engine.t -> unit) -> unit) option -> unit
+(** Install the cluster's response router for forwarded requests
+    ([Executor.ctx.route_return]); [None] (the default) schedules the
+    response on this server's own engine — correct whenever home and
+    remote servers share it. *)
+
 val set_req_id_space : t -> base:int -> stride:int -> unit
 (** Allocate request ids [base], [base+stride], ... so cluster members
     sharing one tracer never collide. Call before any request is admitted;

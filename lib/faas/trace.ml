@@ -52,6 +52,14 @@ let emit t ~at_ps ~kind ~req_id ~root_id ?(parent_id = -1) ~fn ~core ?(sid = 0)
   t.total <- t.total + 1;
   match t.sink with None -> () | Some f -> f e
 
+(* Re-emit an already-built event (the cluster's post-run merge of
+   per-shard rings): same ring append and sink fan-out as [emit]. *)
+let emit_event t e =
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1;
+  match t.sink with None -> () | Some f -> f e
+
 let length t = Int.min t.total (Array.length t.ring)
 let total_emitted t = t.total
 let capacity t = Array.length t.ring

@@ -80,6 +80,11 @@ val emit :
   unit ->
   unit
 
+val emit_event : t -> event -> unit
+(** Re-emit an already-built event: same ring append and sink fan-out as
+    {!emit}. {!Cluster} uses it to merge per-shard member rings into the
+    user's tracer in canonical time order after a sharded run. *)
+
 val length : t -> int
 val total_emitted : t -> int
 

@@ -58,6 +58,22 @@ let run ?until t =
          must see the horizon they asked for, not the last event's stamp. *)
       if t.now < limit then t.now <- limit
 
+(* Epoch body for the conservative parallel core (see [Fleet]): identical
+   to [run ~until] except [now] is left at the last processed event. A
+   shard that goes idle mid-epoch must NOT fast-forward to the epoch edge —
+   a barrier-drained message may still land inside this window, and
+   [schedule_at] would reject it as "time in the past". The fleet forces
+   the caller's horizon exactly once, after the final barrier. *)
+let run_window t ~until =
+  let continue = ref true in
+  while !continue do
+    if Event_queue.is_empty t.queue then continue := false
+    else if Event_queue.min_time_exn t.queue > until then continue := false
+    else ignore (step t : bool)
+  done
+
+let next_time t = Event_queue.peek_time t.queue
+
 let pending t = Event_queue.length t.queue
 let processed t = t.processed
 let cancelled t = t.cancelled

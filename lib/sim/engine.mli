@@ -56,6 +56,19 @@ val run : ?until:Time.t -> t -> unit
     queue drained earlier — the run is defined to cover the whole window,
     so busy fractions computed against [now] use the true horizon. *)
 
+val run_window : t -> until:Time.t -> unit
+(** Process events with timestamps [<= until], leaving [now] at the last
+    processed event rather than forcing it to the window edge. This is the
+    epoch body of the conservative parallel core ({!Fleet}): a shard idle
+    mid-epoch must keep [now] where it is so messages drained at the next
+    barrier — which may land anywhere inside the just-run window plus the
+    lookahead — are still schedulable. Use {!run} when the window edge is a
+    true horizon that observers should see. *)
+
+val next_time : t -> Time.t option
+(** Timestamp of the earliest pending event, without processing it. The
+    fleet uses the minimum across shards to place the next epoch. *)
+
 val step : t -> bool
 (** Process a single event; [false] if the queue was empty. *)
 

@@ -40,6 +40,7 @@ val run_cluster :
   ?tracer:Jord_faas.Trace.t ->
   ?on_cluster:(Jord_faas.Cluster.t -> unit) ->
   ?forward_after:int ->
+  ?shards:int ->
   servers:int ->
   app:Jord_faas.Model.app ->
   config:Jord_faas.Server.config ->
@@ -52,4 +53,12 @@ val run_cluster :
     and one front-end round-robin load balancer; internal requests that
     cannot be placed locally are forwarded after [forward_after] (default 3,
     see {!Jord_faas.Cluster.create}) full-scan retries. [on_cluster] is the
-    telemetry hook, as [on_server] is for {!run}. *)
+    telemetry hook, as [on_server] is for {!run}.
+
+    [shards] (default 1) runs the servers on that many parallel engine
+    shards (see {!Jord_faas.Cluster.create}); at 1 the historical
+    single-engine path runs unchanged, while above 1 the same Poisson
+    arrival process is pre-drawn and scheduled through
+    {!Jord_faas.Cluster.submit_at} — identical timestamps, identical
+    round-robin placement — so results are byte-identical across shard
+    counts. *)

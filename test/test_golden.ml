@@ -56,10 +56,19 @@ let test_golden_parallel_identical () =
   let b = Jord_exp.Golden.report ~jobs:4 () in
   Alcotest.(check bool) "report at jobs=4 is byte-identical" true (String.equal a b)
 
+let test_golden_sharded_identical () =
+  (* The conservative parallel core's acceptance bar: splitting the cluster
+     scenarios over engine shards must not move a single byte of the
+     report — same completions, same figures, same trace counts. *)
+  let a = Jord_exp.Golden.report () in
+  let b = Jord_exp.Golden.report ~shards:2 () in
+  Alcotest.(check bool) "report at shards=2 is byte-identical" true (String.equal a b)
+
 let suite =
   [
     Alcotest.test_case "bit-identical to golden.expected" `Quick
       test_golden_bit_identical;
     Alcotest.test_case "re-run determinism" `Quick test_golden_reruns_identically;
     Alcotest.test_case "domain-pool determinism" `Slow test_golden_parallel_identical;
+    Alcotest.test_case "sharded determinism" `Slow test_golden_sharded_identical;
   ]

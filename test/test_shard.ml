@@ -1,0 +1,269 @@
+(* Tests of the conservative parallel core: the Shard mailbox contract,
+   deterministic barrier delivery (a qcheck property against a model sort),
+   Fleet horizon semantics on empty shards, and the Cluster's sharded mode
+   — argument validation plus shards=1 vs shards=3 equivalence. *)
+
+module Engine = Jord_sim.Engine
+module Shard = Jord_sim.Shard
+module Fleet = Jord_sim.Fleet
+module Time = Jord_sim.Time
+open Jord_faas
+
+(* --- Shard.post contract --- *)
+
+let test_post_contract () =
+  let fleet = Fleet.create ~shards:2 ~lookahead:100 in
+  let s0 = Fleet.shard fleet 0 in
+  Alcotest.check_raises "own shard rejected"
+    (Invalid_argument "Shard.post: message to own shard") (fun () ->
+      Shard.post s0 ~dst:0 ~at:500 ~sid:0 (fun _ -> ()));
+  Alcotest.check_raises "bad dst rejected"
+    (Invalid_argument "Shard.post: bad dst") (fun () ->
+      Shard.post s0 ~dst:7 ~at:500 ~sid:0 (fun _ -> ()));
+  (* now = 0, lookahead = 100: at must be >= 100. *)
+  Alcotest.check_raises "lookahead violation rejected"
+    (Invalid_argument "Shard.post: timestamp violates the lookahead window")
+    (fun () -> Shard.post s0 ~dst:1 ~at:99 ~sid:0 (fun _ -> ()));
+  Shard.post s0 ~dst:1 ~at:100 ~sid:0 (fun _ -> ());
+  Alcotest.(check int) "boundary timestamp accepted" 1 (Shard.pending_messages s0);
+  Alcotest.(check int) "fleet pending sees the message" 1 (Fleet.pending fleet);
+  Alcotest.(check int) "drain delivers it" 1 (Fleet.drain fleet);
+  Alcotest.(check int) "outbox reset" 0 (Shard.pending_messages s0);
+  Alcotest.(check int) "second drain is empty" 0 (Fleet.drain fleet)
+
+let test_create_validation () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Fleet.create: shards must be positive") (fun () ->
+      ignore (Fleet.create ~shards:0 ~lookahead:10 : Fleet.t));
+  Alcotest.check_raises "zero lookahead"
+    (Invalid_argument "Fleet.create: lookahead must be positive") (fun () ->
+      ignore (Fleet.create ~shards:2 ~lookahead:0 : Fleet.t))
+
+(* --- qcheck: barrier delivery order is the model sort --- *)
+
+let n_shards = 3
+let la = 100
+
+type post = { src : int; dst : int; at : Time.t; sid : int }
+
+(* Random cross-shard posts: any (src, dst <> src) pair, timestamps at or
+   past the lookahead with plenty of collisions, and a tiny sid range so
+   the (at, sid, posting order) tiebreakers all get exercised. *)
+let gen_posts =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (map3
+         (fun src doff (aoff, sid) ->
+           { src; dst = (src + 1 + doff) mod n_shards; at = la + aoff; sid })
+         (int_bound (n_shards - 1))
+         (int_bound (n_shards - 2))
+         (pair (int_bound 20) (int_bound 4))))
+
+let arb_posts =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; "
+        (List.map
+           (fun p -> Printf.sprintf "%d->%d @%d sid=%d" p.src p.dst p.at p.sid)
+           l))
+    gen_posts
+
+(* The documented delivery order into one destination: gather posting-order
+   runs from each source in ascending source order, then stable-sort by
+   (at, sid, per-source posting counter). Firing the destination engine
+   afterwards must replay exactly that sequence. *)
+let expected_for_dst posts d =
+  let seq = Array.make n_shards 0 in
+  let annotated =
+    List.mapi
+      (fun i p ->
+        let s = seq.(p.src) in
+        seq.(p.src) <- s + 1;
+        (p, i, s))
+      posts
+  in
+  List.concat
+    (List.init n_shards (fun s ->
+         List.filter (fun (p, _, _) -> p.src = s && p.dst = d) annotated))
+  |> List.stable_sort (fun ((a : post), _, sa) (b, _, sb) ->
+         compare (a.at, a.sid, sa) (b.at, b.sid, sb))
+  |> List.map (fun (p, i, _) -> (p.at, i))
+
+let drain_matches_model posts =
+  let fleet = Fleet.create ~shards:n_shards ~lookahead:la in
+  let fired = Array.make n_shards [] in
+  List.iteri
+    (fun i p ->
+      Shard.post (Fleet.shard fleet p.src) ~dst:p.dst ~at:p.at ~sid:p.sid
+        (fun eng -> fired.(p.dst) <- (Engine.now eng, i) :: fired.(p.dst)))
+    posts;
+  let delivered = Fleet.drain fleet in
+  for d = 0 to n_shards - 1 do
+    Engine.run (Fleet.engine fleet d)
+  done;
+  delivered = List.length posts
+  && List.for_all
+       (fun d -> List.rev fired.(d) = expected_for_dst posts d)
+       (List.init n_shards Fun.id)
+
+let prop_drain_order =
+  QCheck.Test.make
+    ~name:"barrier delivers in (timestamp, sid, posting order)" ~count:300
+    arb_posts drain_matches_model
+
+(* --- Fleet horizon and epoch semantics --- *)
+
+let test_until_covers_empty_shards () =
+  (* The satellite fix, fleet edition: a horizon run must advance every
+     shard's clock to the limit — including shards that never held an
+     event — so busy fractions read the same as the sequential path. *)
+  let fleet = Fleet.create ~shards:2 ~lookahead:50 in
+  Fleet.run ~until:1000 fleet;
+  Alcotest.(check int) "idle shard 0 at horizon" 1000 (Engine.now (Fleet.engine fleet 0));
+  Alcotest.(check int) "idle shard 1 at horizon" 1000 (Engine.now (Fleet.engine fleet 1));
+  let fleet = Fleet.create ~shards:2 ~lookahead:50 in
+  let fired_at = ref (-1) in
+  Engine.schedule_at (Fleet.engine fleet 0) ~time:30 (fun eng ->
+      fired_at := Engine.now eng);
+  Fleet.run ~until:1000 fleet;
+  Alcotest.(check int) "event fired" 30 !fired_at;
+  Alcotest.(check int) "busy shard at horizon" 1000 (Engine.now (Fleet.engine fleet 0));
+  Alcotest.(check int) "empty shard at horizon too" 1000
+    (Engine.now (Fleet.engine fleet 1));
+  (* Events beyond the horizon stay queued, exactly like Engine.run. *)
+  let fleet = Fleet.create ~shards:2 ~lookahead:50 in
+  Engine.schedule_at (Fleet.engine fleet 1) ~time:2000 (fun _ -> ());
+  Fleet.run ~until:1000 fleet;
+  Alcotest.(check int) "late event still pending" 1 (Fleet.pending fleet);
+  Alcotest.(check int) "clock stops at horizon" 1000 (Engine.now (Fleet.engine fleet 1))
+
+let test_cross_shard_ping_pong () =
+  (* A courier bouncing between two shards through the mailbox: each hop
+     lands exactly one lookahead later, and the fleet runs to quiescence
+     across as many epochs as it takes. *)
+  let fleet = Fleet.create ~shards:2 ~lookahead:100 in
+  let hops = ref [] in
+  let rec hop at_shard eng =
+    hops := (at_shard, Engine.now eng) :: !hops;
+    if List.length !hops < 5 then
+      let dst = 1 - at_shard in
+      Shard.post (Fleet.shard fleet at_shard) ~dst
+        ~at:(Engine.now eng + 100)
+        ~sid:at_shard (hop dst)
+  in
+  Engine.schedule_at (Fleet.engine fleet 0) ~time:10 (hop 0);
+  Fleet.run fleet;
+  Alcotest.(check (list (pair int int)))
+    "five hops, one lookahead apart, alternating shards"
+    [ (0, 10); (1, 110); (0, 210); (1, 310); (0, 410) ]
+    (List.rev !hops);
+  Alcotest.(check int) "all events processed" 5 (Fleet.processed fleet);
+  Alcotest.(check int) "nothing pending" 0 (Fleet.pending fleet)
+
+(* --- Netmodel.lookahead --- *)
+
+let test_netmodel_lookahead () =
+  Alcotest.(check int) "default lookahead = one-way wire latency"
+    (Netmodel.one_way Netmodel.default)
+    (Netmodel.lookahead Netmodel.default);
+  Alcotest.(check int) "paper default is 2.5us"
+    (Time.of_ns 2500.0)
+    (Netmodel.lookahead Netmodel.default);
+  Alcotest.(check int) "zero wire -> zero lookahead" 0
+    (Netmodel.lookahead (Netmodel.create ~one_way_ns:0.0 ()))
+
+(* --- Cluster sharded mode: validation --- *)
+
+let test_cluster_validation () =
+  let config = Test_cluster.small_config in
+  let app = Test_cluster.fanout_app in
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Cluster.create: shards must be positive") (fun () ->
+      ignore (Cluster.create ~shards:0 ~servers:3 ~config app : Cluster.t));
+  Alcotest.check_raises "fault plans need --shards 1"
+    (Invalid_argument
+       "Cluster.create: fault plans require --shards 1 (the chaos transport \
+        shares wire state across servers)") (fun () ->
+      let config =
+        { config with Server.fault_plan = Some Jord_fault_inject.Plan.none }
+      in
+      ignore (Cluster.create ~shards:2 ~servers:3 ~config app : Cluster.t));
+  Alcotest.check_raises "sharding needs a wire latency"
+    (Invalid_argument "Cluster.create: sharding requires a positive one_way_ns")
+    (fun () ->
+      let config =
+        { config with Server.net = Netmodel.create ~one_way_ns:0.0 () }
+      in
+      ignore (Cluster.create ~shards:2 ~servers:3 ~config app : Cluster.t));
+  (* Clamping: more shards than servers means one server per shard. *)
+  let c = Cluster.create ~shards:8 ~servers:3 ~config app in
+  Alcotest.(check int) "shards clamp to server count" 3 (Cluster.shards c);
+  let c1 = Cluster.create ~servers:3 ~config app in
+  Alcotest.(check int) "default is single-engine" 1 (Cluster.shards c1);
+  Alcotest.check_raises "live submit rejected when sharded"
+    (Invalid_argument "Cluster.submit: sharded clusters take arrivals via submit_at")
+    (fun () -> Cluster.submit c ());
+  Cluster.submit_at c ~time:500 ();
+  Alcotest.check_raises "submission times must be nondecreasing"
+    (Invalid_argument "Cluster.submit_at: submission times must be nondecreasing")
+    (fun () -> Cluster.submit_at c ~time:499 ())
+
+(* --- Cluster sharded mode: equivalence with the sequential path --- *)
+
+let run_cluster ~shards n_requests =
+  let cluster =
+    Cluster.create ~forward_after:2 ~shards ~servers:3
+      ~config:Test_cluster.small_config Test_cluster.fanout_app
+  in
+  let tracer = Trace.create ~capacity:32768 () in
+  Cluster.set_tracer cluster (Some tracer);
+  let roots = ref [] in
+  Cluster.on_root_complete cluster (fun r ->
+      roots :=
+        (r.Request.completed_at, r.Request.finished, r.Request.invocations)
+        :: !roots);
+  for i = 0 to n_requests - 1 do
+    Cluster.submit_at cluster ~time:(Time.of_ns (float_of_int i *. 900.0)) ()
+  done;
+  Cluster.run cluster;
+  let per_server =
+    Array.to_list (Cluster.servers cluster)
+    |> List.map (fun s -> (Server.forwarded_out s, Server.received_in s))
+  in
+  ( List.rev !roots,
+    Trace.events tracer,
+    Cluster.events_processed cluster,
+    Cluster.forwarded cluster,
+    per_server )
+
+let test_sharded_equals_sequential () =
+  let roots1, ev1, n1, fwd1, per1 = run_cluster ~shards:1 60 in
+  let roots3, ev3, n3, fwd3, per3 = run_cluster ~shards:3 60 in
+  Alcotest.(check int) "all complete sequentially" 60 (List.length roots1);
+  Alcotest.(check int) "all complete sharded" 60 (List.length roots3);
+  Alcotest.(check bool) "work was forwarded" true (fwd1 > 0);
+  Alcotest.(check int) "forwarded counts agree" fwd1 fwd3;
+  Alcotest.(check int) "event counts agree" n1 n3;
+  Alcotest.(check (list (pair int int))) "per-server forward/receive agree" per1 per3;
+  (* Completions and trace events replay in canonical (time, server) order;
+     normalize both sides by a total sort so same-picosecond cross-server
+     ties cannot flake the comparison. *)
+  Alcotest.(check bool) "identical completion records" true
+    (List.sort compare roots1 = List.sort compare roots3);
+  Alcotest.(check int) "same trace volume" (List.length ev1) (List.length ev3);
+  Alcotest.(check bool) "identical trace events" true
+    (List.sort compare ev1 = List.sort compare ev3)
+
+let suite =
+  [
+    Alcotest.test_case "Shard.post contract" `Quick test_post_contract;
+    Alcotest.test_case "Fleet.create validation" `Quick test_create_validation;
+    QCheck_alcotest.to_alcotest prop_drain_order;
+    Alcotest.test_case "~until covers empty shards" `Quick
+      test_until_covers_empty_shards;
+    Alcotest.test_case "cross-shard ping-pong" `Quick test_cross_shard_ping_pong;
+    Alcotest.test_case "Netmodel.lookahead" `Quick test_netmodel_lookahead;
+    Alcotest.test_case "Cluster sharded validation" `Quick test_cluster_validation;
+    Alcotest.test_case "sharded cluster = sequential cluster" `Quick
+      test_sharded_equals_sequential;
+  ]
