@@ -179,9 +179,9 @@ let run_cmd =
     Arg.(value & opt (some fault_plan_conv) None
          & info [ "fault-plan" ] ~docv:"SPEC"
              ~doc:"Inject deterministic faults: a preset (none, ci-smoke, mild, harsh), a \
-                   key=value list (crash=0.01,loss=0.2,seed=7), or a preset with \
-                   overrides (ci-smoke,loss=0.5). Same seed and plan reproduce the \
-                   same failures.")
+                   key=value list (crash=0.01,loss=0.2,server-crash=0.005,seed=7), \
+                   or a preset with overrides (ci-smoke,loss=0.5). Same seed and \
+                   plan reproduce the same failures at any $(b,--shards) count.")
   in
   let deadline_us =
     Arg.(value & opt (some pos_float) None
@@ -237,11 +237,6 @@ let run_cmd =
       usage_fail "--net-one-way-ns must be > 0 (got %g)" net_one_way;
     if net_per_byte < 0.0 then
       usage_fail "--net-per-byte-ns must be >= 0 (got %g)" net_per_byte;
-    if shards > 1 && fault_plan <> None then
-      usage_fail
-        "--shards %d is incompatible with --fault-plan (the chaos transport \
-         needs the single shared engine); drop one of the two"
-        shards;
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -450,14 +445,22 @@ let run_cmd =
           (sum Jord_faas.Server.recovered)
           (sum Jord_faas.Server.stalls)
           (sum Jord_faas.Server.slowdowns);
+        Printf.printf
+          "server-faults: crashes=%d warm-losses=%d cold-starts=%d\n"
+          (sum Jord_faas.Server.server_crashes)
+          (sum Jord_faas.Server.warm_losses)
+          (sum Jord_faas.Server.cold_starts);
         match Jord_faas.Cluster.net_stats cluster with
         | Some s ->
             Printf.printf
-              "net: xfers=%d copies=%d lost=%d dup-dropped=%d retries=%d abandoned=%d marked-dead=%d\n"
+              "net: xfers=%d copies=%d lost=%d dup-dropped=%d dropped-down=%d retries=%d abandoned=%d failover=%d marked-dead=%d unquarantined=%d\n"
               s.Jord_faas.Cluster.xfers s.Jord_faas.Cluster.wire_copies
               s.Jord_faas.Cluster.lost s.Jord_faas.Cluster.dup_dropped
+              s.Jord_faas.Cluster.dropped_down
               s.Jord_faas.Cluster.retries s.Jord_faas.Cluster.abandoned
+              s.Jord_faas.Cluster.failover
               s.Jord_faas.Cluster.peers_marked_dead
+              s.Jord_faas.Cluster.peers_unquarantined
         | None -> ()
       end;
       print_slo ();
@@ -504,13 +507,19 @@ let run_cmd =
         (Jord_vm.Hw.shootdown_count hw)
         (Jord_vm.Hw.shootdown_ns_total hw
         /. float_of_int (Int.max 1 (Jord_vm.Hw.shootdown_count hw)));
-      if chaos_active then
+      if chaos_active then begin
         Printf.printf "chaos: timeouts=%d crashes=%d recovered=%d stalls=%d slowdowns=%d\n"
           (Jord_faas.Server.timed_out_requests server)
           (Jord_faas.Server.crashes server)
           (Jord_faas.Server.recovered server)
           (Jord_faas.Server.stalls server)
           (Jord_faas.Server.slowdowns server);
+        Printf.printf
+          "server-faults: crashes=%d warm-losses=%d cold-starts=%d\n"
+          (Jord_faas.Server.server_crashes server)
+          (Jord_faas.Server.warm_losses server)
+          (Jord_faas.Server.cold_starts server)
+      end;
       print_slo ();
       verdict (Jord_faas.Server.check_invariants server);
       Printf.printf "[simulated %d events in %.1fs wall]\n"

@@ -278,6 +278,101 @@ let cluster_sharded ~quick =
       ];
   }
 
+(* --- chaos_failover: the server failure domain under sharding. One seeded
+   3-server fanout workload under a whole-server-crash fault plan, run
+   sequentially (shards=1) and on 3 parallel engine shards, with the full
+   chaos signature — completions, crash/recovery counters and every
+   transport stat — compared for byte-equality. The signature match and
+   the conservation invariants are the hard gates (determinism_ok,
+   invariants_ok); the chaos counters are deterministic counts, so the
+   baseline also pins how much failure the plan actually injects. --- *)
+
+let chaos_failover ~quick =
+  let plan =
+    {
+      Jord_fault_inject.Plan.ci_smoke with
+      Jord_fault_inject.Plan.server_crash = 0.002;
+      server_down_us = 20.0;
+      warm_loss = 1.0;
+    }
+  in
+  let config =
+    {
+      (Exp_common.config_for Jord_faas.Variant.Jord) with
+      Jord_faas.Server.machine =
+        Jord_arch.Config.with_cores Jord_arch.Config.default 8;
+      orchestrators = 1;
+      queue_capacity = 2;
+      fault_plan = Some plan;
+    }
+  in
+  let duration_us = if quick then 600.0 else 2000.0 in
+  let run ~shards =
+    let cluster, recorder =
+      Jord_workloads.Loadgen.run_cluster ~forward_after:2 ~shards ~servers:3
+        ~warmup:50 ~app:fanout_app ~config ~rate_mrps:1.5 ~duration_us ()
+    in
+    let members = Jord_faas.Cluster.servers cluster in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 members in
+    let s = Option.get (Jord_faas.Cluster.net_stats cluster) in
+    let signature =
+      Printf.sprintf
+        "count=%d events=%d crashes=%d srv=%d warm=%d cold=%d rec=%d \
+         xfers=%d copies=%d lost=%d dup=%d down=%d acked=%d retries=%d \
+         abandoned=%d failover=%d dead=%d probe=%d p99=%.17g"
+        (Jord_metrics.Recorder.count recorder)
+        (Jord_faas.Cluster.events_processed cluster)
+        (sum Jord_faas.Server.crashes)
+        (sum Jord_faas.Server.server_crashes)
+        (sum Jord_faas.Server.warm_losses)
+        (sum Jord_faas.Server.cold_starts)
+        (sum Jord_faas.Server.recovered)
+        s.Jord_faas.Cluster.xfers s.Jord_faas.Cluster.wire_copies
+        s.Jord_faas.Cluster.lost s.Jord_faas.Cluster.dup_dropped
+        s.Jord_faas.Cluster.dropped_down s.Jord_faas.Cluster.acked
+        s.Jord_faas.Cluster.retries s.Jord_faas.Cluster.abandoned
+        s.Jord_faas.Cluster.failover s.Jord_faas.Cluster.peers_marked_dead
+        s.Jord_faas.Cluster.peers_unquarantined
+        (Jord_metrics.Recorder.p99_us recorder)
+    in
+    let clean = Jord_faas.Cluster.check_invariants cluster = [] in
+    ( signature,
+      clean,
+      float_of_int (Jord_metrics.Recorder.count recorder),
+      float_of_int (sum Jord_faas.Server.server_crashes),
+      float_of_int s.Jord_faas.Cluster.failover )
+  in
+  let pairs = List.init (reps quick) (fun _ -> (run ~shards:1, run ~shards:3)) in
+  let identical =
+    List.for_all
+      (fun ((sig_seq, _, _, _, _), (sig_shd, _, _, _, _)) -> sig_seq = sig_shd)
+      pairs
+  in
+  let all_clean =
+    List.for_all
+      (fun ((_, c1, _, _, _), (_, c2, _, _, _)) -> c1 && c2)
+      pairs
+  in
+  let (_, _, completed, server_crashes, failover), _ = List.hd pairs in
+  {
+    B.experiment = "chaos_failover";
+    metrics =
+      [
+        (* Hard gate: any fault plan replays byte-identically at every
+           shard count — sharded chaos is part of the determinism contract. *)
+        B.count ~tolerance:det_tol ~name:"determinism_ok" ~unit_:"bool"
+          (if identical then 1.0 else 0.0);
+        (* Hard gate: no request lost or executed twice through whole-server
+           crashes, failover and local re-execution. *)
+        B.count ~tolerance:det_tol ~name:"invariants_ok" ~unit_:"bool"
+          (if all_clean then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"completed" ~unit_:"requests" completed;
+        B.count ~tolerance:det_tol ~name:"server_crashes" ~unit_:"crashes"
+          server_crashes;
+        B.count ~tolerance:det_tol ~name:"failover" ~unit_:"transfers" failover;
+      ];
+  }
+
 (* --- trace: cost of causal tracing on the single-server hot path --- *)
 
 let trace ~quick =
@@ -400,6 +495,7 @@ let experiments =
     ("server", server);
     ("cluster", cluster);
     ("cluster_sharded", cluster_sharded);
+    ("chaos_failover", chaos_failover);
     ("trace", trace);
     ("slo_overhead", slo_overhead);
   ]

@@ -16,12 +16,33 @@ type net_stats = {
   mutable duplicated : int;
   mutable dup_dropped : int;
   mutable delivered : int;
+  mutable dropped_down : int;
   mutable acked : int;
   mutable retries : int;
   mutable abandoned : int;
+  mutable failover : int;
   mutable no_healthy_peer : int;
   mutable peers_marked_dead : int;
+  mutable peers_unquarantined : int;
 }
+
+let zero_stats () =
+  {
+    xfers = 0;
+    wire_copies = 0;
+    lost = 0;
+    duplicated = 0;
+    dup_dropped = 0;
+    delivered = 0;
+    dropped_down = 0;
+    acked = 0;
+    retries = 0;
+    abandoned = 0;
+    failover = 0;
+    no_healthy_peer = 0;
+    peers_marked_dead = 0;
+    peers_unquarantined = 0;
+  }
 
 (* One forwarded request in flight: attempts, the ack-timeout timer, and
    the current target (re-picked on retry, so a dead peer is routed
@@ -36,14 +57,34 @@ type xfer = {
   mutable closed : bool;
 }
 
+(* Chaos state is sharded the same way the servers are: every field is
+   owned by exactly one server (and therefore one shard). Source-side
+   state — the fault sub-stream, transfer ids, timers, health rows,
+   retry/abandon counters — lives with the forwarding server; delivery-side
+   state — the dedup table, delivered/dup/down-drop counters — with the
+   target. Cross-server events (copies, acks) travel through the shard
+   mailboxes like any other wire traffic, so any fault plan replays
+   byte-identically at every shard count. *)
 type chaos = {
-  inj : Injector.t;
+  injs : Injector.t array;
+      (** Per-source wire fault sub-streams ([Injector.for_sid]): draws are
+          shard-local and independent of cross-server interleaving. *)
   recovery : Recovery.t;
-  stats : net_stats;
-  health : peer_health array array;  (** [health.(src).(dst)]. *)
-  seen : (int, unit) Hashtbl.t array;  (** Per-target delivered transfer ids. *)
-  mutable next_xid : int;
-  mutable pending_xfers : int;
+  stats : net_stats array;
+      (** Per-server; source-side counters accumulate in [stats.(src)],
+          delivery-side ones in [stats.(target)]. Aggregated on read. *)
+  health : peer_health array array;  (** [health.(src).(dst)]; src-owned. *)
+  seen : (int, unit) Hashtbl.t array;
+      (** Per-target delivered transfer ids; touched only on the target's
+          shard. *)
+  next_xid : int array;
+      (** Per-source id allocator, strided by server count so transfer ids
+          stay globally unique without shared state. *)
+  pending : int array;  (** Per-source open transfers. *)
+  backoff_bufs : (Time.t * float) list ref array;
+      (** Sharded mode: per-source backoff observations (reversed), flushed
+          to [on_retry_backoff] in canonical (time, src) order after the
+          run; sequential mode calls the hook inline. *)
   mutable on_retry_backoff : float -> unit;
 }
 
@@ -90,8 +131,21 @@ type t = {
 let one_way_ns t = Netmodel.one_way_ns t.net
 
 let timeout_ns t ch =
-  (2.0 *. one_way_ns t) +. Injector.max_jitter_ns ch.inj
+  (2.0 *. one_way_ns t) +. Injector.max_jitter_ns ch.injs.(0)
   +. ch.recovery.Recovery.retry_base_ns
+
+(* Schedule [fn] at absolute time [at] as seen from server [src]: a plain
+   engine event when [dst] shares [src]'s engine (sequential mode, or
+   co-sharded servers), a mailbox post otherwise. Every chaos wire event is
+   at least [one_way] in the future, so the lookahead contract holds. *)
+let post t ~src ~dst ~at fn =
+  match t.sharded with
+  | Some s when s.shard_of.(src) <> s.shard_of.(dst) ->
+      Jord_sim.Shard.post
+        (Jord_sim.Fleet.shard s.fleet s.shard_of.(src))
+        ~dst:s.shard_of.(dst) ~at ~sid:src fn
+  | Some _ | None ->
+      Engine.schedule_at (Server.engine t.servers.(src)) ~time:at fn
 
 (* First non-quarantined peer in ring order after [src]; when every peer is
    quarantined, fall back to the ring successor (the transfer probes it). *)
@@ -106,57 +160,76 @@ let pick_peer t ch ~src ~now =
   match go 1 with
   | Some j -> j
   | None ->
-      ch.stats.no_healthy_peer <- ch.stats.no_healthy_peer + 1;
+      ch.stats.(src).no_healthy_peer <- ch.stats.(src).no_healthy_peer + 1;
       (src + 1) mod n
 
+(* Runs on the source's shard (the ack travels back through the mailbox). *)
 let ack t ch xfer =
   if not xfer.closed then begin
     xfer.closed <- true;
-    ch.pending_xfers <- ch.pending_xfers - 1;
-    ignore (Engine.cancel t.engine xfer.timer);
-    ch.stats.acked <- ch.stats.acked + 1;
+    let st = ch.stats.(xfer.src) in
+    ch.pending.(xfer.src) <- ch.pending.(xfer.src) - 1;
+    ignore (Engine.cancel (Server.engine t.servers.(xfer.src)) xfer.timer);
+    st.acked <- st.acked + 1;
     let h = ch.health.(xfer.src).(xfer.target) in
+    if h.dead_until > Time.zero then
+      (* A quarantined peer answered its probe: back in the rotation. *)
+      st.peers_unquarantined <- st.peers_unquarantined + 1;
     h.consecutive_timeouts <- 0;
     h.dead_until <- Time.zero
   end
 
+(* Runs on the target's shard. *)
 let deliver t ch xfer =
   let tgt = xfer.target in
-  if Hashtbl.mem ch.seen.(tgt) xfer.xid then begin
-    ch.stats.dup_dropped <- ch.stats.dup_dropped + 1;
+  let st = ch.stats.(tgt) in
+  if Server.is_down t.servers.(tgt) then
+    (* The machine is dark (whole-server crash window): the copy reaches a
+       dead NIC. No ack and no dedup mark, so the source's timer fires,
+       the health row trips, and the transfer fails over to the next
+       healthy peer — provably without double execution, exactly as for a
+       lost copy. *)
+    st.dropped_down <- st.dropped_down + 1
+  else if Hashtbl.mem ch.seen.(tgt) xfer.xid then begin
+    st.dup_dropped <- st.dup_dropped + 1;
     Server.note_duplicate t.servers.(tgt) xfer.req
   end
   else begin
     Hashtbl.add ch.seen.(tgt) xfer.xid ();
-    ch.stats.delivered <- ch.stats.delivered + 1;
+    st.delivered <- st.delivered + 1;
     Server.receive_forwarded t.servers.(tgt) xfer.req;
-    Engine.schedule t.engine ~after:(Netmodel.one_way t.net) (fun _ -> ack t ch xfer)
+    let at = Time.(Engine.now (Server.engine t.servers.(tgt)) + Netmodel.one_way t.net) in
+    post t ~src:tgt ~dst:xfer.src ~at (fun _ -> ack t ch xfer)
   end
 
 let rec send_attempt t ch xfer =
+  let src_eng = Server.engine t.servers.(xfer.src) in
+  let now = Engine.now src_eng in
+  let st = ch.stats.(xfer.src) in
   xfer.attempt <- xfer.attempt + 1;
-  let w = Injector.draw_wire ch.inj in
-  ch.stats.wire_copies <- ch.stats.wire_copies + 1;
-  if w.Injector.lost then ch.stats.lost <- ch.stats.lost + 1
+  let w = Injector.draw_wire ch.injs.(xfer.src) in
+  st.wire_copies <- st.wire_copies + 1;
+  if w.Injector.lost then st.lost <- st.lost + 1
   else
-    Engine.schedule t.engine
-      ~after:(Time.of_ns (one_way_ns t +. w.Injector.jitter_ns))
+    post t ~src:xfer.src ~dst:xfer.target
+      ~at:Time.(now + Time.of_ns (one_way_ns t +. w.Injector.jitter_ns))
       (fun _ -> deliver t ch xfer);
   if w.Injector.duplicated then begin
-    ch.stats.wire_copies <- ch.stats.wire_copies + 1;
-    ch.stats.duplicated <- ch.stats.duplicated + 1;
-    Engine.schedule t.engine
-      ~after:(Time.of_ns (one_way_ns t +. w.Injector.dup_jitter_ns))
+    st.wire_copies <- st.wire_copies + 1;
+    st.duplicated <- st.duplicated + 1;
+    post t ~src:xfer.src ~dst:xfer.target
+      ~at:Time.(now + Time.of_ns (one_way_ns t +. w.Injector.dup_jitter_ns))
       (fun _ -> deliver t ch xfer)
   end;
   xfer.timer <-
-    Engine.schedule_handle t.engine
+    Engine.schedule_handle src_eng
       ~after:(Time.of_ns (timeout_ns t ch))
       (fun _ -> on_timeout t ch xfer)
 
 and on_timeout t ch xfer =
   if not xfer.closed then begin
-    let now = Engine.now t.engine in
+    let now = Engine.now (Server.engine t.servers.(xfer.src)) in
+    let st = ch.stats.(xfer.src) in
     let h = ch.health.(xfer.src).(xfer.target) in
     h.consecutive_timeouts <- h.consecutive_timeouts + 1;
     if
@@ -165,32 +238,42 @@ and on_timeout t ch xfer =
     then begin
       (* Quarantine the peer; after probe_us one transfer may probe it. *)
       h.dead_until <- Time.(now + Time.of_us ch.recovery.Recovery.probe_us);
-      ch.stats.peers_marked_dead <- ch.stats.peers_marked_dead + 1
+      st.peers_marked_dead <- st.peers_marked_dead + 1
     end;
     if xfer.attempt >= ch.recovery.Recovery.retry_max then begin
-      (* Give up on the wire: every copy was provably lost, so the source
-         re-executes the request locally (no double execution possible). *)
+      (* Give up on the wire: every copy was provably lost (or reached a
+         dead machine), so the source re-executes the request locally — no
+         double execution possible. *)
       xfer.closed <- true;
-      ch.pending_xfers <- ch.pending_xfers - 1;
-      ch.stats.abandoned <- ch.stats.abandoned + 1;
+      ch.pending.(xfer.src) <- ch.pending.(xfer.src) - 1;
+      st.abandoned <- st.abandoned + 1;
       Server.note_forward_abandoned t.servers.(xfer.src) xfer.req;
       Server.receive_forwarded t.servers.(xfer.src) xfer.req
     end
     else begin
-      ch.stats.retries <- ch.stats.retries + 1;
+      st.retries <- st.retries + 1;
       let back = Recovery.backoff_ns ch.recovery (xfer.attempt - 1) in
-      ch.on_retry_backoff back;
-      xfer.target <- pick_peer t ch ~src:xfer.src ~now;
-      Engine.schedule t.engine ~after:(Time.of_ns back) (fun _ ->
-          send_attempt t ch xfer)
+      (match t.sharded with
+      | None -> ch.on_retry_backoff back
+      | Some _ ->
+          ch.backoff_bufs.(xfer.src) :=
+            (now, back) :: !(ch.backoff_bufs.(xfer.src)));
+      let next = pick_peer t ch ~src:xfer.src ~now in
+      (* Re-routing an orphaned transfer away from a dead peer. *)
+      if next <> xfer.target then st.failover <- st.failover + 1;
+      xfer.target <- next;
+      Engine.schedule
+        (Server.engine t.servers.(xfer.src))
+        ~after:(Time.of_ns back)
+        (fun _ -> send_attempt t ch xfer)
     end
   end
 
 let start_xfer t ch ~src req =
-  let now = Engine.now t.engine in
+  let now = Engine.now (Server.engine t.servers.(src)) in
   let xfer =
     {
-      xid = ch.next_xid;
+      xid = ch.next_xid.(src);
       req;
       src;
       target = pick_peer t ch ~src ~now;
@@ -199,9 +282,9 @@ let start_xfer t ch ~src req =
       closed = false;
     }
   in
-  ch.next_xid <- ch.next_xid + 1;
-  ch.stats.xfers <- ch.stats.xfers + 1;
-  ch.pending_xfers <- ch.pending_xfers + 1;
+  ch.next_xid.(src) <- ch.next_xid.(src) + Array.length t.servers;
+  ch.stats.(src).xfers <- ch.stats.(src).xfers + 1;
+  ch.pending.(src) <- ch.pending.(src) + 1;
   send_attempt t ch xfer
 
 let create ?(forward_after = 3) ?(shards = 1) ~servers:n ~config app =
@@ -210,10 +293,6 @@ let create ?(forward_after = 3) ?(shards = 1) ~servers:n ~config app =
   (* More shards than servers would leave empty engines; clamp so
      [--shards 8] on a 3-server cluster means one server per shard. *)
   let eff_shards = Int.min shards n in
-  if eff_shards > 1 && config.Server.fault_plan <> None then
-    invalid_arg
-      "Cluster.create: fault plans require --shards 1 (the chaos transport \
-       shares wire state across servers)";
   let config = { config with Server.forward_after } in
   (* One-way latency between servers (top-of-rack switch) comes from the
      servers' own network model, so wire and serialization costs share a
@@ -260,29 +339,19 @@ let create ?(forward_after = 3) ?(shards = 1) ~servers:n ~config app =
     | Some plan ->
         Some
           {
-            inj = Injector.create ~salt:7919 plan;
+            (* Per-source wire sub-streams, decorrelated from the servers'
+               own executor fault streams by the historical wire salt. *)
+            injs = Array.init n (fun i -> Injector.for_sid plan ~sid:(7919 + i));
             recovery = config.Server.recovery;
-            stats =
-              {
-                xfers = 0;
-                wire_copies = 0;
-                lost = 0;
-                duplicated = 0;
-                dup_dropped = 0;
-                delivered = 0;
-                acked = 0;
-                retries = 0;
-                abandoned = 0;
-                no_healthy_peer = 0;
-                peers_marked_dead = 0;
-              };
+            stats = Array.init n (fun _ -> zero_stats ());
             health =
               Array.init n (fun _ ->
                   Array.init n (fun _ ->
                       { consecutive_timeouts = 0; dead_until = Time.zero }));
             seen = Array.init n (fun _ -> Hashtbl.create 256);
-            next_xid = 0;
-            pending_xfers = 0;
+            next_xid = Array.init n Fun.id;
+            pending = Array.make n 0;
+            backoff_bufs = Array.init n (fun _ -> ref []);
             on_retry_backoff = (fun _ -> ());
           }
   in
@@ -468,7 +537,24 @@ let run ?until t =
               (Jord_par.Pool.parmap pool f (List.init n Fun.id) : unit list)
           in
           Jord_sim.Fleet.run ?until ~runner s.fleet);
-      finalize_sharded s
+      finalize_sharded s;
+      (* Replay the buffered backoff observations into the histogram hook
+         in canonical (time, src) order — the same merge rule as traces and
+         completions, so the observed sequence matches shards 1. *)
+      (match t.chaos with
+      | None -> ()
+      | Some ch ->
+          Array.to_list ch.backoff_bufs
+          |> List.mapi (fun i buf ->
+                 let obs = List.rev !buf in
+                 buf := [];
+                 List.map (fun (at, ns) -> (at, i, ns)) obs)
+          |> List.concat
+          |> List.stable_sort (fun (a, i, _) (b, j, _) ->
+                 match compare (a : Time.t) b with
+                 | 0 -> Int.compare i j
+                 | c -> c)
+          |> List.iter (fun (_, _, ns) -> ch.on_retry_backoff ns))
 
 let shards t =
   match t.sharded with None -> 1 | Some s -> Jord_sim.Fleet.shards s.fleet
@@ -481,8 +567,34 @@ let events_processed t =
 let forwarded t =
   Array.fold_left (fun acc s -> acc + Server.forwarded_out s) 0 t.servers
 
-let net_stats t = Option.map (fun ch -> ch.stats) t.chaos
-let pending_transfers t = match t.chaos with Some ch -> ch.pending_xfers | None -> 0
+(* Cluster-wide aggregate of the per-server chaos counters. *)
+let agg_stats ch =
+  let a = zero_stats () in
+  Array.iter
+    (fun s ->
+      a.xfers <- a.xfers + s.xfers;
+      a.wire_copies <- a.wire_copies + s.wire_copies;
+      a.lost <- a.lost + s.lost;
+      a.duplicated <- a.duplicated + s.duplicated;
+      a.dup_dropped <- a.dup_dropped + s.dup_dropped;
+      a.delivered <- a.delivered + s.delivered;
+      a.dropped_down <- a.dropped_down + s.dropped_down;
+      a.acked <- a.acked + s.acked;
+      a.retries <- a.retries + s.retries;
+      a.abandoned <- a.abandoned + s.abandoned;
+      a.failover <- a.failover + s.failover;
+      a.no_healthy_peer <- a.no_healthy_peer + s.no_healthy_peer;
+      a.peers_marked_dead <- a.peers_marked_dead + s.peers_marked_dead;
+      a.peers_unquarantined <- a.peers_unquarantined + s.peers_unquarantined)
+    ch.stats;
+  a
+
+let net_stats t = Option.map agg_stats t.chaos
+
+let pending_transfers t =
+  match t.chaos with
+  | Some ch -> Array.fold_left ( + ) 0 ch.pending
+  | None -> 0
 
 let conservation t =
   Array.fold_left
@@ -496,16 +608,19 @@ let check_invariants t =
   (match t.chaos with
   | None -> ()
   | Some ch ->
-      let s = ch.stats in
-      if s.xfers <> s.acked + s.abandoned + ch.pending_xfers then
+      let s = agg_stats ch in
+      let pend = pending_transfers t in
+      if s.xfers <> s.acked + s.abandoned + pend then
         fail "transfer balance: %d transfers but %d acked + %d abandoned + %d pending"
-          s.xfers s.acked s.abandoned ch.pending_xfers;
+          s.xfers s.acked s.abandoned pend;
       if tally.Invariant.drained then begin
-        if ch.pending_xfers <> 0 then
-          fail "drained but %d transfers still pending" ch.pending_xfers;
-        if s.wire_copies <> s.lost + s.delivered + s.dup_dropped then
-          fail "wire balance: %d copies but %d lost + %d delivered + %d deduplicated"
-            s.wire_copies s.lost s.delivered s.dup_dropped
+        if pend <> 0 then fail "drained but %d transfers still pending" pend;
+        if s.wire_copies <> s.lost + s.delivered + s.dup_dropped + s.dropped_down
+        then
+          fail
+            "wire balance: %d copies but %d lost + %d delivered + %d deduplicated \
+             + %d dropped at down servers"
+            s.wire_copies s.lost s.delivered s.dup_dropped s.dropped_down
       end);
   !errs
 
@@ -520,25 +635,34 @@ let register_metrics t ?(labels = []) reg =
   | None -> ()
   | Some ch ->
       let open Jord_telemetry.Registry in
-      let s = ch.stats in
       let c name help fn =
-        counter_fn reg ~help ~labels name (fun () -> float_of_int (fn ()))
+        counter_fn reg ~help ~labels name (fun () ->
+            float_of_int (fn (agg_stats ch)))
       in
-      c "jord_net_transfers_total" "Forwarded transfers started" (fun () -> s.xfers);
+      c "jord_net_transfers_total" "Forwarded transfers started" (fun s -> s.xfers);
       c "jord_net_wire_copies_total" "Wire copies sent (retries + duplicates)"
-        (fun () -> s.wire_copies);
-      c "jord_net_lost_total" "Wire copies lost" (fun () -> s.lost);
-      c "jord_net_duplicated_total" "Wire copies duplicated in flight" (fun () ->
+        (fun s -> s.wire_copies);
+      c "jord_net_lost_total" "Wire copies lost" (fun s -> s.lost);
+      c "jord_net_duplicated_total" "Wire copies duplicated in flight" (fun s ->
           s.duplicated);
-      c "jord_net_dup_dropped_total" "Duplicate deliveries deduplicated" (fun () ->
+      c "jord_net_dup_dropped_total" "Duplicate deliveries deduplicated" (fun s ->
           s.dup_dropped);
-      c "jord_net_retries_total" "Transfer retries after an ack timeout" (fun () ->
+      c "jord_net_dropped_down_total"
+        "Wire copies that reached a crashed (down) server" (fun s ->
+          s.dropped_down);
+      c "jord_net_retries_total" "Transfer retries after an ack timeout" (fun s ->
           s.retries);
       c "jord_net_abandoned_total" "Transfers given up and re-executed locally"
-        (fun () -> s.abandoned);
+        (fun s -> s.abandoned);
+      c "jord_failover_total"
+        "Transfers re-routed to a different peer after a timeout" (fun s ->
+          s.failover);
       c "jord_net_peers_marked_dead_total"
-        "Peer quarantines after consecutive timeouts" (fun () ->
+        "Peer quarantines after consecutive timeouts" (fun s ->
           s.peers_marked_dead);
+      c "jord_net_peers_unquarantined_total"
+        "Quarantined peers that answered a probe and rejoined the ring"
+        (fun s -> s.peers_unquarantined);
       let backoff_h =
         histogram reg ~help:"Transfer retry backoff intervals (ns)" ~labels
           "jord_net_retry_backoff_ns"

@@ -36,9 +36,16 @@
     Fixed-seed runs are byte-identical across shard counts, and
     [~shards:1] is exactly the historical single-engine path.
 
-    Sharded mode requires a positive [one_way_ns], no fault plan, and
-    arrivals via {!submit_at} (pre-scheduled, nondecreasing times) rather
-    than live {!submit}. *)
+    Fault plans compose with sharding: chaos state is partitioned the same
+    way the servers are — each source owns its fault sub-stream
+    ({!Jord_fault_inject.Injector.for_sid}), transfer ids, timers and
+    health rows; each target owns its dedup table — and wire copies/acks
+    travel through the shard mailboxes, so any fault plan replays
+    byte-identically at every shard count.
+
+    Sharded mode requires a positive [one_way_ns] and arrivals via
+    {!submit_at} (pre-scheduled, nondecreasing times) rather than live
+    {!submit}. *)
 
 type net_stats = {
   mutable xfers : int;  (** Transfers started (forwarded requests). *)
@@ -47,11 +54,18 @@ type net_stats = {
   mutable duplicated : int;
   mutable dup_dropped : int;  (** Deliveries deduplicated at the receiver. *)
   mutable delivered : int;
+  mutable dropped_down : int;
+      (** Copies that reached a server inside a whole-server crash window:
+          no ack, no dedup mark — the source times out and fails over. *)
   mutable acked : int;
   mutable retries : int;
   mutable abandoned : int;  (** Gave up after retry_max; re-executed locally. *)
+  mutable failover : int;
+      (** Retries that re-routed the transfer to a different peer. *)
   mutable no_healthy_peer : int;  (** Sends with every peer quarantined. *)
   mutable peers_marked_dead : int;
+  mutable peers_unquarantined : int;
+      (** Quarantined peers that answered a probe and rejoined the ring. *)
 }
 
 type t
@@ -67,9 +81,9 @@ val create :
     leaves its server. [shards] (default 1) partitions the servers over
     that many parallel engine shards, clamped to the server count; with 1
     every server shares one engine. Raises [Invalid_argument] if [shards]
-    is not positive, or — when the effective shard count exceeds 1 — if a
-    fault plan is installed or the network model's one-way latency is zero
-    (the lookahead would be empty). *)
+    is not positive, or — when the effective shard count exceeds 1 — if
+    the network model's one-way latency is zero (the lookahead would be
+    empty). *)
 
 val engine : t -> Jord_sim.Engine.t
 (** The shared engine ([shards = 1]) or shard 0's engine — the control
@@ -134,8 +148,8 @@ val conservation : t -> Jord_fault_inject.Invariant.tally
 val check_invariants : t -> string list
 (** {!Jord_fault_inject.Invariant.check} on the cluster-wide tally, plus
     transport-level balance (transfers = acked + abandoned + pending;
-    once drained, wire copies = lost + delivered + deduplicated and no
-    transfer pending). [[]] = all hold. *)
+    once drained, wire copies = lost + delivered + deduplicated +
+    dropped-at-down-servers and no transfer pending). [[]] = all hold. *)
 
 val register_metrics :
   t -> ?labels:(string * string) list -> Jord_telemetry.Registry.t -> unit

@@ -1,5 +1,5 @@
 type wait = No_wait | For_child of int | For_all
-type status = Running | Suspended | Ready
+type status = Running | Suspended | Ready | Aborted
 
 type 'exec t = {
   cid : int;

@@ -16,7 +16,14 @@ type wait =
   | For_child of int  (** Blocked on one child request id (sync invoke / [wait(c)]). *)
   | For_all  (** Blocked until every outstanding child completes. *)
 
-type status = Running | Suspended | Ready
+type status =
+  | Running
+  | Suspended
+  | Ready
+  | Aborted
+      (** Torn down Groundhog-style by a whole-server crash: any event still
+          scheduled against this continuation (segment ends, child
+          completions from zombie responses) must no-op. *)
 
 type 'exec t = {
   cid : int;

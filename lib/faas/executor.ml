@@ -50,12 +50,28 @@ type ctx = {
   mutable forward_abandoned : int;
   mutable queue_wait_ns : float;
   mutable on_retry_backoff : float -> unit;
+  mutable srv_down_until : Time.t;
+      (** Whole-server crash horizon: while [now < srv_down_until] the
+          orchestrators hold all dispatch ([Time.zero] when up). *)
+  mutable server_crashes : int;
+  mutable warm_losses : int;
+  mutable cold_starts : int;
+  cold_fns : (string, unit) Hashtbl.t;
+      (** Functions whose warm state a server crash invalidated; the next
+          invocation of each pays the cold re-warm path. *)
+  conts : (int, t Continuation.t) Hashtbl.t;
+      (** Every live continuation by cid — the registry a whole-server
+          crash walks (in sorted cid order) to abort them all. *)
+  mutable on_server_purge : reboot:Time.t -> unit;
+      (** Installed by [Server]: drain every orchestrator and executor
+          queue after a whole-server crash (re-queue entry requests at
+          [reboot], discard local children). *)
 }
 
 (* Everything an executor needs from its orchestrator, as closures — this
    is what breaks the executor/orchestrator recursion: [Orchestrator]
    builds one uplink per orchestrator and installs it on its executors. *)
-type uplink = {
+and uplink = {
   int_line : int;  (** The orchestrator's internal-queue cache line. *)
   notify_line : int;  (** Completion-notification line for external requests. *)
   submit_internal : at:Time.t -> Request.t -> unit;
@@ -66,7 +82,7 @@ type uplink = {
       (** Start the orchestrator's dispatch loop if it is idle. *)
 }
 
-type t = {
+and t = {
   eid : int;
   core : int;
   queue : Request.t Bounded_queue.t;
@@ -79,6 +95,11 @@ type t = {
   mutable down_until : Time.t;
       (** Crashed-executor restart horizon; orchestrators treat the
           executor as full until it passes ([Time.zero] when healthy). *)
+  mutable epoch : int;
+      (** Bumped by the whole-server purge. Scheduled lifecycle events
+          (executor-restart, teardown-release) capture it and no-op when
+          it moved: a stale "executor free" from before the crash must
+          not clear [busy] while a post-reboot invocation is running. *)
 }
 
 (* Executor queues live in their own address-space region. *)
@@ -145,9 +166,26 @@ let add_cost (acct : Request.root) (c : Runtime.cost) =
   acct.Request.isolation_ns <- acct.Request.isolation_ns +. c.Runtime.isolation_ns;
   acct.Request.comm_ns <- acct.Request.comm_ns +. c.Runtime.comm_ns
 
-let rec poll ctx e (_ : Engine.t) =
-  if not e.busy then begin
-    if not (Queue.is_empty e.ready) then resume_cont ctx e (Queue.pop e.ready)
+(* System-scoped lifecycle events (ServerDown/ServerUp): like SLO alerts
+   they belong to no request — req_id = -1, ignored by span building,
+   exported as Perfetto global instant markers. *)
+let trace_server ctx ~kind ~detail =
+  match ctx.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr
+        ~at_ps:(Engine.now ctx.engine)
+        ~kind ~req_id:(-1) ~root_id:(-1) ~fn:"server" ~core:(-1)
+        ~sid:ctx.trace_sid ~detail ()
+
+let rec poll ctx e (eng : Engine.t) =
+  if (not e.busy) && Engine.now ctx.engine >= e.down_until then begin
+    if not (Queue.is_empty e.ready) then begin
+      let cont = Queue.pop e.ready in
+      (* A whole-server crash aborts continuations in place; skip corpses. *)
+      if cont.Continuation.status = Continuation.Aborted then poll ctx e eng
+      else resume_cont ctx e cont
+    end
     else
       match Bounded_queue.dequeue e.queue ~memsys:ctx.memsys ~core:e.core with
       | Some (req, deq_ns) -> start_request ctx e req ~deq_ns
@@ -165,11 +203,27 @@ and start_request ctx e req ~deq_ns =
   acct.Request.queue_ns <- acct.Request.queue_ns +. wait_ns;
   ctx.queue_wait_ns <- ctx.queue_wait_ns +. wait_ns;
   match ctx.fault with
+  | Some inj when Jord_fault_inject.Injector.draw_server_crash inj ->
+      crash_server ctx e inj req ~deq_ns
   | Some inj when Jord_fault_inject.Injector.draw_crash inj ->
       crash_request ctx e inj req ~deq_ns
   | _ ->
-      trace ctx ~kind:Trace.Start ~req ~core:e.core ();
       let fn = Model.find_fn ctx.app req.Request.fn_name in
+      (* Warm-state loss: the first invocation of each function after a
+         cold boot re-establishes its warm code image before setup. *)
+      let cold_ns =
+        if Hashtbl.length ctx.cold_fns > 0 && Hashtbl.mem ctx.cold_fns req.Request.fn_name
+        then begin
+          Hashtbl.remove ctx.cold_fns req.Request.fn_name;
+          ctx.cold_starts <- ctx.cold_starts + 1;
+          let c = Runtime.rewarm ctx.rt ~core:e.core ~fn in
+          add_cost acct c;
+          Runtime.total c
+        end
+        else 0.0
+      in
+      trace ctx ~kind:Trace.Start ~req ~core:e.core
+        ?detail:(if cold_ns > 0.0 then Some "cold" else None) ();
       let pd, state_va, cost =
         Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
           ~arg_bytes:req.Request.arg_bytes
@@ -202,7 +256,8 @@ and start_request ctx e req ~deq_ns =
           ~phases:(fn.Model.make_phases ctx.prng)
           ~pd ~state_va ~home:e
       in
-      advance ctx e cont ~dt0:(Runtime.total cost +. deq_ns +. fault_ns)
+      Hashtbl.replace ctx.conts cid cont;
+      advance ctx e cont ~dt0:(Runtime.total cost +. deq_ns +. fault_ns +. cold_ns)
 
 (* An injected executor crash at invocation start: the fault hits after
    setup, the runtime rolls the PD back Groundhog-style (ArgBuf preserved),
@@ -245,10 +300,127 @@ and crash_request ctx e inj req ~deq_ns =
   in
   drain ();
   (* [busy] stays set (suspended continuations survive the crash untouched
-     but nothing new starts) until the restart event clears it. *)
+     but nothing new starts) until the restart event clears it. A whole-
+     server crash in the window supersedes the restart: the purge bumps
+     [epoch] and this event must then leave the rebooted executor alone. *)
+  let ep = e.epoch in
   Engine.schedule_at ctx.engine ~time:e.down_until (fun eng ->
-      e.busy <- false;
-      poll ctx e eng)
+      if e.epoch = ep then begin
+        e.busy <- false;
+        poll ctx e eng
+      end)
+
+(* A whole-server crash at invocation start: every executor dies at once.
+   The triggering invocation rolls back Groundhog-style like an executor
+   crash; then every live continuation on the server is aborted (PDs and
+   state VMAs torn down, ArgBufs returned to PD 0), every queue is purged,
+   and the server stays dark until the boot event at [reboot]. Entry
+   requests — external roots and forwarded-in requests, the server's
+   obligations to the outside — re-queue at the reboot horizon; local
+   children are discarded because their re-executed parents re-invoke
+   them. A warm-loss draw decides whether the boot is cold (every function
+   pays the re-warm path on its next invocation). *)
+and crash_server ctx e inj req ~deq_ns =
+  let now = Engine.now ctx.engine in
+  ctx.crashes <- ctx.crashes + 1;
+  ctx.server_crashes <- ctx.server_crashes + 1;
+  let acct = req.Request.acct in
+  let fn = Model.find_fn ctx.app req.Request.fn_name in
+  let pd, state_va, cost =
+    Runtime.setup ctx.rt ~core:e.core ~fn ~argbuf:req.Request.argbuf
+      ~arg_bytes:req.Request.arg_bytes
+  in
+  add_cost acct cost;
+  let ab =
+    Runtime.abort ctx.rt ~core:e.core ~fn ~pd ~state_va ~argbuf:req.Request.argbuf
+  in
+  add_cost acct ab;
+  acct.Request.comm_ns <- acct.Request.comm_ns +. deq_ns;
+  let dt = deq_ns +. Runtime.total cost +. Runtime.total ab in
+  trace ctx ~kind:Trace.Crash ~req ~core:e.core ~dur_ns:dt
+    ~stall_ns:(stall_take ctx) ~detail:"server" ();
+  charge_core ctx e.core dt;
+  let reboot =
+    Time.(now + Time.of_ns (Jord_fault_inject.Injector.server_down_ns inj))
+  in
+  ctx.srv_down_until <- reboot;
+  trace_server ctx ~kind:Trace.ServerDown ~detail:"crash";
+  let cold = Jord_fault_inject.Injector.draw_warm_loss inj in
+  if cold then begin
+    ctx.warm_losses <- ctx.warm_losses + 1;
+    List.iter
+      (fun (f : Model.fn) -> Hashtbl.replace ctx.cold_fns f.Model.name ())
+      ctx.app.Model.fns
+  end;
+  (* The triggering request is an entry by construction (it was dequeued
+     for execution); re-queue it first, then abort the rest of the server
+     in a deterministic order: live continuations by ascending cid, then
+     the orchestrator/executor queues via the server-installed purge. *)
+  let up = uplink e in
+  ctx.recovered <- ctx.recovered + 1;
+  trace ctx ~kind:Trace.Recover ~req ~core:e.core ~detail:"server" ();
+  up.submit_internal ~at:reboot req;
+  (* Abort each core's currently-entered PD before any suspended one:
+     tearing a suspended cont down re-enters its PD, which clobbers the
+     core's current-PD register — the mid-segment cont must creturn
+     first. Within each class, ascending cid keeps the order canonical. *)
+  let keyed =
+    Hashtbl.fold
+      (fun cid (cont : t Continuation.t) acc ->
+        let suspended =
+          if Runtime.pd_suspended ctx.rt ~pd:cont.Continuation.pd then 1 else 0
+        in
+        ((suspended, cid), cid) :: acc)
+      ctx.conts []
+  in
+  List.iter
+    (fun (_, cid) ->
+      match Hashtbl.find_opt ctx.conts cid with
+      | Some cont -> abort_cont ctx cont ~reboot
+      | None -> ())
+    (List.sort compare keyed);
+  ctx.on_server_purge ~reboot;
+  Engine.schedule_at ctx.engine ~time:reboot (fun _ ->
+      trace_server ctx ~kind:Trace.ServerUp
+        ~detail:(if cold then "boot_cold" else "boot"))
+
+(* Groundhog-style abort of one live continuation during a whole-server
+   crash: completed-but-unreaped child ArgBufs are released, the PD/state
+   VMA/code grant are torn down (the request's own ArgBuf returns to PD 0
+   intact), and the continuation is marked [Aborted] so any event still
+   scheduled against it — segment ends, zombie child responses — no-ops. *)
+and abort_cont ctx (cont : t Continuation.t) ~reboot =
+  let e = cont.Continuation.home in
+  let req = cont.Continuation.req in
+  let acct = req.Request.acct in
+  cont.Continuation.status <- Continuation.Aborted;
+  Hashtbl.remove ctx.conts cont.Continuation.cid;
+  ctx.live_conts <- ctx.live_conts - 1;
+  List.iter
+    (fun (va, bytes) ->
+      if va <> 0 then
+        add_cost acct (Runtime.release_argbuf ctx.rt ~core:e.core ~va ~bytes))
+    (Continuation.take_reaps cont);
+  let ab =
+    Runtime.abort ctx.rt ~core:e.core ~fn:cont.Continuation.fn
+      ~pd:cont.Continuation.pd ~state_va:cont.Continuation.state_va
+      ~argbuf:req.Request.argbuf
+  in
+  add_cost acct ab;
+  if req.Request.on_complete = None || req.Request.forwarded then begin
+    (* Entry request: re-execute from its preserved ArgBuf after boot. *)
+    ctx.recovered <- ctx.recovered + 1;
+    trace ctx ~kind:Trace.Recover ~req ~core:e.core ~detail:"server" ();
+    (uplink e).submit_internal ~at:reboot req
+  end
+  else if req.Request.argbuf <> 0 then begin
+    (* Local child: its re-executed parent re-invokes it; drop this
+       instance and release its input buffer. *)
+    add_cost acct
+      (Runtime.release_argbuf ctx.rt ~core:e.core ~va:req.Request.argbuf
+         ~bytes:req.Request.arg_bytes);
+    req.Request.argbuf <- 0
+  end
 
 and resume_cont ctx e (cont : t Continuation.t) =
   e.busy <- true;
@@ -371,6 +543,10 @@ and advance ctx e (cont : t Continuation.t) ~dt0 =
   end
 
 and suspend_cont ctx e (cont : t Continuation.t) engine =
+  (* A whole-server crash between the segment's end being scheduled and
+     firing already tore this continuation down; the stale event no-ops. *)
+  if cont.Continuation.status = Continuation.Aborted then ()
+  else begin
   e.suspended <- e.suspended + 1;
   if Continuation.ready_after_suspend cont then begin
     cont.Continuation.status <- Continuation.Ready;
@@ -379,8 +555,11 @@ and suspend_cont ctx e (cont : t Continuation.t) engine =
   else cont.Continuation.status <- Continuation.Suspended;
   e.busy <- false;
   poll ctx e engine
+  end
 
 and finish_cont ctx e (cont : t Continuation.t) engine =
+  if cont.Continuation.status = Continuation.Aborted then ()
+  else begin
   let now = Engine.now engine in
   stall_begin ctx;
   let req = cont.Continuation.req in
@@ -392,6 +571,7 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
       ~argbuf:req.Request.argbuf
   in
   add_cost acct c;
+  Hashtbl.remove ctx.conts cont.Continuation.cid;
   ctx.live_conts <- ctx.live_conts - 1;
   let dt = Runtime.total c in
   (* Completion notification: a line write under Jord, a pipe message under
@@ -471,22 +651,82 @@ and finish_cont ctx e (cont : t Continuation.t) engine =
              even when no further dispatches are pending. *)
           up.wake eng));
   charge_core ctx e.core (dt +. notify_busy);
-  (* The executor is free again once teardown and the send are done. *)
+  (* The executor is free again once teardown and the send are done —
+     unless a whole-server crash lands in the window (epoch moved), in
+     which case the purge already decided the executor's fate. *)
+  let ep = e.epoch in
   Engine.schedule_at ctx.engine
     ~time:Time.(now + Time.of_ns (dt +. notify_busy))
-    e.release_fn
+    (fun eng -> if e.epoch = ep then e.release_fn eng)
+  end
 
 and child_completed ctx (parent : t Continuation.t) child engine (_notify_ns : float) =
-  let was_waiting_for_this =
-    Continuation.child_completed parent ~child_id:child.Request.id
-      ~argbuf:child.Request.argbuf ~bytes:child.Request.arg_bytes
-  in
   match parent.Continuation.status with
-  | Continuation.Suspended when was_waiting_for_this ->
-      parent.Continuation.status <- Continuation.Ready;
-      Queue.push parent parent.Continuation.home.ready;
-      if not parent.Continuation.home.busy then poll ctx parent.Continuation.home engine
-  | Continuation.Suspended | Continuation.Running | Continuation.Ready -> ()
+  | Continuation.Aborted ->
+      (* Zombie response: the parent died in a whole-server crash after this
+         child was already on its way (a forwarded child executing remotely,
+         or a local completion notification already scheduled). Don't touch
+         the dead continuation's reap list — just reclaim the response
+         buffer on the parent's home server. The re-executed parent
+         re-invokes its children from scratch. *)
+      if child.Request.argbuf <> 0 then begin
+        let home = parent.Continuation.home in
+        (uplink home).push_reclaim ~va:child.Request.argbuf
+          ~bytes:child.Request.arg_bytes;
+        child.Request.argbuf <- 0;
+        (uplink home).wake engine
+      end
+  | _ -> (
+      let was_waiting_for_this =
+        Continuation.child_completed parent ~child_id:child.Request.id
+          ~argbuf:child.Request.argbuf ~bytes:child.Request.arg_bytes
+      in
+      match parent.Continuation.status with
+      | Continuation.Suspended when was_waiting_for_this ->
+          parent.Continuation.status <- Continuation.Ready;
+          Queue.push parent parent.Continuation.home.ready;
+          if not parent.Continuation.home.busy then
+            poll ctx parent.Continuation.home engine
+      | Continuation.Suspended | Continuation.Running | Continuation.Ready
+      | Continuation.Aborted ->
+          ())
+
+(* Classify one queued-but-unstarted request during a whole-server crash:
+   entry requests (external roots and forwarded-in work — the server's
+   obligations to the outside) re-queue at the reboot horizon; local
+   children are discarded because their re-executed parents re-invoke
+   them. Shared by the executor and orchestrator purge paths. *)
+let purge_request ctx e (req : Request.t) ~reboot =
+  if req.Request.on_complete = None || req.Request.forwarded then begin
+    ctx.recovered <- ctx.recovered + 1;
+    trace ctx ~kind:Trace.Recover ~req ~core:e.core ~detail:"server" ();
+    (uplink e).submit_internal ~at:reboot req
+  end
+  else if req.Request.argbuf <> 0 then begin
+    add_cost req.Request.acct
+      (Runtime.release_argbuf ctx.rt ~core:e.core ~va:req.Request.argbuf
+         ~bytes:req.Request.arg_bytes);
+    req.Request.argbuf <- 0
+  end
+
+(* Whole-server crash: purge this executor's queues (dequeue costs are
+   not charged — the machine is dead) and hold it down until [reboot].
+   Live continuations were already aborted by [crash_server]; the ready
+   set holds only corpses at this point. *)
+let purge_for_reboot ctx e ~reboot =
+  let rec drain () =
+    match Bounded_queue.dequeue e.queue ~memsys:ctx.memsys ~core:e.core with
+    | Some (req, _) ->
+        purge_request ctx e req ~reboot;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Queue.clear e.ready;
+  e.suspended <- 0;
+  e.busy <- false;
+  e.down_until <- reboot;
+  e.epoch <- e.epoch + 1
 
 let create ctx ~eid ~core ~queue_capacity =
   let rec e =
@@ -507,6 +747,7 @@ let create ctx ~eid ~core ~queue_capacity =
           e.busy <- false;
           poll ctx e eng);
       down_until = Time.zero;
+      epoch = 0;
     }
   in
   e

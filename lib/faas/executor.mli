@@ -72,9 +72,27 @@ type ctx = {
   mutable on_retry_backoff : float -> unit;
       (** Observation hook for retry-backoff intervals (telemetry wires a
           histogram here; defaults to a no-op). *)
+  mutable srv_down_until : Time.t;
+      (** Whole-server crash horizon: while [now < srv_down_until] the
+          orchestrators hold all dispatch ([Time.zero] when up). *)
+  mutable server_crashes : int;  (** Injected whole-server crashes. *)
+  mutable warm_losses : int;
+      (** Server crashes that also invalidated warm function state. *)
+  mutable cold_starts : int;
+      (** Post-boot invocations that paid the cold re-warm path. *)
+  cold_fns : (string, unit) Hashtbl.t;
+      (** Functions whose warm state a server crash invalidated; the next
+          invocation of each pays the cold re-warm path. *)
+  conts : (int, t Continuation.t) Hashtbl.t;
+      (** Every live continuation by cid — the registry a whole-server
+          crash walks (in sorted cid order) to abort them all. *)
+  mutable on_server_purge : reboot:Time.t -> unit;
+      (** Installed by [Server]: drain every orchestrator and executor
+          queue after a whole-server crash (re-queue entry requests at
+          [reboot], discard local children). *)
 }
 
-type uplink = {
+and uplink = {
   int_line : int;  (** The orchestrator's internal-queue cache line. *)
   notify_line : int;  (** Completion-notification line for external requests. *)
   submit_internal : at:Time.t -> Request.t -> unit;
@@ -85,7 +103,7 @@ type uplink = {
       (** Start the orchestrator's dispatch loop if it is idle. *)
 }
 
-type t = {
+and t = {
   eid : int;
   core : int;
   queue : Request.t Bounded_queue.t;
@@ -98,6 +116,11 @@ type t = {
   mutable down_until : Time.t;
       (** Crashed-executor restart horizon; orchestrators treat the
           executor as full until it passes ([Time.zero] when healthy). *)
+  mutable epoch : int;
+      (** Bumped by the whole-server purge; scheduled lifecycle events
+          (executor-restart, teardown-release) capture it at schedule
+          time and no-op if it moved, so a stale "executor free" from
+          before a crash cannot clear [busy] on the rebooted server. *)
 }
 
 val create : ctx -> eid:int -> core:int -> queue_capacity:int -> t
@@ -108,6 +131,18 @@ val poll : ctx -> t -> Engine.t -> unit
 (** If idle, resume the next ready continuation, else dequeue and start the
     next request; no-op when busy or empty. Safe to call redundantly — the
     orchestrator and completion events both poke it. *)
+
+val purge_request : ctx -> t -> Request.t -> reboot:Time.t -> unit
+(** Classify one queued-but-unstarted request during a whole-server crash:
+    entry requests (external roots and forwarded-in work) re-queue through
+    the uplink at the [reboot] horizon; local children are discarded and
+    their ArgBufs released (the re-executed parents re-invoke them).
+    Shared by the executor and orchestrator purge paths. *)
+
+val purge_for_reboot : ctx -> t -> reboot:Time.t -> unit
+(** Whole-server crash: drain this executor's request queue through
+    {!purge_request} (no dequeue cost — the machine is dead), clear the
+    ready set, and hold the executor down until [reboot]. *)
 
 val fresh_req_id : ctx -> int
 val charge_core : ctx -> int -> float -> unit

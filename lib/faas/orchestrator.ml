@@ -150,6 +150,12 @@ let reclaim_argbufs (ctx : Executor.ctx) t n =
 
 let dispatch_one (ctx : Executor.ctx) t engine =
   let now = Engine.now engine in
+  if now < ctx.Executor.srv_down_until then
+    (* Whole-server downtime: hold the loop — [busy] stays set so arrivals
+       landing meanwhile only enqueue — and resume at the boot horizon. *)
+    Engine.schedule_at ctx.Executor.engine ~time:ctx.Executor.srv_down_until
+      t.dispatch_fn
+  else
   match pick_request ctx t with
   | None ->
       (* Going idle: release any finished root ArgBufs first. *)
@@ -254,6 +260,24 @@ let dispatch_one (ctx : Executor.ctx) t engine =
               req.Request.enqueued_at <- seen;
               if not e.Executor.busy then Executor.poll ctx e eng);
           Engine.schedule_at ctx.engine ~time:next t.dispatch_fn)
+
+(* Whole-server crash: classify the held retry slot and the internal queue
+   (entry requests re-queue at [reboot], local children are discarded).
+   The external queue survives untouched — those roots never started, own
+   no ArgBuf yet, and dispatch normally once the boot horizon passes. The
+   reclaim list also survives: it is bookkeeping of buffers that must
+   still be released. *)
+let purge_for_reboot (ctx : Executor.ctx) t ~reboot =
+  let e = t.execs.(0) in
+  (match t.pending with
+  | Some req ->
+      t.pending <- None;
+      Executor.purge_request ctx e req ~reboot
+  | None -> ());
+  t.pending_retries <- 0;
+  while not (Queue.is_empty t.internal_q) do
+    Executor.purge_request ctx e (Queue.pop t.internal_q) ~reboot
+  done
 
 let internal_arrival ctx t req engine =
   req.Request.enqueued_at <- Engine.now engine;

@@ -51,6 +51,12 @@ val dispatch_one : Executor.ctx -> t -> Engine.t -> unit
     enqueue, hold-and-retry, or forward to another server; reschedules
     itself while work remains. Callers must set [busy] before invoking. *)
 
+val purge_for_reboot : Executor.ctx -> t -> reboot:Time.t -> unit
+(** Whole-server crash: classify the held retry slot and the internal
+    queue through {!Executor.purge_request} (entry requests re-queue at
+    [reboot], local children are discarded). The external queue and the
+    reclaim list survive untouched. *)
+
 val internal_arrival : Executor.ctx -> t -> Request.t -> Engine.t -> unit
 (** A nested (or forwarded-in) request joins the internal queue; starts the
     dispatch loop if idle. *)

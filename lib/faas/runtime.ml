@@ -156,6 +156,16 @@ let teardown t ~core ~fn ~pd ~state_va ~argbuf =
       let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
       iso unmap_state ++ comm output
 
+(* True when [pd] is a cexit'd (suspended) protection domain. False for
+   PDs currently entered on a core and for variants without PDs; callers
+   use it to abort each core's entered PD before any suspended one. *)
+let pd_suspended t ~pd =
+  match t.variant with
+  | Variant.Jord | Variant.Jord_bt ->
+      pd > 0
+      && Jord_privlib.Pd.status (Pl.pds t.priv) pd = Jord_privlib.Pd.Suspended
+  | Variant.Nightcore | Variant.Jord_ni -> false
+
 (* Groundhog-style rollback of a crashed invocation: like [teardown] minus
    the output write — the PD, its state VMA and the code grant are torn
    down, but the ArgBuf goes back to PD 0 intact so the request can be
@@ -166,6 +176,14 @@ let abort t ~core ~fn ~pd ~state_va ~argbuf =
       (* The worker thread dies; its replacement pays prep again at setup. *)
       iso t.nc.Jord_baseline.Nightcore.worker_prep_ns
   | Variant.Jord | Variant.Jord_bt ->
+      (* A suspended invocation (cexit'd, waiting on children) must be
+         re-entered before its context can be torn down — the gate's
+         creturn only works from inside a running PD. *)
+      let reenter =
+        match Jord_privlib.Pd.status (Pl.pds t.priv) pd with
+        | Jord_privlib.Pd.Suspended -> Pl.center t.priv ~core ~pd
+        | _ -> 0.0
+      in
       let ret = Pl.creturn t.priv ~core in
       let reclaim_arg =
         Pl.pmove t.priv ~core ~src_pd:pd ~va:argbuf ~dst_pd:0 ~perm:Vm.Perm.rw ()
@@ -175,7 +193,7 @@ let abort t ~core ~fn ~pd ~state_va ~argbuf =
       in
       let unmap_state = Pl.munmap t.priv ~core ~va:state_va in
       let put = Pl.cput t.priv ~core ~pd in
-      iso (ret +. reclaim_arg +. revoke_code +. unmap_state +. put)
+      iso (reenter +. ret +. reclaim_arg +. revoke_code +. unmap_state +. put)
   | Variant.Jord_ni -> iso (Pl.munmap t.priv ~core ~va:state_va)
 
 let suspend t ~core ~pd =
@@ -226,6 +244,28 @@ let scratch t ~core ~bytes =
       let w = write_data t ~core ~va ~bytes:(Int.min bytes 256) in
       let un = Pl.munmap t.priv ~core ~va in
       iso (mmap_ns +. un) ++ comm w
+
+(* Re-establish a function's warm state after a whole-server crash wiped
+   it: re-fault the code image in from storage. Modeled as a transient
+   mapping the size of the image, touched and unmapped — the registered
+   code VMA itself survives (the address-space layout is durable state),
+   so the VMA population returns to its floor and the conservation
+   invariant still balances. *)
+let rewarm t ~core ~fn =
+  match t.variant with
+  | Variant.Nightcore ->
+      (* A fresh worker process: pay prep once per function. *)
+      iso t.nc.Jord_baseline.Nightcore.worker_prep_ns
+  | Variant.Jord | Variant.Jord_bt | Variant.Jord_ni ->
+      let va, mmap_ns =
+        Pl.mmap t.priv ~core ~bytes:fn.Model.code_bytes ~perm:Vm.Perm.rx ()
+      in
+      let touch =
+        Vm.Hw.access t.hw ~core ~va ~access:Vm.Perm.Read ~kind:`Data
+          ~bytes:(Int.min fn.Model.code_bytes 4096)
+      in
+      let un = Pl.munmap t.priv ~core ~va in
+      iso (mmap_ns +. un) ++ comm touch
 
 let touch_working_set t ~core ~pd:_ ~fn ~state_va =
   match t.variant with

@@ -56,7 +56,16 @@ val abort : t -> core:int -> fn:Model.fn -> pd:int -> state_va:int -> argbuf:int
 (** Rollback of a crashed invocation (Groundhog-style): {!teardown} minus
     the output write — PD destroyed, state VMA freed, code grant revoked,
     but the ArgBuf returns to PD 0 {e intact} so the request can be
-    re-executed from its original input. *)
+    re-executed from its original input. A suspended (cexit'd) PD is
+    re-entered ([center]) first, so both running and suspended
+    invocations can be rolled back. *)
+
+val pd_suspended : t -> pd:int -> bool
+(** True when [pd] is a cexit'd (suspended) protection domain; false for
+    PDs currently entered on a core and for variants without PDs. During a
+    whole-server crash, each core's entered PD must be aborted before any
+    suspended one ({!abort} on a suspended PD re-enters it, clobbering the
+    core's current-PD register). *)
 
 val suspend : t -> core:int -> pd:int -> cost
 (** [cexit] (or a thread block for NightCore). *)
@@ -76,6 +85,12 @@ val external_input : t -> core:int -> bytes:int -> int * cost
 
 val release_argbuf : t -> core:int -> va:int -> bytes:int -> cost
 (** Deallocate a root ArgBuf after the response has been sent. *)
+
+val rewarm : t -> core:int -> fn:Model.fn -> cost
+(** Re-establish a function's warm state after a whole-server crash wiped
+    it (the cold path of the first post-boot invocation): re-fault the
+    code image via a transient mapping. The registered code VMA itself
+    survives, so the VMA population stays at its floor. *)
 
 val touch_working_set : t -> core:int -> pd:int -> fn:Model.fn -> state_va:int -> cost
 (** Per-compute-segment code/stack touches (I/D-VLB pressure). *)

@@ -86,6 +86,13 @@ let received_in t = t.ctx.Executor.received_in
 let timed_out_requests t = t.ctx.Executor.timed_out
 let in_flight t = t.ctx.Executor.in_flight
 let crashes t = t.ctx.Executor.crashes
+let server_crashes t = t.ctx.Executor.server_crashes
+let warm_losses t = t.ctx.Executor.warm_losses
+let cold_starts t = t.ctx.Executor.cold_starts
+
+let is_down t =
+  Engine.now t.ctx.Executor.engine < t.ctx.Executor.srv_down_until
+
 let recovered t = t.ctx.Executor.recovered
 let stalls t = t.ctx.Executor.stalls
 let slowdowns t = t.ctx.Executor.slowdowns
@@ -220,6 +227,13 @@ let create ?engine cfg app =
       forward_abandoned = 0;
       queue_wait_ns = 0.0;
       on_retry_backoff = (fun _ -> ());
+      srv_down_until = Jord_sim.Time.zero;
+      server_crashes = 0;
+      warm_losses = 0;
+      cold_starts = 0;
+      cold_fns = Hashtbl.create 8;
+      conts = Hashtbl.create 64;
+      on_server_purge = (fun ~reboot:_ -> ());
     }
   in
   let block = n / cfg.orchestrators in
@@ -242,6 +256,13 @@ let create ?engine cfg app =
         Orchestrator.create ctx ~oid ~core:base ~execs:group)
   in
   let all_execs = Array.of_list (List.rev !execs) in
+  (* Whole-server crash purge: orchestrator queues first (held/internal
+     requests), then every executor's queue, in index order — a fixed walk
+     so chaos runs replay identically. *)
+  ctx.Executor.on_server_purge <-
+    (fun ~reboot ->
+      Array.iter (fun o -> Orchestrator.purge_for_reboot ctx o ~reboot) orchs;
+      Array.iter (fun e -> Executor.purge_for_reboot ctx e ~reboot) all_execs);
   List.iter (fun fn -> Runtime.register_function rt ~core:0 fn) app.Model.fns;
   (* The conservation checker measures PD/VMA leaks against the population
      right after boot and function registration. *)
@@ -312,6 +333,17 @@ let register_metrics t ?(labels = []) reg =
     (fun () -> float_of_int ctx.Executor.timed_out);
   c "jord_server_crashes_total" "Injected executor crashes" (fun () ->
       float_of_int ctx.Executor.crashes);
+  c "jord_server_machine_crashes_total" "Injected whole-server crashes" (fun () ->
+      float_of_int ctx.Executor.server_crashes);
+  c "jord_server_warm_losses_total"
+    "Whole-server crashes that invalidated warm function state" (fun () ->
+      float_of_int ctx.Executor.warm_losses);
+  c "jord_server_cold_starts_total"
+    "Post-boot invocations that paid the cold re-warm path" (fun () ->
+      float_of_int ctx.Executor.cold_starts);
+  g "jord_server_up" "1 while the server is up, 0 during a crash window" (fun () ->
+      if Engine.now ctx.Executor.engine < ctx.Executor.srv_down_until then 0.0
+      else 1.0);
   c "jord_server_recoveries_total" "Requests re-queued after an executor crash"
     (fun () -> float_of_int ctx.Executor.recovered);
   c "jord_server_stalls_total" "Injected executor stalls" (fun () ->

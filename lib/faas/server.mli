@@ -38,10 +38,10 @@ type config = {
       (** Cross-server network cost model, shared with {!Cluster} so wire
           and serialization constants have a single source of truth. *)
   fault_plan : Jord_fault_inject.Plan.t option;
-      (** Deterministic fault schedule (executor crashes/stalls, PrivLib
-          slowdowns; {!Cluster} adds the wire faults). [None] — the
-          default — keeps every code path bit-identical to the fault-free
-          golden runs. *)
+      (** Deterministic fault schedule (executor and whole-server crashes,
+          stalls, PrivLib slowdowns; {!Cluster} adds the wire faults).
+          [None] — the default — keeps every code path bit-identical to the
+          fault-free golden runs. *)
   recovery : Recovery.t;
       (** Deadline / retry-backoff / peer-health policy. The default
           reproduces the historical fixed 200 ns retry beat exactly. *)
@@ -109,8 +109,22 @@ val in_flight : t -> int
 
 val crashes : t -> int
 val recovered : t -> int
-(** Injected executor crashes, and requests re-queued for re-execution
-    because of them (each crash recovers at least the crashed request). *)
+(** Injected executor crashes (whole-server crashes included), and requests
+    re-queued for re-execution because of them (each crash recovers at
+    least the crashed request). *)
+
+val server_crashes : t -> int
+(** Injected whole-server crashes (a subset of {!crashes}). *)
+
+val warm_losses : t -> int
+(** Whole-server crashes that also invalidated warm function state. *)
+
+val cold_starts : t -> int
+(** Post-boot invocations that paid the cold re-warm path. *)
+
+val is_down : t -> bool
+(** Whether the server is inside a crash window right now (down or
+    booting); a down server accepts no dispatch and acks no transfers. *)
 
 val stalls : t -> int
 val slowdowns : t -> int

@@ -14,6 +14,8 @@ type kind =
   | Recover
   | Duplicate
   | Alert
+  | ServerDown
+  | ServerUp
 
 type event = {
   at_ps : int;
@@ -99,6 +101,8 @@ let kind_name = function
   | Recover -> "recover"
   | Duplicate -> "duplicate"
   | Alert -> "alert"
+  | ServerDown -> "server_down"
+  | ServerUp -> "server_up"
 
 let kind_of_name = function
   | "arrive" -> Some Arrive
@@ -116,6 +120,8 @@ let kind_of_name = function
   | "recover" -> Some Recover
   | "duplicate" -> Some Duplicate
   | "alert" -> Some Alert
+  | "server_down" -> Some ServerDown
+  | "server_up" -> Some ServerUp
   | _ -> None
 
 let us_of_ps ps = float_of_int ps /. 1e6
@@ -182,6 +188,14 @@ let to_chrome_json ?orch_cores t =
         Obj
           (("ph", String "i") :: ("s", String "g")
           :: ("name", String (Printf.sprintf "slo:%s:%s" e.fn e.detail))
+          :: List.filter (fun (k, _) -> k <> "name") common)
+    | ServerDown | ServerUp ->
+        (* Server lifecycle transitions are likewise global instants: the
+           whole process (one per server) goes dark or comes back. *)
+        Obj
+          (("ph", String "i") :: ("s", String "g")
+          :: ("name", String (Printf.sprintf "server%d:%s" e.sid
+                                (if e.kind = ServerDown then "down" else "up")))
           :: List.filter (fun (k, _) -> k <> "name") common)
     | Arrive | Dispatch | Start | Suspend | Resume | Complete | Forward | Drop
     | Timeout | Retry | Crash | Recover | Duplicate ->

@@ -32,6 +32,14 @@ type kind =
       (** An SLO burn-rate alert transition ([detail] is ["fire"] or
           ["resolve"], [fn] the objective name). System-scoped: emitted with
           [req_id = -1] and ignored by span building. *)
+  | ServerDown
+      (** A whole server crashed ([sid] identifies it; [detail] ["crash"]).
+          System-scoped like {!Alert}: [req_id = -1], exported as a
+          Perfetto global instant marker. *)
+  | ServerUp
+      (** A crashed server finished booting and polls again ([detail]
+          ["boot"], or ["boot_cold"] after a warm-state loss). System-scoped
+          like {!Alert}. *)
 
 type event = {
   at_ps : int;  (** Simulated timestamp. *)

@@ -12,6 +12,11 @@ type t = {
 let create ?(salt = 0) plan =
   { plan; prng = Prng.create ~seed:(Plan.(plan.seed) lxor (salt * 0x9e3779b9)); draws = 0 }
 
+(* Per-server-id sub-stream: seeded plan.seed xor sid, so each server's
+   fault schedule is a function of (plan, sid) alone — independent of how
+   the servers are interleaved across engine shards. *)
+let for_sid plan ~sid = { plan; prng = Prng.create ~seed:(Plan.(plan.seed) lxor sid); draws = 0 }
+
 let plan t = t.plan
 let draws t = t.draws
 let active t = Plan.active t.plan
@@ -34,6 +39,9 @@ let uniform_ns t max_us =
 
 let draw_crash t = hit t t.plan.Plan.crash
 let restart_ns t = t.plan.Plan.restart_us *. 1000.0
+let draw_server_crash t = hit t t.plan.Plan.server_crash
+let server_down_ns t = t.plan.Plan.server_down_us *. 1000.0
+let draw_warm_loss t = hit t t.plan.Plan.warm_loss
 let draw_stall_ns t = if hit t t.plan.Plan.stall then t.plan.Plan.stall_us *. 1000.0 else 0.0
 
 let draw_slow_factor t =

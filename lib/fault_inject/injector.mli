@@ -13,6 +13,12 @@ val create : ?salt:int -> Plan.t -> t
 (** [salt] decorrelates streams that share one plan (per-server injectors,
     the cluster transport). *)
 
+val for_sid : Plan.t -> sid:int -> t
+(** The per-server-id sub-stream, seeded [plan.seed lxor sid]. Used for
+    shard-local draws (e.g. per-source wire faults) whose schedule must
+    depend only on the owning server's own event order, never on how
+    servers are interleaved across engine shards. *)
+
 val plan : t -> Plan.t
 val active : t -> bool
 
@@ -24,6 +30,17 @@ val draw_crash : t -> bool
 
 val restart_ns : t -> float
 (** Downtime of a crashed executor (fixed by the plan, not drawn). *)
+
+val draw_server_crash : t -> bool
+(** One whole-server crash decision, taken at invocation start before the
+    executor-crash draw. Consumes no PRNG state when the plan's
+    [server_crash] is 0, so pre-existing plans keep their schedules. *)
+
+val server_down_ns : t -> float
+(** Downtime of a crashed server (fixed by the plan, not drawn). *)
+
+val draw_warm_loss : t -> bool
+(** One warm-state-loss decision, taken per whole-server crash. *)
 
 val draw_stall_ns : t -> float
 (** 0.0, or the plan's stall length if the stall draw hits. *)

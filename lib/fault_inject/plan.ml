@@ -9,6 +9,9 @@ type t = {
   jitter_us : float;
   slow : float;
   slow_factor : float;
+  server_crash : float;
+  server_down_us : float;
+  warm_loss : float;
 }
 
 let none =
@@ -23,10 +26,16 @@ let none =
     jitter_us = 0.0;
     slow = 0.0;
     slow_factor = 3.0;
+    server_crash = 0.0;
+    server_down_us = 200.0;
+    warm_loss = 1.0;
   }
 
 (* The CI determinism smoke: every fault class enabled at a rate that keeps
-   most requests flowing while exercising every recovery path. *)
+   most requests flowing while exercising every recovery path. Whole-server
+   crashes stay off here so the historical chaos goldens are untouched; the
+   server failure domain has its own plans (see [harsh] and the
+   "server-crash=..." spellings in the docs). *)
 let ci_smoke =
   {
     seed = 1337;
@@ -39,6 +48,9 @@ let ci_smoke =
     jitter_us = 3.0;
     slow = 0.05;
     slow_factor = 3.0;
+    server_crash = 0.0;
+    server_down_us = 200.0;
+    warm_loss = 1.0;
   }
 
 let mild = { ci_smoke with seed = 7; crash = 0.005; loss = 0.02; dup = 0.01 }
@@ -55,13 +67,16 @@ let harsh =
     jitter_us = 8.0;
     slow = 0.2;
     slow_factor = 5.0;
+    server_crash = 0.02;
+    server_down_us = 100.0;
+    warm_loss = 1.0;
   }
 
 let presets = [ ("none", none); ("ci-smoke", ci_smoke); ("mild", mild); ("harsh", harsh) ]
 
 let active t =
   t.crash > 0.0 || t.stall > 0.0 || t.loss > 0.0 || t.dup > 0.0
-  || t.jitter_us > 0.0 || t.slow > 0.0
+  || t.jitter_us > 0.0 || t.slow > 0.0 || t.server_crash > 0.0
 
 let validate t =
   let prob name v =
@@ -82,11 +97,17 @@ let validate t =
   >>= fun () ->
   prob "slow" t.slow
   >>= fun () ->
+  prob "server-crash" t.server_crash
+  >>= fun () ->
+  prob "warm-loss" t.warm_loss
+  >>= fun () ->
   nonneg "restart-us" t.restart_us
   >>= fun () ->
   nonneg "stall-us" t.stall_us
   >>= fun () ->
   nonneg "jitter-us" t.jitter_us
+  >>= fun () ->
+  nonneg "server-down-us" t.server_down_us
   >>= fun () ->
   if t.slow_factor < 1.0 then Error "slow-factor must be >= 1" else Ok ()
 
@@ -119,6 +140,11 @@ let parse spec =
         | "jitter-us" | "jitter_us" -> f () >>| fun x -> { base with jitter_us = x }
         | "slow" -> f () >>| fun x -> { base with slow = x }
         | "slow-factor" | "slow_factor" -> f () >>| fun x -> { base with slow_factor = x }
+        | "server-crash" | "server_crash" ->
+            f () >>| fun x -> { base with server_crash = x }
+        | "server-down-us" | "server_down_us" ->
+            f () >>| fun x -> { base with server_down_us = x }
+        | "warm-loss" | "warm_loss" -> f () >>| fun x -> { base with warm_loss = x }
         | _ -> Error (Printf.sprintf "fault plan: unknown key %S" key))
   in
   let parts =
@@ -141,6 +167,6 @@ let parse spec =
 
 let to_string t =
   Printf.sprintf
-    "seed=%d,crash=%g,restart-us=%g,stall=%g,stall-us=%g,loss=%g,dup=%g,jitter-us=%g,slow=%g,slow-factor=%g"
+    "seed=%d,crash=%g,restart-us=%g,stall=%g,stall-us=%g,loss=%g,dup=%g,jitter-us=%g,slow=%g,slow-factor=%g,server-crash=%g,server-down-us=%g,warm-loss=%g"
     t.seed t.crash t.restart_us t.stall t.stall_us t.loss t.dup t.jitter_us t.slow
-    t.slow_factor
+    t.slow_factor t.server_crash t.server_down_us t.warm_loss

@@ -3,9 +3,10 @@
 
     The plan's seed is independent of the workload seed, so the same
     workload can be replayed under different fault schedules (and vice
-    versa). All probabilities are per-opportunity draws: [crash] per
-    invocation start, [stall]/[slow] per invocation, [loss]/[dup]/
-    [jitter_us] per cross-server wire copy. *)
+    versa). All probabilities are per-opportunity draws: [server_crash]
+    then [crash] per invocation start, [stall]/[slow] per invocation,
+    [loss]/[dup]/[jitter_us] per cross-server wire copy, [warm_loss] per
+    whole-server crash. *)
 
 type t = {
   seed : int;  (** Seed of the fault PRNG stream (not the workload seed). *)
@@ -18,6 +19,16 @@ type t = {
   jitter_us : float;  (** Max uniform extra one-way latency per wire copy. *)
   slow : float;  (** P(transient PrivLib slowdown) during invocation setup. *)
   slow_factor : float;  (** Multiplier applied to the slowed setup's cost. *)
+  server_crash : float;
+      (** P(whole-server crash) at invocation start, drawn before [crash]
+          from the same per-server stream. A hit kills every executor on
+          the server at once. *)
+  server_down_us : float;
+      (** Downtime of a crashed server before it boots and polls again. *)
+  warm_loss : float;
+      (** P(a server crash invalidates all warm per-function state), drawn
+          once per whole-server crash; every function then pays the cold
+          path on its next invocation there. *)
 }
 
 val none : t
@@ -42,7 +53,8 @@ val parse : string -> (t, string) result
 (** Parse a plan spec: a preset name ("ci-smoke"), a "key=value,..." list
     ("crash=0.01,loss=0.2,seed=7"), or a preset refined by overrides
     ("ci-smoke,loss=0.5"). Keys: seed, crash, restart-us, stall, stall-us,
-    loss, dup, jitter-us, slow, slow-factor. *)
+    loss, dup, jitter-us, slow, slow-factor, server-crash, server-down-us,
+    warm-loss (underscore spellings accepted). *)
 
 val to_string : t -> string
 (** Canonical "key=value,..." form; [parse (to_string t) = Ok t]. *)

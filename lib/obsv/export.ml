@@ -77,6 +77,14 @@ let entry (e : Trace.event) =
         (("ph", Json.String "i") :: ("s", Json.String "g")
         :: ("name", Json.String (Printf.sprintf "slo:%s:%s" e.Trace.fn e.Trace.detail))
         :: List.filter (fun (k, _) -> k <> "name") common)
+  | Trace.ServerDown | Trace.ServerUp ->
+      Json.Obj
+        (("ph", Json.String "i") :: ("s", Json.String "g")
+        :: ("name",
+            Json.String
+              (Printf.sprintf "server%d:%s" e.Trace.sid
+                 (if e.Trace.kind = Trace.ServerDown then "down" else "up")))
+        :: List.filter (fun (k, _) -> k <> "name") common)
   | _ -> Json.Obj (("ph", Json.String "i") :: ("s", Json.String "t") :: common)
 
 let flow ~ph ~id ~pid ~tid ~ts ~name =

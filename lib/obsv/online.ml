@@ -211,7 +211,13 @@ let record_completion t (sp : Span.t) =
       if matches os sp then begin
         let idx = sp.Span.end_ps / os.obj.Slo.window_ps in
         let w = win_for os ~idx ~sid:sp.Span.sid in
-        let is_bad = e2e > os.obj.Slo.threshold_ps in
+        (* Availability objectives only charge shed/failed roots to the
+           budget: a completed request is available regardless of latency. *)
+        let is_bad =
+          match os.obj.Slo.kind with
+          | Slo.Availability -> false
+          | Slo.Latency -> e2e > os.obj.Slo.threshold_ps
+        in
         w.total <- w.total + 1;
         if is_bad then w.bad <- w.bad + 1;
         Sketch.add w.lat e2e;
@@ -418,18 +424,35 @@ let verdict_row s =
   [
     o.Slo.name;
     (match o.Slo.fn with None -> "*" | Some fn -> fn);
-    Printf.sprintf "p%g<%.1fus" o.Slo.percentile (us o.Slo.threshold_ps);
+    (match o.Slo.kind with
+    | Slo.Latency ->
+        Printf.sprintf "p%g<%.1fus" o.Slo.percentile (us o.Slo.threshold_ps)
+    | Slo.Availability ->
+        Printf.sprintf "avail>=%g%%" (100.0 *. (1.0 -. o.Slo.budget)));
     string_of_int total;
     string_of_int s.s_bad;
     string_of_int s.s_shed;
-    (if s.s_completed = 0 then "-" else Printf.sprintf "%.3f" (us s.s_quantile_ps));
+    (match o.Slo.kind with
+    | Slo.Latency ->
+        if s.s_completed = 0 then "-"
+        else Printf.sprintf "%.3f" (us s.s_quantile_ps)
+    | Slo.Availability ->
+        if total = 0 then "-"
+        else
+          Printf.sprintf "%.3f%%"
+            (100.0 *. float_of_int (total - s.s_bad) /. float_of_int total));
     Printf.sprintf "%.1f%%" budget_used;
     string_of_int s.s_windows_closed;
     Printf.sprintf "%d/%d" s.s_fired s.s_resolved;
     (if s.s_firing then "FIRING"
      else if s.s_completed = 0 && s.s_shed = 0 then "no-data"
-     else if s.s_quantile_ps <= o.Slo.threshold_ps && budget_used <= 100.0 then "met"
-     else "VIOLATED");
+     else
+       match o.Slo.kind with
+       | Slo.Availability -> if budget_used <= 100.0 then "met" else "VIOLATED"
+       | Slo.Latency ->
+           if s.s_quantile_ps <= o.Slo.threshold_ps && budget_used <= 100.0
+           then "met"
+           else "VIOLATED");
   ]
 
 let transition_line tr =

@@ -1,6 +1,9 @@
+type kind = Latency | Availability
+
 type objective = {
   name : string;
   fn : string option;
+  kind : kind;
   percentile : float;
   threshold_ps : int;
   window_ps : int;
@@ -16,6 +19,7 @@ let default =
   {
     name = "p99-latency";
     fn = None;
+    kind = Latency;
     percentile = 99.0;
     threshold_ps = ps_of_us 25.0;
     window_ps = ps_of_us 250.0;
@@ -101,6 +105,14 @@ let parse_fields ?(auto_name = true) ~base fields =
                 named := true;
                 go { o with name = v } rest
             | "fn" -> go { o with fn = (if v = "" then None else Some v) } rest
+            | "kind" -> (
+                match v with
+                | "latency" -> go { o with kind = Latency } rest
+                | "availability" -> go { o with kind = Availability } rest
+                | _ ->
+                    Error
+                      (Printf.sprintf
+                         "kind: expected latency or availability, got %S" v))
             | "p" ->
                 let* f = float_field k v in
                 (* Changing the percentile re-derives the default budget
@@ -127,7 +139,7 @@ let parse_fields ?(auto_name = true) ~base fields =
             | _ ->
                 Error
                   (Printf.sprintf
-                     "unknown key %S (valid: name, fn, p, threshold_us, \
+                     "unknown key %S (valid: name, fn, kind, p, threshold_us, \
                       window_us, budget, fast, slow, burn)"
                      k)))
   in
@@ -137,9 +149,18 @@ let parse_fields ?(auto_name = true) ~base fields =
     else
       { o with
         name =
-          Printf.sprintf "p%g<%gus%s" o.percentile
-            (float_of_int o.threshold_ps /. 1e6)
-            (match o.fn with None -> "" | Some fn -> ":" ^ fn);
+          (let suffix =
+             match o.fn with None -> "" | Some fn -> ":" ^ fn
+           in
+           match o.kind with
+           | Latency ->
+               Printf.sprintf "p%g<%gus%s" o.percentile
+                 (float_of_int o.threshold_ps /. 1e6)
+                 suffix
+           | Availability ->
+               Printf.sprintf "avail>=%g%%%s"
+                 (100.0 *. (1.0 -. o.budget))
+                 suffix);
       }
   in
   validate o
@@ -212,20 +233,32 @@ let parse_arg arg = if Sys.file_exists arg then load ~path:arg else parse arg
 
 let to_string o =
   Printf.sprintf
-    "name=%s%s,p=%g,threshold_us=%g,window_us=%g,budget=%g,fast=%d,slow=%d,burn=%g"
+    "name=%s%s%s,p=%g,threshold_us=%g,window_us=%g,budget=%g,fast=%d,slow=%d,burn=%g"
     o.name
     (match o.fn with None -> "" | Some fn -> ",fn=" ^ fn)
+    (match o.kind with Latency -> "" | Availability -> ",kind=availability")
     o.percentile
     (float_of_int o.threshold_ps /. 1e6)
     (float_of_int o.window_ps /. 1e6)
     o.budget o.fast_windows o.slow_windows o.burn_threshold
 
 let describe o =
-  Printf.sprintf
-    "p%g%s < %gus (budget %g%%, %gus windows, burn >= %g over %d/%d windows)"
-    o.percentile
-    (match o.fn with None -> "" | Some fn -> " of " ^ fn)
-    (float_of_int o.threshold_ps /. 1e6)
-    (100.0 *. o.budget)
-    (float_of_int o.window_ps /. 1e6)
-    o.burn_threshold o.fast_windows o.slow_windows
+  match o.kind with
+  | Latency ->
+      Printf.sprintf
+        "p%g%s < %gus (budget %g%%, %gus windows, burn >= %g over %d/%d windows)"
+        o.percentile
+        (match o.fn with None -> "" | Some fn -> " of " ^ fn)
+        (float_of_int o.threshold_ps /. 1e6)
+        (100.0 *. o.budget)
+        (float_of_int o.window_ps /. 1e6)
+        o.burn_threshold o.fast_windows o.slow_windows
+  | Availability ->
+      Printf.sprintf
+        "availability%s >= %g%% (budget %g%%, %gus windows, burn >= %g over \
+         %d/%d windows)"
+        (match o.fn with None -> "" | Some fn -> " of " ^ fn)
+        (100.0 *. (1.0 -. o.budget))
+        (100.0 *. o.budget)
+        (float_of_int o.window_ps /. 1e6)
+        o.burn_threshold o.fast_windows o.slow_windows

@@ -11,9 +11,18 @@
     resolves as soon as either recovers. Burn rate 1.0 means consuming the
     budget exactly as fast as allowed. *)
 
+type kind =
+  | Latency  (** Bad = completed over [threshold_ps], or shed. *)
+  | Availability
+      (** Bad = shed/failed only; completions are good at any latency.
+          States "at least [1 - budget] of roots complete" — the natural
+          objective under whole-server fault plans, where crash windows
+          shed work without inflating tail latency. *)
+
 type objective = {
   name : string;  (** Unique within a spec; labels alerts and metrics. *)
   fn : string option;  (** Entry-function filter; [None] matches all roots. *)
+  kind : kind;  (** What consumes the budget; [Latency] is the default. *)
   percentile : float;  (** Reported quantile, in (0, 100). *)
   threshold_ps : int;  (** Latency bound a request must meet. *)
   window_ps : int;  (** Tumbling evaluation window, sim time. *)
@@ -35,8 +44,8 @@ val parse : string -> (objective list, string) result
 (** Parse a spec: a preset name, a preset with overrides
     (["ci,threshold_us=5"]), or one-or-more inline objectives separated by
     [';'], each a comma-separated [key=value] list over keys [name], [fn],
-    [p], [threshold_us], [window_us], [budget], [fast], [slow], [burn].
-    Objective names must be unique. *)
+    [kind] ([latency] or [availability]), [p], [threshold_us], [window_us],
+    [budget], [fast], [slow], [burn]. Objective names must be unique. *)
 
 val load : path:string -> (objective list, string) result
 (** Parse a spec file: one objective per line ([key=value] lists), blank

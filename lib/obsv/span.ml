@@ -166,7 +166,9 @@ let feed sp (e : Trace.event) =
       sp.state <- Queued
   | Trace.Timeout -> sp.dead <- true
   | Trace.Drop -> if e.Trace.detail <> "peer_dead" then sp.dead <- true
-  | Trace.Dispatch | Trace.Recover | Trace.Duplicate | Trace.Alert -> ()
+  | Trace.Dispatch | Trace.Recover | Trace.Duplicate | Trace.Alert
+  | Trace.ServerDown | Trace.ServerUp ->
+      ()
 
 let build ?(truncated = false) iter_events =
   let spans = Hashtbl.create 1024 in

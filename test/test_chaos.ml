@@ -310,6 +310,129 @@ let test_cluster_chaos_full_stack () =
   Alcotest.(check int) "all requests complete under the ci-smoke plan" 150 completed;
   check_clean "ci-smoke" (Cluster.check_invariants cluster)
 
+(* --- server failure domain --- *)
+
+let test_plan_parse_server_keys () =
+  (match Plan.parse "server-crash=0.01,server-down-us=50,warm-loss=0.5" with
+  | Ok p ->
+      Alcotest.(check (float 1e-9)) "server-crash" 0.01 p.Plan.server_crash;
+      Alcotest.(check (float 1e-9)) "server-down-us" 50.0 p.Plan.server_down_us;
+      Alcotest.(check (float 1e-9)) "warm-loss" 0.5 p.Plan.warm_loss
+  | Error e -> Alcotest.fail e);
+  (match Plan.parse "server_crash=0.02,warm_loss=1" with
+  | Ok p ->
+      Alcotest.(check (float 1e-9)) "underscore alias" 0.02 p.Plan.server_crash
+  | Error e -> Alcotest.fail e);
+  (match Plan.parse "server-crash=1.5" with
+  | Ok _ -> Alcotest.fail "server-crash > 1 must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the key" true
+        (contains "server-crash" e));
+  (match Plan.parse "warm-loss=-0.1" with
+  | Ok _ -> Alcotest.fail "warm-loss < 0 must be rejected"
+  | Error _ -> ());
+  match Plan.parse "server-down-us=-5" with
+  | Ok _ -> Alcotest.fail "negative downtime must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the key" true
+        (contains "server-down-us" e)
+
+(* Random valid plans off small decimal grids, so [to_string]'s %g prints
+   every field exactly and the round trip is equality, not approximation. *)
+let gen_plan =
+  QCheck.Gen.(
+    let prob = map (fun k -> float_of_int k /. 1000.0) (int_bound 1000) in
+    let us = map (fun k -> float_of_int k /. 10.0) (int_bound 2000) in
+    map
+      (fun ((seed, crash, restart_us, stall, stall_us),
+            (loss, dup, jitter_us, slow, factor_tenths),
+            (server_crash, server_down_us, warm_loss)) ->
+        {
+          Plan.seed;
+          crash;
+          restart_us;
+          stall;
+          stall_us;
+          loss;
+          dup;
+          jitter_us;
+          slow;
+          slow_factor = 1.0 +. (float_of_int factor_tenths /. 10.0);
+          server_crash;
+          server_down_us;
+          warm_loss;
+        })
+      (tup3
+         (tup5 (int_bound 100000) prob us prob us)
+         (tup5 prob prob us prob (int_bound 90))
+         (tup3 prob us prob)))
+
+let arb_plan = QCheck.make ~print:Plan.to_string gen_plan
+
+let prop_plan_roundtrip =
+  QCheck.Test.make
+    ~name:"plan to_string/parse round-trips every valid plan exactly"
+    ~count:200 arb_plan
+    (fun plan -> Plan.parse (Plan.to_string plan) = Ok plan)
+
+let test_server_crash_cluster_conservation () =
+  (* Whole-server crashes on top of the wire faults: every request still
+     completes exactly once (re-queued entries, discarded children), the
+     boot is cold when warm_loss hits, and the conservation invariant
+     holds cluster-wide. *)
+  let plan =
+    {
+      Plan.ci_smoke with
+      Plan.server_crash = 0.03;
+      server_down_us = 60.0;
+      warm_loss = 1.0;
+    }
+  in
+  let config =
+    { Test_cluster.small_config with Server.fault_plan = Some plan }
+  in
+  let cluster, completed = run_chaos_cluster ~config ~requests:150 ~gap_ns:900.0 () in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 (Cluster.servers cluster) in
+  Alcotest.(check int) "all requests complete through server crashes" 150 completed;
+  Alcotest.(check bool) "server crashes injected" true
+    (sum Server.server_crashes > 0);
+  Alcotest.(check bool) "warm state lost" true (sum Server.warm_losses > 0);
+  Alcotest.(check bool) "cold starts paid after warm loss" true
+    (sum Server.cold_starts > 0);
+  check_clean "server-crash" (Cluster.check_invariants cluster)
+
+let test_quarantine_recovery () =
+  (* A long down window trips the health threshold (transfers into the
+     dead server time out back-to-back), the peer is quarantined, and
+     after probe_us a probing transfer un-quarantines it — the full
+     mark-dead / probe / rejoin cycle, not just the marking. *)
+  let plan =
+    {
+      Plan.none with
+      Plan.seed = 99;
+      server_crash = 0.04;
+      server_down_us = 300.0;
+      warm_loss = 0.0;
+    }
+  in
+  let config =
+    { Test_cluster.small_config with Server.fault_plan = Some plan }
+  in
+  let cluster, completed = run_chaos_cluster ~config ~requests:200 ~gap_ns:700.0 () in
+  let s = Option.get (Cluster.net_stats cluster) in
+  Alcotest.(check int) "all requests complete" 200 completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "deliveries hit the down window (%d)" s.Cluster.dropped_down)
+    true (s.Cluster.dropped_down > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "peers quarantined (%d)" s.Cluster.peers_marked_dead)
+    true (s.Cluster.peers_marked_dead > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "quarantined peers rejoined (%d)" s.Cluster.peers_unquarantined)
+    true
+    (s.Cluster.peers_unquarantined > 0);
+  check_clean "quarantine recovery" (Cluster.check_invariants cluster)
+
 (* --- determinism + invariants as a property --- *)
 
 type chaos_spec = { wseed : int; fseed : int; crash_pm : int; loss_pm : int; dup_pm : int }
@@ -345,6 +468,9 @@ let chaos_summary spec =
       jitter_us = 1.0;
       slow = 0.05;
       slow_factor = 2.0;
+      server_crash = 0.0;
+      server_down_us = 200.0;
+      warm_loss = 1.0;
     }
   in
   let config =
@@ -392,5 +518,12 @@ let suite =
     Alcotest.test_case "total loss falls back to local execution" `Quick
       test_total_loss_falls_back_to_local;
     Alcotest.test_case "full chaos stack completes" `Quick test_cluster_chaos_full_stack;
+    Alcotest.test_case "server-crash plan keys parse" `Quick
+      test_plan_parse_server_keys;
+    QCheck_alcotest.to_alcotest prop_plan_roundtrip;
+    Alcotest.test_case "server crashes conserve cluster-wide" `Quick
+      test_server_crash_cluster_conservation;
+    Alcotest.test_case "quarantine recovers via probe" `Quick
+      test_quarantine_recovery;
     QCheck_alcotest.to_alcotest prop_chaos_invariants_and_determinism;
   ]

@@ -72,6 +72,9 @@ let prop_conservation =
           jitter_us = 1.0;
           slow = 0.05;
           slow_factor = 2.0;
+          server_crash = 0.0;
+          server_down_us = 200.0;
+          warm_loss = 1.0;
         }
       in
       let config =

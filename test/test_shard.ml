@@ -180,14 +180,13 @@ let test_cluster_validation () =
   Alcotest.check_raises "zero shards"
     (Invalid_argument "Cluster.create: shards must be positive") (fun () ->
       ignore (Cluster.create ~shards:0 ~servers:3 ~config app : Cluster.t));
-  Alcotest.check_raises "fault plans need --shards 1"
-    (Invalid_argument
-       "Cluster.create: fault plans require --shards 1 (the chaos transport \
-        shares wire state across servers)") (fun () ->
-      let config =
-        { config with Server.fault_plan = Some Jord_fault_inject.Plan.none }
-      in
-      ignore (Cluster.create ~shards:2 ~servers:3 ~config app : Cluster.t));
+  (* Regression: fault plans used to be rejected under ~shards > 1. Chaos
+     state is now partitioned per source server, so creation must succeed. *)
+  let chaos_config =
+    { config with Server.fault_plan = Some Jord_fault_inject.Plan.ci_smoke }
+  in
+  ignore
+    (Cluster.create ~shards:2 ~servers:3 ~config:chaos_config app : Cluster.t);
   Alcotest.check_raises "sharding needs a wire latency"
     (Invalid_argument "Cluster.create: sharding requires a positive one_way_ns")
     (fun () ->
@@ -210,10 +209,10 @@ let test_cluster_validation () =
 
 (* --- Cluster sharded mode: equivalence with the sequential path --- *)
 
-let run_cluster ~shards n_requests =
+let run_cluster ?(config = Test_cluster.small_config) ~shards n_requests =
   let cluster =
-    Cluster.create ~forward_after:2 ~shards ~servers:3
-      ~config:Test_cluster.small_config Test_cluster.fanout_app
+    Cluster.create ~forward_after:2 ~shards ~servers:3 ~config
+      Test_cluster.fanout_app
   in
   let tracer = Trace.create ~capacity:32768 () in
   Cluster.set_tracer cluster (Some tracer);
@@ -254,6 +253,95 @@ let test_sharded_equals_sequential () =
   Alcotest.(check bool) "identical trace events" true
     (List.sort compare ev1 = List.sort compare ev3)
 
+(* --- Cluster sharded mode: chaos (fault plans under sharding) --- *)
+
+(* A chaos run at a given shard count, summarized as one comparable value:
+   completion records, trace events, chaos counters and the transport's
+   net_stats record, plus the conservation verdict. *)
+let run_chaos_cluster ~plan ~shards n_requests =
+  let config =
+    { Test_cluster.small_config with Server.fault_plan = Some plan }
+  in
+  let cluster =
+    Cluster.create ~forward_after:2 ~shards ~servers:3 ~config
+      Test_cluster.fanout_app
+  in
+  let tracer = Trace.create ~capacity:65536 () in
+  Cluster.set_tracer cluster (Some tracer);
+  let roots = ref [] in
+  Cluster.on_root_complete cluster (fun r ->
+      roots :=
+        (r.Request.completed_at, r.Request.finished, r.Request.invocations)
+        :: !roots);
+  for i = 0 to n_requests - 1 do
+    Cluster.submit_at cluster ~time:(Time.of_ns (float_of_int i *. 900.0)) ()
+  done;
+  Cluster.run cluster;
+  let sum f =
+    Array.fold_left (fun a s -> a + f s) 0 (Cluster.servers cluster)
+  in
+  let chaos =
+    ( sum Server.crashes, sum Server.recovered, sum Server.timed_out_requests,
+      sum Server.server_crashes, sum Server.warm_losses, sum Server.cold_starts )
+  in
+  ( List.rev !roots,
+    Trace.events tracer,
+    chaos,
+    Cluster.net_stats cluster,
+    Cluster.check_invariants cluster )
+
+let check_chaos_identical ~plan ~label n_requests =
+  let roots1, ev1, chaos1, net1, inv1 = run_chaos_cluster ~plan ~shards:1 n_requests in
+  let roots3, ev3, chaos3, net3, inv3 = run_chaos_cluster ~plan ~shards:3 n_requests in
+  Alcotest.(check (list string)) (label ^ ": sequential invariants") [] inv1;
+  Alcotest.(check (list string)) (label ^ ": sharded invariants") [] inv3;
+  Alcotest.(check int)
+    (label ^ ": all roots complete sequentially")
+    n_requests (List.length roots1);
+  Alcotest.(check bool)
+    (label ^ ": identical completion records")
+    true
+    (List.sort compare roots1 = List.sort compare roots3);
+  Alcotest.(check bool)
+    (label ^ ": identical chaos counters")
+    true (chaos1 = chaos3);
+  Alcotest.(check bool) (label ^ ": identical net stats") true (net1 = net3);
+  Alcotest.(check int)
+    (label ^ ": same trace volume")
+    (List.length ev1) (List.length ev3);
+  Alcotest.(check bool)
+    (label ^ ": identical trace events")
+    true
+    (List.sort compare ev1 = List.sort compare ev3);
+  (chaos1, net1)
+
+let test_sharded_chaos_equals_sequential () =
+  (* Wire faults only (the historical ci-smoke plan): retries, dups, loss
+     and executor crashes must replay identically at any shard count. *)
+  let chaos, net =
+    check_chaos_identical ~plan:Jord_fault_inject.Plan.ci_smoke
+      ~label:"ci-smoke" 80
+  in
+  let crashes, _, _, _, _, _ = chaos in
+  Alcotest.(check bool) "ci-smoke injected executor crashes" true (crashes > 0);
+  (match net with
+  | Some s -> Alcotest.(check bool) "wire faults exercised" true (s.Cluster.lost > 0)
+  | None -> Alcotest.fail "net stats missing under a fault plan")
+
+let test_sharded_server_crash_equals_sequential () =
+  (* Whole-server crashes on top: down windows, warm loss, failover and
+     dropped-at-down deliveries must also be shard-invariant. *)
+  let plan =
+    {
+      Jord_fault_inject.Plan.ci_smoke with
+      Jord_fault_inject.Plan.server_crash = 0.02;
+      server_down_us = 40.0;
+    }
+  in
+  let chaos, _ = check_chaos_identical ~plan ~label:"server-crash" 80 in
+  let _, _, _, server_crashes, _, _ = chaos in
+  Alcotest.(check bool) "whole-server crashes injected" true (server_crashes > 0)
+
 let suite =
   [
     Alcotest.test_case "Shard.post contract" `Quick test_post_contract;
@@ -266,4 +354,8 @@ let suite =
     Alcotest.test_case "Cluster sharded validation" `Quick test_cluster_validation;
     Alcotest.test_case "sharded cluster = sequential cluster" `Quick
       test_sharded_equals_sequential;
+    Alcotest.test_case "sharded chaos = sequential chaos" `Quick
+      test_sharded_chaos_equals_sequential;
+    Alcotest.test_case "sharded server crashes = sequential" `Quick
+      test_sharded_server_crash_equals_sequential;
   ]

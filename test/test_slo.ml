@@ -273,6 +273,46 @@ let test_shed_consumes_budget () =
         (match s.Online.s_windows with [ w ] -> w.Online.w_total | _ -> -1)
   | _ -> Alcotest.fail "one objective"
 
+let test_availability_objective () =
+  (* Parsing and round-trip: [kind=availability] switches what consumes
+     the error budget; latency objectives keep their exact spelling (no
+     [kind=] ever emitted for them). *)
+  let avail =
+    match Slo.parse "kind=availability,threshold_us=1" with
+    | Ok [ o ] -> o
+    | Ok _ -> Alcotest.fail "one objective expected"
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "kind parsed" true (avail.Slo.kind = Slo.Availability);
+  Alcotest.(check bool) "auto-name" true (contains "avail>=" avail.Slo.name);
+  Alcotest.(check bool) "to_string keeps kind" true
+    (contains "kind=availability" (Slo.to_string avail));
+  (match Slo.parse (Slo.to_string avail) with
+  | Ok [ o' ] -> Alcotest.(check bool) "round-trips" true (avail = o')
+  | _ -> Alcotest.fail "availability objective must parse back");
+  Alcotest.(check bool) "latency spelling unchanged" false
+    (contains "kind=" (Slo.to_string Slo.default));
+  (match Slo.parse "kind=bogus" with
+  | Ok _ -> Alcotest.fail "kind=bogus must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error mentions kind" true (contains "kind" e));
+  (* Budget semantics: a slow completion never burns availability budget;
+     a shed (timed-out) request does. *)
+  let obj =
+    { flap_objective with Slo.name = "avail"; kind = Slo.Availability }
+  in
+  let events =
+    root ~req:0 ~at:0 ~e2e:500 ()
+    @ [ ev ~req:1 100; ev ~kind:Trace.Timeout ~req:1 500 ]
+  in
+  let t = Online.replay ~objectives:[ obj ] ~finish_ps:999 events in
+  match Online.snapshot t with
+  | [ s ] ->
+      Alcotest.(check int) "completed" 1 s.Online.s_completed;
+      Alcotest.(check int) "shed" 1 s.Online.s_shed;
+      Alcotest.(check int) "only the shed is bad" 1 s.Online.s_bad
+  | _ -> Alcotest.fail "one objective"
+
 let test_fn_filter () =
   let events =
     root ~req:0 ~at:0 ~e2e:200 ~fn:"a" () @ root ~req:1 ~at:10 ~e2e:200 ~fn:"b" ()
@@ -372,6 +412,9 @@ let chaos_run spec =
       jitter_us = 1.0;
       slow = 0.05;
       slow_factor = 2.0;
+      server_crash = 0.0;
+      server_down_us = 200.0;
+      warm_loss = 1.0;
     }
   in
   let config =
@@ -519,6 +562,8 @@ let suite =
       test_zero_traffic_burns_nothing;
     Alcotest.test_case "shed requests consume budget" `Quick
       test_shed_consumes_budget;
+    Alcotest.test_case "availability objectives parse and burn on shed only"
+      `Quick test_availability_objective;
     Alcotest.test_case "fn filters scope objectives" `Quick test_fn_filter;
     Alcotest.test_case "alert trace events and Perfetto markers" `Quick
       test_alert_events_and_markers;
