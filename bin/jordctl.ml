@@ -75,6 +75,119 @@ let slo_conv =
         Format.pp_print_string ppf
           (String.concat ";" (List.map Jord_obsv.Slo.to_string objectives)) )
 
+(* --- fleet mode (--fleet N) ---
+
+   The datacenter layer: a load-balanced fleet of request-granularity Jord
+   servers under population traffic, optionally autoscaled. Kept apart from
+   the single-machine/cluster paths: it has its own traffic model, its own
+   registry and its own deterministic summary (byte-identical at any
+   --shards count; only the trailing wall-clock line differs). *)
+
+let fleet_usage_hint () =
+  Printf.eprintf
+    "hint: fleet mode is `jordctl run --fleet N [--lb %s] [--autoscale SPEC] \
+     [--traffic SHAPE] [--shards S]` and excludes --servers and --fault-plan \
+     (see `jordctl run --help`)\n"
+    (String.concat "|" Jord_fleet.Lb.names)
+
+let run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
+    ~duration ~shards ~net_one_way ~net_per_byte ~slo_spec ~slo_out ~metrics_out
+    ~metrics_format () =
+  let usage_fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "jordctl run: %s\n" m;
+        fleet_usage_hint ();
+        exit 2)
+      fmt
+  in
+  let policy =
+    match lb_spec with
+    | None -> Jord_fleet.Lb.Affinity
+    | Some s -> (
+        match Jord_fleet.Lb.parse s with
+        | Ok p -> p
+        | Error m -> usage_fail "bad --lb: %s" m)
+  in
+  let autoscale =
+    match autoscale_spec with
+    | None -> None
+    | Some s -> (
+        match Jord_fleet.Autoscaler.parse s with
+        | Error m -> usage_fail "bad --autoscale: %s" m
+        | Ok spec -> (
+            match Jord_fleet.Autoscaler.resolve spec ~fleet:fleet_n with
+            | Error m -> usage_fail "bad --autoscale: %s" m
+            | Ok spec -> Some spec))
+  in
+  let shape =
+    match traffic_spec with
+    | None ->
+        (* Bare fleet runs take the steady preset at the -r rate. *)
+        { (List.assoc "steady" Jord_workloads.Traffic.presets) with
+          Jord_workloads.Traffic.rate_mrps = rate }
+    | Some s -> (
+        match Jord_workloads.Traffic.parse s with
+        | Ok shape -> shape
+        | Error m -> usage_fail "bad --traffic: %s" m)
+  in
+  (* SLO verdicts are on by default at fleet scale (--slo none opts out). *)
+  let objectives =
+    match slo_spec with
+    | Some objs -> objs
+    | None -> (
+        match Jord_obsv.Slo.parse_arg "default" with
+        | Ok objs -> objs
+        | Error m -> failwith m)
+  in
+  let cfg =
+    {
+      Jord_fleet.Fleet.default_config with
+      Jord_fleet.Fleet.servers = fleet_n;
+      policy;
+      net = Jord_faas.Netmodel.create ~one_way_ns:net_one_way ~per_byte_ns:net_per_byte ();
+      autoscale;
+      shards;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let t =
+    try Jord_fleet.Fleet.create cfg ~app
+    with Invalid_argument m -> usage_fail "%s" m
+  in
+  Jord_fleet.Fleet.run ~slo:objectives t ~shape ~duration_us:duration;
+  print_string (Jord_fleet.Fleet.summary t);
+  (match Jord_fleet.Fleet.rollup t with
+  | None -> ()
+  | Some r ->
+      print_string (Jord_obsv.Rollup.report_text r);
+      (match slo_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Jord_obsv.Rollup.report_json r);
+          close_out oc;
+          Printf.printf "slo: report -> %s\n" path));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let reg = Jord_fleet.Fleet.registry t in
+      let fmt =
+        match metrics_format with
+        | Some `Prom -> Jord_telemetry.Export.Prometheus
+        | Some `Jsonl -> Jord_telemetry.Export.Jsonl
+        | Some `Csv -> Jord_telemetry.Export.Csv
+        | None -> Jord_telemetry.Export.format_for_path path
+      in
+      Jord_telemetry.Export.write_file ~path (Jord_telemetry.Export.export fmt reg);
+      Printf.printf "metrics: %d families -> %s\n"
+        (Jord_telemetry.Registry.family_count reg)
+        path);
+  Printf.printf "[simulated %d events in %.1fs wall, shards=%d]\n"
+    (Jord_fleet.Fleet.events_processed t)
+    (Unix.gettimeofday () -. t0)
+    shards
+
 (* --- run --- *)
 
 let run_cmd =
@@ -220,7 +333,41 @@ let run_cmd =
              ~doc:"Write the online SLO report (objective snapshots plus the alert \
                    log) as JSON.")
   in
-  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers shards forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max slo_spec slo_out =
+  let fleet_opt =
+    Arg.(value & opt (some int) None
+         & info [ "fleet" ] ~docv:"N"
+             ~doc:"Fleet mode: a front-end load balancer over N request-granularity \
+                   Jord servers under population traffic (see $(b,--lb), \
+                   $(b,--autoscale), $(b,--traffic)). Mutually exclusive with \
+                   --servers and --fault-plan; honors --shards, --rate, \
+                   --duration, --slo and --metrics-out.")
+  in
+  let lb_opt =
+    Arg.(value & opt (some string) None
+         & info [ "lb" ] ~docv:"POLICY"
+             ~doc:"Fleet balancing policy: rr (round robin), lo (least \
+                   outstanding) or affinity (warm-route aware; the default). \
+                   Requires $(b,--fleet).")
+  in
+  let autoscale_opt =
+    Arg.(value & opt (some string) None
+         & info [ "autoscale" ] ~docv:"SPEC"
+             ~doc:"Autoscale the fleet: a preset (default, fast), a key=value \
+                   list (min=4,max=64,interval-us=50,up=0.75,down=0.25,\
+                   up-after=2,down-after=6,step=4,boot-us=250), or a preset \
+                   with overrides. Requires $(b,--fleet); without it the whole \
+                   fleet stays up.")
+  in
+  let traffic_opt =
+    Arg.(value & opt (some string) None
+         & info [ "traffic" ] ~docv:"SHAPE"
+             ~doc:"Population traffic shape: a preset (steady, diurnal, flash, \
+                   ci), a key=value list (users=1000000,zipf=1.1,rate=8,\
+                   amp=0.5,period-us=2000,flash=800:300:3,seed=11), or a \
+                   preset with overrides. Requires $(b,--fleet); default: \
+                   steady at the --rate load.")
+  in
+  let run app variant rate duration cores sockets orchestrators policy ivlb dvlb seed warmup trace_file trace_out metrics_out metrics_format sample_us servers shards forward_after net_one_way net_per_byte fault_plan deadline_us retry_base_us retry_cap retry_max slo_spec slo_out fleet lb_spec autoscale_spec traffic_spec =
     let usage_fail fmt =
       Printf.ksprintf
         (fun m ->
@@ -237,6 +384,39 @@ let run_cmd =
       usage_fail "--net-one-way-ns must be > 0 (got %g)" net_one_way;
     if net_per_byte < 0.0 then
       usage_fail "--net-per-byte-ns must be >= 0 (got %g)" net_per_byte;
+    let fleet_usage_fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "jordctl run: %s\n" m;
+          fleet_usage_hint ();
+          exit 2)
+        fmt
+    in
+    (match fleet with
+    | None ->
+        if lb_spec <> None then fleet_usage_fail "--lb requires --fleet";
+        if autoscale_spec <> None then
+          fleet_usage_fail "--autoscale requires --fleet";
+        if traffic_spec <> None then
+          fleet_usage_fail "--traffic requires --fleet"
+    | Some n ->
+        if n < 1 then fleet_usage_fail "--fleet must be >= 1 (got %d)" n;
+        if servers > 1 then
+          fleet_usage_fail
+            "--fleet and --servers contradict: the fleet layer owns the server \
+             count (drop --servers)";
+        if fault_plan <> None then
+          fleet_usage_fail
+            "--fault-plan is a cluster-mode feature (--servers N); fleet mode \
+             does not take it";
+        if trace_file <> None || trace_out <> None then
+          fleet_usage_fail "--trace/--trace-out are not supported in fleet mode");
+    match fleet with
+    | Some fleet_n ->
+        run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
+          ~duration ~shards ~net_one_way ~net_per_byte ~slo_spec ~slo_out
+          ~metrics_out ~metrics_format ()
+    | None ->
     let machine =
       Jord_arch.Config.with_cores
         (Jord_arch.Config.with_sockets Jord_arch.Config.default sockets)
@@ -534,7 +714,8 @@ let run_cmd =
       $ policy $ ivlb $ dvlb $ seed $ warmup $ trace_file $ trace_out $ metrics_out
       $ metrics_format $ sample_us $ servers $ shards $ forward_after $ net_one_way
       $ net_per_byte $ fault_plan $ deadline_us $ retry_base_us $ retry_cap
-      $ retry_max $ slo_spec $ slo_out)
+      $ retry_max $ slo_spec $ slo_out $ fleet_opt $ lb_opt $ autoscale_opt
+      $ traffic_opt)
 
 (* --- stats --- *)
 

@@ -373,6 +373,116 @@ let chaos_failover ~quick =
       ];
   }
 
+(* --- fleet_scale: the datacenter layer over the parallel core. One seeded
+   64-server fleet under autoscaled flash-crowd traffic, run sequentially
+   (shards=1) and on 4 engine shards (balancer shard + 3 server shards),
+   with the full result signature — routing, autoscale actions, cold
+   starts, the latency quantile and the SLO rollup verdicts — compared for
+   byte-equality. The signature match is the hard gate (determinism_ok);
+   the deterministic counts pin how much the autoscaler and the flash crowd
+   actually do; events/sec and the speedup are host wall-clock, so
+   advisory. --- *)
+
+let fleet_scale ~quick =
+  let duration_us = if quick then 400.0 else 1200.0 in
+  let shape =
+    match Jord_workloads.Traffic.parse "ci,users=100000,rate=40" with
+    | Ok s -> s
+    | Error m -> failwith ("fleet_scale: " ^ m)
+  in
+  let autoscale =
+    match Jord_fleet.Autoscaler.parse "fast,min=12,boot-us=60" with
+    | Ok s -> s
+    | Error m -> failwith ("fleet_scale: " ^ m)
+  in
+  let slo =
+    match Jord_obsv.Slo.parse "ci" with
+    | Ok o -> o
+    | Error m -> failwith ("fleet_scale: " ^ m)
+  in
+  let run ~shards =
+    let cfg =
+      {
+        Jord_fleet.Fleet.default_config with
+        Jord_fleet.Fleet.servers = 64;
+        member =
+          { Jord_fleet.Fserver.default_config with Jord_fleet.Fserver.slots = 8; queue_cap = 32 };
+        autoscale = Some autoscale;
+        shards;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let t = Jord_fleet.Fleet.create cfg ~app:Jord_workloads.Hipster.app in
+    Jord_fleet.Fleet.run ~slo t ~shape ~duration_us;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let module F = Jord_fleet.Fleet in
+    let rollup_sig =
+      match F.rollup t with
+      | None -> "none"
+      | Some r ->
+          String.concat ";"
+            (List.map
+               (fun (row : Jord_obsv.Rollup.row) ->
+                 Printf.sprintf "%s:%d/%d/%d:%s"
+                   row.Jord_obsv.Rollup.r_objective.Jord_obsv.Slo.name
+                   row.Jord_obsv.Rollup.r_requests row.Jord_obsv.Rollup.r_bad
+                   row.Jord_obsv.Rollup.r_shed row.Jord_obsv.Rollup.r_verdict)
+               (Jord_obsv.Rollup.rows r))
+    in
+    let signature =
+      Printf.sprintf
+        "arr=%d routed=%d done=%d shed=%d hits=%d cold=%d boots=%d drains=%d \
+         events=%d p99=%d mean=%.17g slo=[%s]"
+        (F.arrivals t) (F.routed t) (F.completed t) (F.shed t)
+        (F.affinity_hits t) (F.cold_starts t) (F.boots t) (F.drains t)
+        (F.events_processed t)
+        (Jord_telemetry.Sketch.quantile (F.latency t) 99.0)
+        (Jord_telemetry.Sketch.mean (F.latency t))
+        rollup_sig
+    in
+    ( signature,
+      float_of_int (F.completed t),
+      float_of_int (F.cold_starts t),
+      float_of_int (F.boots t),
+      float_of_int (F.drains t),
+      (F.events_processed t, wall_s) )
+  in
+  ignore (run ~shards:4);
+  ignore (run ~shards:1);
+  let pairs = List.init (reps quick) (fun _ -> (run ~shards:1, run ~shards:4)) in
+  let identical =
+    List.for_all
+      (fun ((sig_seq, _, _, _, _, _), (sig_shd, _, _, _, _, _)) ->
+        sig_seq = sig_shd)
+      pairs
+  in
+  let (_, completed, cold_starts, boots, drains, _), _ = List.hd pairs in
+  let rate_of (events, wall_s) = float_of_int events /. Float.max wall_s 1e-9 in
+  {
+    B.experiment = "fleet_scale";
+    metrics =
+      [
+        (* Hard gate: a fleet run — balancer decisions, autoscale actions,
+           cold starts, SLO verdicts — is byte-identical at any shard
+           count. *)
+        B.count ~tolerance:det_tol ~name:"determinism_ok" ~unit_:"bool"
+          (if identical then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"completed" ~unit_:"requests" completed;
+        B.count ~tolerance:det_tol ~name:"cold_starts" ~unit_:"starts" cold_starts;
+        B.count ~tolerance:det_tol ~name:"boots" ~unit_:"servers" boots;
+        B.count ~tolerance:det_tol ~name:"drains" ~unit_:"servers" drains;
+        B.metric ~name:"events_per_sec_seq" ~unit_:"events/s"
+          (List.map (fun ((_, _, _, _, _, seq), _) -> rate_of seq) pairs);
+        B.metric ~name:"events_per_sec_sharded" ~unit_:"events/s"
+          (List.map (fun (_, (_, _, _, _, _, shd)) -> rate_of shd) pairs);
+        B.metric ~name:"sharded_speedup" ~unit_:"ratio"
+          (List.map
+             (fun ((_, _, _, _, _, seq), (_, _, _, _, _, shd)) ->
+               rate_of shd /. Float.max (rate_of seq) 1e-9)
+             pairs);
+      ];
+  }
+
 (* --- trace: cost of causal tracing on the single-server hot path --- *)
 
 let trace ~quick =
@@ -496,6 +606,7 @@ let experiments =
     ("cluster", cluster);
     ("cluster_sharded", cluster_sharded);
     ("chaos_failover", chaos_failover);
+    ("fleet_scale", fleet_scale);
     ("trace", trace);
     ("slo_overhead", slo_overhead);
   ]

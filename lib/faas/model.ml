@@ -101,6 +101,32 @@ let mean_invocations app ~samples ~seed =
   done;
   float_of_int !total /. float_of_int samples
 
+let mean_service_ns app ~samples ~seed =
+  if samples <= 0 then invalid_arg "Model.mean_service_ns";
+  let prng = Jord_util.Prng.create ~seed in
+  let memo = Hashtbl.create 16 in
+  (* validate guarantees the call graph is a DAG, so the recursion ends. *)
+  let rec mean_fn name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+        let fn = find_fn app name in
+        let total = ref 0.0 in
+        for _ = 1 to samples do
+          List.iter
+            (fun phase ->
+              match phase with
+              | Compute ns -> total := !total +. ns
+              | Invoke { target; _ } -> total := !total +. mean_fn target
+              | Wait | Wait_for _ | Scratch _ -> ())
+            (fn.make_phases prng)
+        done;
+        let v = !total /. float_of_int samples in
+        Hashtbl.add memo name v;
+        v
+  in
+  List.map (fun (entry, _) -> (entry, mean_fn entry)) app.entries
+
 let compute ns = Compute ns
 
 let invoke ?(mode = Sync) ?(arg_bytes = 512) ?cookie target =

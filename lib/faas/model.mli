@@ -53,6 +53,13 @@ val mean_invocations : app -> samples:int -> seed:int -> float
 (** Monte-Carlo estimate of invocations (root + nested) per external
     request. *)
 
+val mean_service_ns : app -> samples:int -> seed:int -> (string * float) list
+(** Monte-Carlo estimate of the total compute nanoseconds behind one
+    external request to each entry (nested invocations included, wire and
+    queueing excluded). The fleet layer calibrates its per-server service
+    model from this, so a fleet run prices a workload's entries the same
+    way the detailed single-server simulation does. *)
+
 val compute : float -> phase
 val invoke : ?mode:mode -> ?arg_bytes:int -> ?cookie:int -> string -> phase
 val wait : phase

@@ -1,0 +1,61 @@
+(** The fleet autoscaling controller.
+
+    On a fixed sim-time cadence the fleet samples its own
+    {!Jord_telemetry} gauges — utilization, queue depth, servers up — and
+    hands them to {!decide}, which applies threshold-with-hysteresis
+    control: scale up after [up_after] consecutive samples at or above
+    [up_util], scale down after [down_after] consecutive samples at or
+    below [down_util], [step] servers at a time, bounded by
+    [\[min_servers, max_servers\]]. A freshly added server boots for
+    [boot_us] before it becomes routable (and comes up cold — the PR 8
+    restart economics). *)
+
+type spec = {
+  min_servers : int;
+  max_servers : int;  (** [0] means "the whole fleet" (see {!resolve}). *)
+  interval_us : float;  (** Gauge sampling cadence, sim time. *)
+  up_util : float;  (** Scale up at or above this utilization. *)
+  down_util : float;  (** Scale down at or below this utilization. *)
+  up_after : int;  (** Consecutive breaches before scaling up. *)
+  down_after : int;  (** Consecutive breaches before scaling down. *)
+  step : int;  (** Servers added/drained per action. *)
+  boot_us : float;  (** Boot delay before a new server is routable. *)
+}
+
+val default : spec
+(** min 1, max = fleet, 50 us cadence, up >= 0.75 x2, down <= 0.25 x6,
+    step 4, 250 us boot — the ["default"] preset. *)
+
+val presets : (string * spec) list
+(** [default] and [fast] (20 us cadence, x1/x3 hysteresis, step 8,
+    100 us boot — for short CI runs). *)
+
+val parse : string -> (spec, string) result
+(** Preset name, [key=value] list, or preset with overrides, like fault
+    plans and traffic shapes. Keys: [min], [max], [interval-us], [up],
+    [down], [up-after], [down-after], [step], [boot-us]. *)
+
+val to_string : spec -> string
+(** Canonical spelling; [parse (to_string s) = Ok s]. *)
+
+val validate : spec -> (unit, string) result
+val describe : spec -> string
+
+val resolve : spec -> fleet:int -> (spec, string) result
+(** Fix [max_servers = 0] to [fleet] and check the spec fits the fleet
+    ([max_servers <= fleet]). *)
+
+type decision = Hold | Up of int | Down of int
+
+type ctl
+(** Controller state: the spec plus the hysteresis streaks. *)
+
+val control : spec -> ctl
+val spec : ctl -> spec
+
+val decide : ctl -> util:float -> queue:float -> up:int -> booting:int -> decision
+(** One cadence tick over the sampled gauges. A positive [queue] (requests
+    waiting beyond the slot capacity) counts as up-pressure even below
+    [up_util]. [up]/[booting] are the current routable and booting server
+    counts; booting capacity counts toward [max_servers] so the controller
+    does not over-commit while boots are in flight. *)

@@ -1,0 +1,107 @@
+type policy = Round_robin | Least_outstanding | Affinity
+
+let spellings =
+  [
+    ("rr", Round_robin);
+    ("round-robin", Round_robin);
+    ("round_robin", Round_robin);
+    ("lo", Least_outstanding);
+    ("least-outstanding", Least_outstanding);
+    ("least_outstanding", Least_outstanding);
+    ("affinity", Affinity);
+  ]
+
+let names = [ "rr"; "lo"; "affinity" ]
+
+let parse s =
+  match List.assoc_opt (String.lowercase_ascii s) spellings with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown LB policy %S (expected %s)" s
+           (String.concat "|" names))
+
+let to_string = function
+  | Round_robin -> "rr"
+  | Least_outstanding -> "lo"
+  | Affinity -> "affinity"
+
+type view = {
+  n : int;
+  routable : int -> bool;
+  outstanding : int -> int;
+  spill : int;
+}
+
+type t = {
+  pol : policy;
+  mutable rr : int;
+  warm : (int, int list ref) Hashtbl.t;  (* entry -> warm server ids *)
+}
+
+let create pol = { pol; rr = 0; warm = Hashtbl.create 8 }
+let policy t = t.pol
+
+(* Lowest id among routable servers with minimal outstanding. *)
+let least_outstanding v =
+  let best = ref (-1) and best_out = ref max_int in
+  for i = 0 to v.n - 1 do
+    if v.routable i then begin
+      let o = v.outstanding i in
+      if o < !best_out then begin
+        best := i;
+        best_out := o
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+let round_robin t v =
+  let rec go tries =
+    if tries >= v.n then None
+    else begin
+      let c = t.rr mod v.n in
+      t.rr <- (t.rr + 1) mod v.n;
+      if v.routable c then Some c else go (tries + 1)
+    end
+  in
+  go 0
+
+let warm_list t entry =
+  match Hashtbl.find_opt t.warm entry with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.warm entry l;
+      l
+
+let pick t v ~entry =
+  match t.pol with
+  | Round_robin -> Option.map (fun s -> (s, false)) (round_robin t v)
+  | Least_outstanding -> Option.map (fun s -> (s, false)) (least_outstanding v)
+  | Affinity -> (
+      let l = warm_list t entry in
+      (* Drop servers that stopped being routable (drained or down). *)
+      l := List.filter v.routable !l;
+      let best_warm =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some b when v.outstanding b < v.outstanding s -> acc
+            | Some b when v.outstanding b = v.outstanding s && b < s -> acc
+            | _ -> Some s)
+          None !l
+      in
+      match best_warm with
+      | Some s when v.outstanding s < v.spill -> Some (s, true)
+      | _ -> (
+          (* Spill: open the entry on the least-loaded server and remember
+             the new warm route. *)
+          match least_outstanding v with
+          | None -> None
+          | Some s ->
+              if not (List.mem s !l) then l := s :: !l;
+              Some (s, false)))
+
+let forget t sid =
+  Hashtbl.iter (fun _ l -> l := List.filter (fun s -> s <> sid) !l) t.warm

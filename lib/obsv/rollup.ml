@@ -1,0 +1,297 @@
+(* Fleet-level SLO rollup: the same objectives, windows and burn-rate rule
+   as the span-fed Online plane, fed instead from the fleet load balancer's
+   request completions (the fleet models servers at request granularity, so
+   there are no spans to fold). One sketch + window history per objective;
+   observations arrive in nondecreasing event time, so the watermark only
+   moves forward. *)
+
+type transition = {
+  tr_at_ps : int;
+  tr_objective : string;
+  tr_firing : bool;
+  tr_window : int;
+  tr_burn_fast : float;
+  tr_burn_slow : float;
+}
+
+type closed = { c_total : int; c_bad : int }
+
+type obj_state = {
+  obj : Slo.objective;
+  mutable win_idx : int;  (* index of the currently open window *)
+  mutable win_total : int;
+  mutable win_bad : int;
+  mutable recent : closed list;  (* newest first, <= slow_windows *)
+  mutable firing : bool;
+  mutable fired : int;
+  mutable resolved : int;
+  mutable completed : int;
+  mutable shed : int;
+  mutable bad : int;
+  mutable windows_closed : int;
+  sketch : Jord_telemetry.Sketch.t;
+  mutable trans : transition list;  (* newest first *)
+}
+
+type t = { objs : obj_state list; mutable finished : bool }
+
+let create objectives =
+  {
+    objs =
+      List.map
+        (fun obj ->
+          {
+            obj;
+            win_idx = 0;
+            win_total = 0;
+            win_bad = 0;
+            recent = [];
+            firing = false;
+            fired = 0;
+            resolved = 0;
+            completed = 0;
+            shed = 0;
+            bad = 0;
+            windows_closed = 0;
+            sketch = Jord_telemetry.Sketch.create ();
+            trans = [];
+          })
+        objectives;
+    finished = false;
+  }
+
+let objectives t = List.map (fun os -> os.obj) t.objs
+
+let burn_over obj windows =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | w :: rest -> w :: take (k - 1) rest
+  in
+  let frac ws =
+    let total = List.fold_left (fun a w -> a + w.c_total) 0 ws in
+    let bad = List.fold_left (fun a w -> a + w.c_bad) 0 ws in
+    if total = 0 then 0.0 else float_of_int bad /. float_of_int total
+  in
+  ( frac (take obj.Slo.fast_windows windows) /. obj.Slo.budget,
+    frac (take obj.Slo.slow_windows windows) /. obj.Slo.budget )
+
+let rec cap k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | w :: rest -> w :: cap (k - 1) rest
+
+let close_window os =
+  os.recent <- cap os.obj.Slo.slow_windows ({ c_total = os.win_total; c_bad = os.win_bad } :: os.recent);
+  let burn_fast, burn_slow = burn_over os.obj os.recent in
+  let should_fire =
+    burn_fast >= os.obj.Slo.burn_threshold && burn_slow >= os.obj.Slo.burn_threshold
+  in
+  if should_fire <> os.firing then begin
+    os.trans <-
+      {
+        tr_at_ps = (os.win_idx + 1) * os.obj.Slo.window_ps;
+        tr_objective = os.obj.Slo.name;
+        tr_firing = should_fire;
+        tr_window = os.win_idx;
+        tr_burn_fast = burn_fast;
+        tr_burn_slow = burn_slow;
+      }
+      :: os.trans;
+    if should_fire then os.fired <- os.fired + 1 else os.resolved <- os.resolved + 1;
+    os.firing <- should_fire
+  end;
+  os.windows_closed <- os.windows_closed + 1;
+  os.win_idx <- os.win_idx + 1;
+  os.win_total <- 0;
+  os.win_bad <- 0
+
+let advance os ~at_ps =
+  let idx = at_ps / os.obj.Slo.window_ps in
+  while os.win_idx < idx do
+    close_window os
+  done
+
+let matches obj ~fn =
+  match obj.Slo.fn with None -> true | Some f -> f = fn
+
+let observe t ~at_ps ~fn ~latency_ps ~shed =
+  if t.finished then invalid_arg "Rollup.observe: already finished";
+  List.iter
+    (fun os ->
+      if matches os.obj ~fn then begin
+        advance os ~at_ps;
+        os.win_total <- os.win_total + 1;
+        if shed then begin
+          os.shed <- os.shed + 1;
+          os.bad <- os.bad + 1;
+          os.win_bad <- os.win_bad + 1
+        end
+        else begin
+          os.completed <- os.completed + 1;
+          Jord_telemetry.Sketch.add os.sketch latency_ps;
+          let late =
+            match os.obj.Slo.kind with
+            | Slo.Latency -> latency_ps > os.obj.Slo.threshold_ps
+            | Slo.Availability -> false
+          in
+          if late then begin
+            os.bad <- os.bad + 1;
+            os.win_bad <- os.win_bad + 1
+          end
+        end
+      end)
+    t.objs
+
+let finish t ~now_ps =
+  if not t.finished then begin
+    t.finished <- true;
+    List.iter
+      (fun os ->
+        advance os ~at_ps:now_ps;
+        (* Close the final partial window so the report covers the run. *)
+        if os.win_total > 0 then close_window os)
+      t.objs
+  end
+
+type row = {
+  r_objective : Slo.objective;
+  r_requests : int;
+  r_bad : int;
+  r_shed : int;
+  r_quantile_ps : int;
+  r_budget_used : float;  (* percent of the error budget consumed *)
+  r_windows_closed : int;
+  r_fired : int;
+  r_resolved : int;
+  r_firing : bool;
+  r_verdict : string;
+}
+
+let rows t =
+  List.map
+    (fun os ->
+      let o = os.obj in
+      let total = os.completed + os.shed in
+      let q = Jord_telemetry.Sketch.quantile os.sketch o.Slo.percentile in
+      let budget_used =
+        if total = 0 then 0.0
+        else float_of_int os.bad /. (o.Slo.budget *. float_of_int total) *. 100.0
+      in
+      let verdict =
+        if os.firing then "FIRING"
+        else if total = 0 then "no-data"
+        else
+          match o.Slo.kind with
+          | Slo.Availability -> if budget_used <= 100.0 then "met" else "VIOLATED"
+          | Slo.Latency ->
+              if q <= o.Slo.threshold_ps && budget_used <= 100.0 then "met"
+              else "VIOLATED"
+      in
+      {
+        r_objective = o;
+        r_requests = total;
+        r_bad = os.bad;
+        r_shed = os.shed;
+        r_quantile_ps = q;
+        r_budget_used = budget_used;
+        r_windows_closed = os.windows_closed;
+        r_fired = os.fired;
+        r_resolved = os.resolved;
+        r_firing = os.firing;
+        r_verdict = verdict;
+      })
+    t.objs
+
+let transitions t =
+  List.concat_map (fun os -> List.rev os.trans) t.objs
+  |> List.sort (fun a b ->
+         compare (a.tr_at_ps, a.tr_objective) (b.tr_at_ps, b.tr_objective))
+
+let us ps = float_of_int ps /. 1e6
+
+let transition_line tr =
+  Printf.sprintf "%12.3fus %-7s %-16s window=%-4d burn fast=%.2f slow=%.2f"
+    (us tr.tr_at_ps)
+    (if tr.tr_firing then "FIRE" else "resolve")
+    tr.tr_objective tr.tr_window tr.tr_burn_fast tr.tr_burn_slow
+
+let report_text t =
+  let buf = Buffer.create 1024 in
+  let rs = rows t in
+  Buffer.add_string buf
+    (Jord_util.Render.table
+       ~title:(Printf.sprintf "fleet SLO rollup (%d objectives)" (List.length rs))
+       ~header:
+         [
+           "objective"; "fn"; "target"; "requests"; "bad"; "shed"; "measured_us";
+           "budget_used"; "windows"; "fire/res"; "state";
+         ]
+       ~rows:
+         (List.map
+            (fun r ->
+              let o = r.r_objective in
+              [
+                o.Slo.name;
+                (match o.Slo.fn with None -> "*" | Some fn -> fn);
+                (match o.Slo.kind with
+                | Slo.Latency ->
+                    Printf.sprintf "p%g<%.1fus" o.Slo.percentile (us o.Slo.threshold_ps)
+                | Slo.Availability ->
+                    Printf.sprintf "avail>=%g%%" (100.0 *. (1.0 -. o.Slo.budget)));
+                string_of_int r.r_requests;
+                string_of_int r.r_bad;
+                string_of_int r.r_shed;
+                (match o.Slo.kind with
+                | Slo.Latency ->
+                    if r.r_requests - r.r_shed = 0 then "-"
+                    else Printf.sprintf "%.3f" (us r.r_quantile_ps)
+                | Slo.Availability ->
+                    if r.r_requests = 0 then "-"
+                    else
+                      Printf.sprintf "%.3f%%"
+                        (100.0
+                        *. float_of_int (r.r_requests - r.r_bad)
+                        /. float_of_int r.r_requests));
+                Printf.sprintf "%.1f%%" r.r_budget_used;
+                string_of_int r.r_windows_closed;
+                Printf.sprintf "%d/%d" r.r_fired r.r_resolved;
+                r.r_verdict;
+              ])
+            rs)
+       ());
+  Buffer.add_string buf "alerts:\n";
+  Buffer.add_string buf
+    (match transitions t with
+    | [] -> "  none\n"
+    | trs ->
+        String.concat "\n" (List.map (fun tr -> "  " ^ transition_line tr) trs) ^ "\n");
+  Buffer.contents buf
+
+let report_json t =
+  let open Jord_util.Json in
+  let rs = rows t in
+  to_string
+    (Obj
+       [
+         ("jord_fleet_slo_rollup", Int 1);
+         ( "objectives",
+           List
+             (List.map
+                (fun r ->
+                  Obj
+                    [
+                      ("name", String r.r_objective.Slo.name);
+                      ("requests", Int r.r_requests);
+                      ("bad", Int r.r_bad);
+                      ("shed", Int r.r_shed);
+                      ("quantile_ps", Int r.r_quantile_ps);
+                      ("budget_used_pct", Float r.r_budget_used);
+                      ("windows_closed", Int r.r_windows_closed);
+                      ("fired", Int r.r_fired);
+                      ("resolved", Int r.r_resolved);
+                      ("firing", Bool r.r_firing);
+                      ("verdict", String r.r_verdict);
+                    ])
+                rs) );
+       ])

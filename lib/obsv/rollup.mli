@@ -1,0 +1,58 @@
+(** Fleet-level SLO rollup.
+
+    The same declarative objectives, tumbling windows and multi-window
+    burn-rate rule as {!Online}, fed from the fleet load balancer's
+    request completions instead of trace spans: the fleet layer models
+    servers at request granularity, so each finished (or shed) request is
+    one observation. Latencies aggregate into one mergeable
+    {!Jord_telemetry.Sketch} per objective; everything is integer-ps and
+    event-time driven, so the verdict table is byte-identical at any shard
+    count. *)
+
+type transition = {
+  tr_at_ps : int;
+  tr_objective : string;
+  tr_firing : bool;  (** [true] = fire, [false] = resolve. *)
+  tr_window : int;
+  tr_burn_fast : float;
+  tr_burn_slow : float;
+}
+
+type t
+
+val create : Slo.objective list -> t
+
+val objectives : t -> Slo.objective list
+
+val observe : t -> at_ps:int -> fn:string -> latency_ps:int -> shed:bool -> unit
+(** Record one decided request for entry function [fn] at event time
+    [at_ps] (nondecreasing across calls). A shed request consumes budget
+    without a latency; a completed one is bad only if the objective is
+    latency-kind and [latency_ps] exceeds its threshold. *)
+
+val finish : t -> now_ps:int -> unit
+(** Close every window through [now_ps] (including a final partial one).
+    Call once after the fleet drains; reports are stable afterwards. *)
+
+type row = {
+  r_objective : Slo.objective;
+  r_requests : int;  (** Decided requests matching the objective. *)
+  r_bad : int;  (** Budget-consuming requests (includes [r_shed]). *)
+  r_shed : int;
+  r_quantile_ps : int;  (** Sketch at the objective's percentile. *)
+  r_budget_used : float;  (** Percent of the error budget consumed. *)
+  r_windows_closed : int;
+  r_fired : int;
+  r_resolved : int;
+  r_firing : bool;
+  r_verdict : string;  (** ["met"], ["VIOLATED"], ["FIRING"], ["no-data"]. *)
+}
+
+val rows : t -> row list
+val transitions : t -> transition list
+(** Chronological, across objectives. *)
+
+val report_text : t -> string
+(** Verdict table plus the alert log (same columns as the Online report). *)
+
+val report_json : t -> string

@@ -62,3 +62,16 @@ val run_cluster :
     {!Jord_faas.Cluster.submit_at} — identical timestamps, identical
     round-robin placement — so results are byte-identical across shard
     counts. *)
+
+val population :
+  submit:(time:Jord_sim.Time.t -> user:int -> unit) ->
+  shape:Traffic.shape ->
+  duration_us:float ->
+  unit ->
+  int
+(** Open-loop population traffic: draw the whole {!Traffic} arrival stream
+    for [shape] over [duration_us] and pass each arrival to [submit] in
+    nondecreasing time order, returning the arrival count. Byte-identical
+    to walking {!Traffic.pregen} — the fleet layer uses it to pre-schedule
+    arrivals before any engine runs, so sharded runs see the exact same
+    schedule as sequential ones. *)

@@ -1,0 +1,270 @@
+type flash = { at_us : float; dur_us : float; boost : float }
+
+type shape = {
+  users : int;
+  zipf_s : float;
+  rate_mrps : float;
+  diurnal_amp : float;
+  diurnal_period_us : float;
+  flash : flash list;
+  seed : int;
+}
+
+let steady =
+  {
+    users = 1_000_000;
+    zipf_s = 1.1;
+    rate_mrps = 8.0;
+    diurnal_amp = 0.0;
+    diurnal_period_us = 2000.0;
+    flash = [];
+    seed = 11;
+  }
+
+let presets =
+  [
+    ("steady", steady);
+    ("diurnal", { steady with diurnal_amp = 0.5 });
+    ("flash", { steady with flash = [ { at_us = 800.0; dur_us = 300.0; boost = 3.0 } ] });
+    ( "ci",
+      {
+        users = 100_000;
+        zipf_s = 1.1;
+        rate_mrps = 8.0;
+        diurnal_amp = 0.5;
+        diurnal_period_us = 1000.0;
+        flash = [ { at_us = 600.0; dur_us = 200.0; boost = 3.0 } ];
+        seed = 11;
+      } );
+  ]
+
+let validate t =
+  if t.users < 1 then Error "traffic: users must be >= 1"
+  else if t.zipf_s < 0.0 then Error "traffic: zipf must be >= 0"
+  else if t.rate_mrps <= 0.0 then Error "traffic: rate must be > 0"
+  else if t.diurnal_amp < 0.0 || t.diurnal_amp >= 1.0 then
+    Error "traffic: amp must be in [0, 1)"
+  else if t.diurnal_period_us <= 0.0 then Error "traffic: period-us must be > 0"
+  else if
+    List.exists
+      (fun f -> f.at_us < 0.0 || f.dur_us <= 0.0 || f.boost < 1.0)
+      t.flash
+  then Error "traffic: each flash needs at>=0, dur>0, boost>=1"
+  else Ok ()
+
+let flash_to_string fs =
+  String.concat "+"
+    (List.map (fun f -> Printf.sprintf "%g:%g:%g" f.at_us f.dur_us f.boost) fs)
+
+let flash_of_string s =
+  let window w =
+    match String.split_on_char ':' w |> List.map float_of_string_opt with
+    | [ Some at_us; Some dur_us; Some boost ] -> Ok { at_us; dur_us; boost }
+    | _ -> Error (Printf.sprintf "traffic: bad flash window %S (want AT:DUR:BOOST)" w)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> ( match window w with Ok f -> go (f :: acc) rest | Error _ as e -> e)
+  in
+  go [] (String.split_on_char '+' s |> List.filter (fun w -> w <> ""))
+
+(* Spec grammar mirrors Fault_inject.Plan: preset name, key=value list, or
+   preset seeded with overrides. *)
+let parse spec =
+  let apply base kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "traffic: expected key=value, got %S" kv)
+    | Some i -> (
+        let key = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let f () =
+          match float_of_string_opt v with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "traffic: bad float %S for %s" v key)
+        in
+        let ( >>| ) r g = match r with Ok x -> Ok (g x) | Error _ as e -> e in
+        match key with
+        | "users" -> (
+            match int_of_string_opt v with
+            | Some u -> Ok { base with users = u }
+            | None -> Error (Printf.sprintf "traffic: bad int %S for users" v))
+        | "seed" -> (
+            match int_of_string_opt v with
+            | Some s -> Ok { base with seed = s }
+            | None -> Error (Printf.sprintf "traffic: bad int %S for seed" v))
+        | "zipf" -> f () >>| fun x -> { base with zipf_s = x }
+        | "rate" | "rate-mrps" | "rate_mrps" -> f () >>| fun x -> { base with rate_mrps = x }
+        | "amp" | "diurnal-amp" | "diurnal_amp" ->
+            f () >>| fun x -> { base with diurnal_amp = x }
+        | "period-us" | "period_us" ->
+            f () >>| fun x -> { base with diurnal_period_us = x }
+        | "flash" -> (
+            match flash_of_string v with
+            | Ok fs -> Ok { base with flash = fs }
+            | Error _ as e -> e)
+        | _ -> Error (Printf.sprintf "traffic: unknown key %S" key))
+  in
+  let parts =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let base, rest =
+    match parts with
+    | first :: rest when List.mem_assoc first presets ->
+        (List.assoc first presets, rest)
+    | _ -> (steady, parts)
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | kv :: rest -> ( match apply acc kv with Ok acc -> go acc rest | Error _ as e -> e)
+  in
+  match go base rest with
+  | Error _ as e -> e
+  | Ok t -> ( match validate t with Ok () -> Ok t | Error m -> Error m)
+
+let to_string t =
+  let base =
+    Printf.sprintf "users=%d,zipf=%g,rate=%g,amp=%g,period-us=%g" t.users t.zipf_s
+      t.rate_mrps t.diurnal_amp t.diurnal_period_us
+  in
+  let flash = if t.flash = [] then "" else ",flash=" ^ flash_to_string t.flash in
+  Printf.sprintf "%s%s,seed=%d" base flash t.seed
+
+let describe t =
+  let diurnal =
+    if t.diurnal_amp > 0.0 then
+      Printf.sprintf " diurnal(amp=%g,period=%gus)" t.diurnal_amp t.diurnal_period_us
+    else ""
+  in
+  let flash =
+    if t.flash = [] then "" else Printf.sprintf " flash=%s" (flash_to_string t.flash)
+  in
+  Printf.sprintf "users=%d zipf=%g rate=%g MRPS%s%s seed=%d" t.users t.zipf_s
+    t.rate_mrps diurnal flash t.seed
+
+let two_pi = 8.0 *. atan 1.0
+
+let rate_at t ~us =
+  let diurnal =
+    1.0 +. (t.diurnal_amp *. sin (two_pi *. us /. t.diurnal_period_us))
+  in
+  let boost =
+    List.fold_left
+      (fun acc f -> if us >= f.at_us && us < f.at_us +. f.dur_us then acc *. f.boost else acc)
+      1.0 t.flash
+  in
+  t.rate_mrps *. diurnal *. boost
+
+let peak_rate t =
+  t.rate_mrps
+  *. (1.0 +. t.diurnal_amp)
+  *. List.fold_left (fun acc f -> acc *. f.boost) 1.0 t.flash
+
+(* Vose alias table over the Zipf rank weights (r+1)^-s: O(users) to build,
+   O(1) per draw, and a pure function of (users, s) — no PRNG involved. *)
+type alias = { prob : float array; alias : int array }
+
+let alias_build weights =
+  let n = Array.length weights in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 1.0 and alias = Array.init n Fun.id in
+  let small = Array.make n 0 and large = Array.make n 0 in
+  let ns = ref 0 and nl = ref 0 in
+  for i = 0 to n - 1 do
+    if scaled.(i) < 1.0 then begin
+      small.(!ns) <- i;
+      incr ns
+    end
+    else begin
+      large.(!nl) <- i;
+      incr nl
+    end
+  done;
+  while !ns > 0 && !nl > 0 do
+    decr ns;
+    decr nl;
+    let s = small.(!ns) and l = large.(!nl) in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then begin
+      small.(!ns) <- l;
+      incr ns
+    end
+    else begin
+      large.(!nl) <- l;
+      incr nl
+    end
+  done;
+  { prob; alias }
+
+let alias_of_shape t =
+  alias_build (Array.init t.users (fun r -> (float_of_int (r + 1)) ** -.t.zipf_s))
+
+let alias_pick a prng =
+  let n = Array.length a.prob in
+  let i = Jord_util.Prng.int prng n in
+  if Jord_util.Prng.float prng 1.0 < a.prob.(i) then i else a.alias.(i)
+
+type arrival = { at : Jord_sim.Time.t; user : int }
+
+type t = {
+  shape : shape;
+  zipf : alias;
+  prng : Jord_util.Prng.t;
+  lam_max : float;
+  duration_us : float;
+  mutable t_us : float;
+  mutable produced : int;
+}
+
+let make shape ~duration_us =
+  (match validate shape with Ok () -> () | Error m -> invalid_arg ("Traffic.make: " ^ m));
+  if duration_us <= 0.0 then invalid_arg "Traffic.make: duration_us must be > 0";
+  {
+    shape;
+    zipf = alias_of_shape shape;
+    prng = Jord_util.Prng.create ~seed:shape.seed;
+    lam_max = peak_rate shape;
+    duration_us;
+    t_us = 0.0;
+    produced = 0;
+  }
+
+(* Thinning (Lewis–Shedler): candidate arrivals at the constant envelope
+   rate, each accepted with probability rate_at/lam_max. Rejected draws
+   consume PRNG state too, so the stream is one deterministic sequence. *)
+let rec next t =
+  t.t_us <- t.t_us +. Jord_util.Sample.exponential t.prng ~mean:(1.0 /. t.lam_max);
+  if t.t_us >= t.duration_us then None
+  else if Jord_util.Prng.float t.prng t.lam_max < rate_at t.shape ~us:t.t_us then begin
+    let user = alias_pick t.zipf t.prng in
+    t.produced <- t.produced + 1;
+    Some { at = Jord_sim.Time.of_us t.t_us; user }
+  end
+  else next t
+
+let generated t = t.produced
+
+let pregen shape ~duration_us =
+  let t = make shape ~duration_us in
+  let acc = ref [] in
+  let rec go () =
+    match next t with
+    | Some a ->
+        acc := a :: !acc;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)
+
+(* SplitMix64 finalizer over (seed, user); top 53 bits as a uniform. *)
+let hash01 ~seed ~user =
+  let open Int64 in
+  let z = add (mul (of_int (user + 1)) 0x9E3779B97F4A7C15L) (of_int seed) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  Int64.to_float (shift_right_logical z 11) /. 9007199254740992.0

@@ -1,0 +1,189 @@
+(* Population traffic generator: the properties the sharded fleet runs
+   lean on — schedules are nondecreasing, seed-deterministic, and the same
+   whether consumed live or pre-generated. *)
+
+module Traffic = Jord_workloads.Traffic
+
+let check = Alcotest.(check bool)
+
+(* Small random shapes for the qcheck properties (big populations are
+   exercised by the fleet smoke itself). *)
+let gen_shape =
+  QCheck.Gen.(
+    map
+      (fun (users, zipf, rate, amp, flash, seed) ->
+        {
+          Traffic.users = 1 + users;
+          zipf_s = float_of_int zipf /. 10.0;
+          rate_mrps = 0.5 +. (float_of_int rate /. 10.0);
+          diurnal_amp = float_of_int amp /. 10.0;
+          diurnal_period_us = 120.0;
+          flash =
+            (if flash then [ { Traffic.at_us = 40.0; dur_us = 30.0; boost = 3.0 } ]
+             else []);
+          seed;
+        })
+      (tup6 (int_bound 500) (int_bound 20) (int_bound 40) (int_bound 9) bool
+         (int_bound 1000)))
+
+let arb_shape = QCheck.make ~print:Traffic.to_string gen_shape
+
+let prop_nondecreasing =
+  QCheck.Test.make ~name:"arrival times are nondecreasing" ~count:50 arb_shape
+    (fun shape ->
+      let arr = Traffic.pregen shape ~duration_us:200.0 in
+      let ok = ref true in
+      Array.iteri
+        (fun i a -> if i > 0 then ok := !ok && a.Traffic.at >= arr.(i - 1).Traffic.at)
+        arr;
+      !ok
+      && Array.for_all
+           (fun a -> a.Traffic.at >= 0 && a.Traffic.at < Jord_sim.Time.of_us 200.0)
+           arr)
+
+let prop_seed_deterministic =
+  QCheck.Test.make ~name:"same shape => identical schedule" ~count:30 arb_shape
+    (fun shape ->
+      Traffic.pregen shape ~duration_us:150.0 = Traffic.pregen shape ~duration_us:150.0)
+
+let prop_seed_sensitive =
+  QCheck.Test.make ~name:"different seed => different schedule (given traffic)"
+    ~count:30 arb_shape (fun shape ->
+      let a = Traffic.pregen shape ~duration_us:200.0 in
+      let b =
+        Traffic.pregen { shape with Traffic.seed = shape.Traffic.seed + 1 }
+          ~duration_us:200.0
+      in
+      Array.length a < 3 || a <> b)
+
+let prop_live_equals_pregen =
+  QCheck.Test.make ~name:"live iteration = pregenerated array" ~count:50 arb_shape
+    (fun shape ->
+      let pre = Traffic.pregen shape ~duration_us:150.0 in
+      let t = Traffic.make shape ~duration_us:150.0 in
+      let live = ref [] in
+      let rec go () =
+        match Traffic.next t with
+        | Some a ->
+            live := a :: !live;
+            go ()
+        | None -> ()
+      in
+      go ();
+      Array.of_list (List.rev !live) = pre
+      && Traffic.generated t = Array.length pre)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string s) = Ok s" ~count:100 arb_shape
+    (fun shape -> Traffic.parse (Traffic.to_string shape) = Ok shape)
+
+(* --- deterministic unit checks --- *)
+
+let test_presets_valid () =
+  List.iter
+    (fun (name, shape) ->
+      (match Traffic.validate shape with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "preset %s invalid: %s" name m);
+      check (name ^ " roundtrips") true
+        (Traffic.parse (Traffic.to_string shape) = Ok shape))
+    Traffic.presets
+
+let test_parse_errors () =
+  let bad s =
+    match Traffic.parse s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "users=0";
+  bad "rate=0";
+  bad "amp=1.5";
+  bad "nosuchkey=1";
+  bad "flash=1:2";
+  bad "flash=100:50:0.5";
+  bad "steady,period-us=-1"
+
+let test_parse_preset_override () =
+  match Traffic.parse "ci,rate=42,users=1234" with
+  | Ok s ->
+      check "rate" true (s.Traffic.rate_mrps = 42.0);
+      check "users" true (s.Traffic.users = 1234);
+      check "preset diurnal kept" true (s.Traffic.diurnal_amp > 0.0)
+  | Error m -> Alcotest.fail m
+
+let test_flash_boosts_rate () =
+  let base =
+    {
+      Traffic.users = 1000;
+      zipf_s = 1.0;
+      rate_mrps = 4.0;
+      diurnal_amp = 0.0;
+      diurnal_period_us = 100.0;
+      flash = [];
+      seed = 3;
+    }
+  in
+  let flash =
+    { base with Traffic.flash = [ { Traffic.at_us = 50.0; dur_us = 50.0; boost = 4.0 } ] }
+  in
+  check "rate_at inside burst" true
+    (Traffic.rate_at flash ~us:60.0 = 4.0 *. Traffic.rate_at base ~us:60.0);
+  check "rate_at outside burst" true
+    (Traffic.rate_at flash ~us:10.0 = Traffic.rate_at base ~us:10.0);
+  let in_window shape =
+    Array.fold_left
+      (fun acc a ->
+        if a.Traffic.at >= Jord_sim.Time.of_us 50.0 then acc + 1 else acc)
+      0
+      (Traffic.pregen shape ~duration_us:100.0)
+  in
+  (* 4x the rate in the second half must show up as a lot more arrivals. *)
+  check "burst adds arrivals" true (in_window flash > 2 * in_window base)
+
+let test_zipf_skew () =
+  let shape =
+    {
+      Traffic.users = 1000;
+      zipf_s = 1.2;
+      rate_mrps = 20.0;
+      diurnal_amp = 0.0;
+      diurnal_period_us = 100.0;
+      flash = [];
+      seed = 5;
+    }
+  in
+  let arr = Traffic.pregen shape ~duration_us:400.0 in
+  let head = ref 0 and tail = ref 0 in
+  Array.iter
+    (fun a ->
+      if a.Traffic.user < 100 then incr head
+      else if a.Traffic.user >= 900 then incr tail)
+    arr;
+  (* The top decile of a Zipf(1.2) population far outweighs the bottom. *)
+  check "head heavier than tail" true (!head > 5 * max 1 !tail);
+  check "users in range" true
+    (Array.for_all (fun a -> a.Traffic.user >= 0 && a.Traffic.user < 1000) arr)
+
+let test_hash01_deterministic () =
+  check "stable" true (Traffic.hash01 ~seed:7 ~user:123 = Traffic.hash01 ~seed:7 ~user:123);
+  check "in range" true
+    (List.for_all
+       (fun u ->
+         let h = Traffic.hash01 ~seed:9 ~user:u in
+         h >= 0.0 && h < 1.0)
+       (List.init 1000 Fun.id))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_nondecreasing;
+    QCheck_alcotest.to_alcotest prop_seed_deterministic;
+    QCheck_alcotest.to_alcotest prop_seed_sensitive;
+    QCheck_alcotest.to_alcotest prop_live_equals_pregen;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "presets validate and roundtrip" `Quick test_presets_valid;
+    Alcotest.test_case "parse rejects bad specs" `Quick test_parse_errors;
+    Alcotest.test_case "preset with overrides" `Quick test_parse_preset_override;
+    Alcotest.test_case "flash crowd boosts the window" `Quick test_flash_boosts_rate;
+    Alcotest.test_case "zipf population is head-heavy" `Quick test_zipf_skew;
+    Alcotest.test_case "hash01 deterministic" `Quick test_hash01_deterministic;
+  ]
