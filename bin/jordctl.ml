@@ -91,8 +91,8 @@ let fleet_usage_hint () =
     (String.concat "|" Jord_fleet.Lb.names)
 
 let run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
-    ~duration ~shards ~net_one_way ~net_per_byte ~slo_spec ~slo_out ~metrics_out
-    ~metrics_format () =
+    ~duration ~shards ~net_one_way ~net_per_byte ~slo_spec ~slo_out ~trace_out
+    ~metrics_out ~metrics_format () =
   let usage_fail fmt =
     Printf.ksprintf
       (fun m ->
@@ -155,7 +155,12 @@ let run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
     try Jord_fleet.Fleet.create cfg ~app
     with Invalid_argument m -> usage_fail "%s" m
   in
-  Jord_fleet.Fleet.run ~slo:objectives t ~shape ~duration_us:duration;
+  let tracer =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Jord_obsv.Ftrace.create ())
+  in
+  Jord_fleet.Fleet.run ~slo:objectives ?tracer t ~shape ~duration_us:duration;
   print_string (Jord_fleet.Fleet.summary t);
   (match Jord_fleet.Fleet.rollup t with
   | None -> ()
@@ -164,10 +169,37 @@ let run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
       (match slo_out with
       | None -> ()
       | Some path ->
+          (* CSV by extension (the Rollup per-window export), JSON otherwise. *)
+          let body =
+            if Filename.check_suffix path ".csv" then
+              Jord_obsv.Rollup.report_csv r
+            else Jord_obsv.Rollup.report_json r
+          in
           let oc = open_out path in
-          output_string oc (Jord_obsv.Rollup.report_json r);
+          output_string oc body;
           close_out oc;
           Printf.printf "slo: report -> %s\n" path));
+  (match (tracer, trace_out) with
+  | Some tracer, Some path ->
+      (* No shard count in the meta: the file is the byte-identity witness
+         across --shards (jordctl reports shards on its wall-clock line). *)
+      let meta =
+        [
+          ("app", Jord_util.Json.String app.Jord_faas.Model.app_name);
+          ("servers", Jord_util.Json.Int fleet_n);
+          ("end_ps", Jord_util.Json.Int (Jord_sim.Time.of_us (3.0 *. duration)));
+        ]
+      in
+      Jord_obsv.Ftrace.save ~path ~meta tracer;
+      Printf.printf "trace: %d spans retained of %d requests (%s) -> %s\n"
+        (List.length (Jord_obsv.Ftrace.retained tracer))
+        (Jord_obsv.Ftrace.offered tracer)
+        (String.concat " "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              (Jord_obsv.Ftrace.keep_counts tracer)))
+        path
+  | _ -> ());
   (match metrics_out with
   | None -> ()
   | Some path ->
@@ -409,13 +441,15 @@ let run_cmd =
           fleet_usage_fail
             "--fault-plan is a cluster-mode feature (--servers N); fleet mode \
              does not take it";
-        if trace_file <> None || trace_out <> None then
-          fleet_usage_fail "--trace/--trace-out are not supported in fleet mode");
+        if trace_file <> None then
+          fleet_usage_fail
+            "--trace (live Chrome export) is not supported in fleet mode; use \
+             --trace-out FILE and `jordctl trace export` instead");
     match fleet with
     | Some fleet_n ->
         run_fleet ~fleet_n ~lb_spec ~autoscale_spec ~traffic_spec ~app ~rate
           ~duration ~shards ~net_one_way ~net_per_byte ~slo_spec ~slo_out
-          ~metrics_out ~metrics_format ()
+          ~trace_out ~metrics_out ~metrics_format ()
     | None ->
     let machine =
       Jord_arch.Config.with_cores
@@ -975,14 +1009,32 @@ let trace_cmd =
             - List.length l.Jord_obsv.Tracefile.events);
         (l, Jord_obsv.Tracefile.spans l)
   in
+  (* Every subcommand dispatches on the file's header: single-node/cluster
+     event traces go through the span forest, fleet traces (jord_fleet_trace
+     header, written by `run --fleet --trace-out`) through Freport. *)
+  let fleet_of path =
+    match Jord_obsv.Ftrace.load ~path with
+    | Error msg ->
+        prerr_endline ("jordctl: " ^ msg);
+        exit 2
+    | Ok l -> l
+  in
   (* Attribution that does not sum exactly to end-to-end latency is a tool
      bug, not a degraded report — fail loudly (CI greps for this). *)
   let check r = if not (Jord_obsv.Report.conservation_ok r) then exit 3 in
+  let fleet_check l = if not (Jord_obsv.Freport.conservation_ok l) then exit 3 in
   let breakdown_cmd =
     let run path =
-      let _, r = spans_of path in
-      print_string (Jord_obsv.Report.breakdown r);
-      check r
+      if Jord_obsv.Ftrace.is_fleet_file ~path then begin
+        let l = fleet_of path in
+        print_string (Jord_obsv.Freport.breakdown l);
+        fleet_check l
+      end
+      else begin
+        let _, r = spans_of path in
+        print_string (Jord_obsv.Report.breakdown r);
+        check r
+      end
     in
     Cmd.v
       (Cmd.info "breakdown"
@@ -996,8 +1048,12 @@ let trace_cmd =
            & info [ "n" ] ~docv:"N" ~doc:"How many requests to show.")
     in
     let run path n =
-      let _, r = spans_of path in
-      print_string (Jord_obsv.Report.slowest ~n r)
+      if Jord_obsv.Ftrace.is_fleet_file ~path then
+        print_string (Jord_obsv.Freport.slowest ~n (fleet_of path))
+      else begin
+        let _, r = spans_of path in
+        print_string (Jord_obsv.Report.slowest ~n r)
+      end
     in
     Cmd.v
       (Cmd.info "slowest" ~doc:"The N slowest completed requests with their phase splits")
@@ -1005,14 +1061,24 @@ let trace_cmd =
   in
   let critical_cmd =
     let run path =
-      let _, r = spans_of path in
-      print_string (Jord_obsv.Report.critical_path r);
-      check r
+      if Jord_obsv.Ftrace.is_fleet_file ~path then begin
+        (* Fleet spans are flat, so "critical path" means the blame report:
+           which phase owns the p99 tail, per fn and per member. *)
+        let l = fleet_of path in
+        print_string (Jord_obsv.Freport.blame l);
+        fleet_check l
+      end
+      else begin
+        let _, r = spans_of path in
+        print_string (Jord_obsv.Report.critical_path r);
+        check r
+      end
     in
     Cmd.v
       (Cmd.info "critical-path"
-         ~doc:"Blame along the longest causal chain of each fan-out tree, plus \
-               the p99 tail verdict")
+         ~doc:"Blame along the longest causal chain of each fan-out tree (fleet \
+               traces: the phase-blame verdict per fn and member), plus the p99 \
+               tail verdict")
       Term.(const run $ file_pos)
   in
   let export_cmd =
@@ -1028,15 +1094,22 @@ let trace_cmd =
                      (per-function blame profiles).")
     in
     let run path out fmt =
-      let l, r = spans_of path in
       let body =
-        match fmt with
-        | `Chrome ->
-            Jord_obsv.Export.chrome_json
-              ~orch_cores:(Jord_obsv.Tracefile.orch_cores l)
-              ~events:l.Jord_obsv.Tracefile.events r
-        | `Json -> Jord_obsv.Export.blame_json r
-        | `Csv -> Jord_obsv.Export.blame_csv r
+        if Jord_obsv.Ftrace.is_fleet_file ~path then
+          let l = fleet_of path in
+          match fmt with
+          | `Chrome -> Jord_obsv.Freport.chrome_json l
+          | `Json -> Jord_obsv.Freport.blame_json l
+          | `Csv -> Jord_obsv.Freport.blame_csv l
+        else
+          let l, r = spans_of path in
+          match fmt with
+          | `Chrome ->
+              Jord_obsv.Export.chrome_json
+                ~orch_cores:(Jord_obsv.Tracefile.orch_cores l)
+                ~events:l.Jord_obsv.Tracefile.events r
+          | `Json -> Jord_obsv.Export.blame_json r
+          | `Csv -> Jord_obsv.Export.blame_csv r
       in
       let oc = open_out out in
       output_string oc body;
@@ -1050,7 +1123,8 @@ let trace_cmd =
   in
   Cmd.group
     (Cmd.info "trace"
-       ~doc:"Analyze a --trace-out file: breakdown, slowest, critical-path, export")
+       ~doc:"Analyze a --trace-out file (single-node, cluster or fleet): \
+             breakdown, slowest, critical-path, export")
     [ breakdown_cmd; slowest_cmd; critical_cmd; export_cmd ]
 
 (* --- slo --- *)
@@ -1076,6 +1150,18 @@ let slo_cmd =
      uses: a run with --slo and an offline `jordctl slo` over its --trace-out
      produce identical reports. *)
   let replay_of path spec =
+    (* Fleet traces hold sampled spans, not the complete event stream, so an
+       offline SLO replay would silently mis-count; the fleet run prints its
+       rollup live (and --slo-out saves it). *)
+    if Jord_obsv.Ftrace.is_fleet_file ~path then begin
+      Printf.eprintf
+        "jordctl slo: %s is a fleet trace (tail-sampled spans, not the full \
+         event stream)\n\
+         hint: fleet SLO verdicts come from the run itself: `jordctl run \
+         --fleet N --slo SPEC [--slo-out FILE]`\n"
+        path;
+      exit 2
+    end;
     match Jord_obsv.Slo.parse_arg spec with
     | Error msg ->
         prerr_endline ("jordctl: bad --slo spec: " ^ msg);

@@ -483,6 +483,137 @@ let fleet_scale ~quick =
       ];
   }
 
+(* --- fleet_trace_overhead: cost and determinism of fleet causal tracing.
+   One seeded autoscaled flash-crowd fleet, run untraced and traced on the
+   same seeds. Hard gates: the tracer leaves the simulation untouched (the
+   traced run's fleet signature equals the untraced one), the whole trace
+   surface — retained span lines plus the verdict table with its exemplar
+   column — is byte-identical at shards 1 and 4, the retained-span census
+   is pinned, and every exemplar id named by a verdict row or closed
+   window is present in the retained set. The wall-clock cost of tracing
+   is advisory (target <= ~1.1x). --- *)
+
+let fleet_trace_overhead ~quick =
+  let duration_us = if quick then 400.0 else 1200.0 in
+  let shape =
+    match Jord_workloads.Traffic.parse "flash,users=100000,rate=40" with
+    | Ok s -> s
+    | Error m -> failwith ("fleet_trace_overhead: " ^ m)
+  in
+  let autoscale =
+    match Jord_fleet.Autoscaler.parse "fast,min=12,boot-us=60" with
+    | Ok s -> s
+    | Error m -> failwith ("fleet_trace_overhead: " ^ m)
+  in
+  let slo =
+    match Jord_obsv.Slo.parse "ci" with
+    | Ok o -> o
+    | Error m -> failwith ("fleet_trace_overhead: " ^ m)
+  in
+  let module F = Jord_fleet.Fleet in
+  let module Ftrace = Jord_obsv.Ftrace in
+  let run ~shards ~traced =
+    let cfg =
+      {
+        F.default_config with
+        F.servers = 64;
+        member =
+          { Jord_fleet.Fserver.default_config with Jord_fleet.Fserver.slots = 8; queue_cap = 32 };
+        autoscale = Some autoscale;
+        shards;
+      }
+    in
+    let tracer = if traced then Some (Ftrace.create ()) else None in
+    let t0 = Unix.gettimeofday () in
+    let t = F.create cfg ~app:Jord_workloads.Hipster.app in
+    F.run ~slo ?tracer t ~shape ~duration_us;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let fleet_sig =
+      Printf.sprintf "arr=%d done=%d shed=%d cold=%d events=%d p99=%d"
+        (F.arrivals t) (F.completed t) (F.shed t) (F.cold_starts t)
+        (F.events_processed t)
+        (Jord_telemetry.Sketch.quantile (F.latency t) 99.0)
+    in
+    let trace_sig, retained, exemplars_ok =
+      match tracer with
+      | None -> ("untraced", 0, true)
+      | Some tr ->
+          let lines =
+            List.map
+              (fun (keep, sp) -> Jord_obsv.Fspan.to_json_line ~keep sp)
+              (Ftrace.retained tr)
+          in
+          let ids = Ftrace.retained_ids tr in
+          let rollup_text =
+            match F.rollup t with
+            | Some r -> Jord_obsv.Rollup.report_text r
+            | None -> "no-rollup"
+          in
+          let ex_ok =
+            match F.rollup t with
+            | None -> true
+            | Some r ->
+                List.for_all
+                  (fun (row : Jord_obsv.Rollup.row) ->
+                    row.Jord_obsv.Rollup.r_exemplar < 0
+                    || List.mem row.Jord_obsv.Rollup.r_exemplar ids)
+                  (Jord_obsv.Rollup.rows r)
+                && List.for_all
+                     (fun (_, ws) ->
+                       List.for_all
+                         (fun (cw : Jord_obsv.Rollup.closed_window) ->
+                           cw.Jord_obsv.Rollup.cw_exemplar < 0
+                           || List.mem cw.Jord_obsv.Rollup.cw_exemplar ids)
+                         ws)
+                     (Jord_obsv.Rollup.windows r)
+          in
+          (String.concat "\n" (rollup_text :: lines), List.length lines, ex_ok)
+    in
+    (fleet_sig, trace_sig, retained, exemplars_ok, (F.events_processed t, wall_s))
+  in
+  ignore (run ~shards:1 ~traced:true);
+  let pairs =
+    List.init (reps quick) (fun _ ->
+        (run ~shards:1 ~traced:false, run ~shards:1 ~traced:true))
+  in
+  let fsig_off, _, _, _, _ = fst (List.hd pairs) in
+  let fsig_on, tsig_on, retained, exemplars_ok, _ = snd (List.hd pairs) in
+  let _, tsig_shd, _, _, _ = run ~shards:4 ~traced:true in
+  let stable =
+    List.for_all
+      (fun ((fo, _, _, _, _), (fn_, ts, _, _, _)) ->
+        fo = fsig_off && fn_ = fsig_on && ts = tsig_on)
+      pairs
+  in
+  let rate_of (events, wall_s) = float_of_int events /. Float.max wall_s 1e-9 in
+  {
+    B.experiment = "fleet_trace_overhead";
+    metrics =
+      [
+        (* Hard gates: tracing never perturbs the simulation, and the
+           trace surface is shard-invariant and repeatable. *)
+        B.count ~tolerance:det_tol ~name:"sim_unperturbed" ~unit_:"bool"
+          (if fsig_off = fsig_on && stable then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"determinism_ok" ~unit_:"bool"
+          (if tsig_on = tsig_shd then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"exemplars_ok" ~unit_:"bool"
+          (if exemplars_ok then 1.0 else 0.0);
+        B.count ~tolerance:det_tol ~name:"retained_spans" ~unit_:"spans"
+          (float_of_int retained);
+        B.metric ~name:"events_per_sec_untraced" ~unit_:"events/s"
+          (List.map (fun ((_, _, _, _, off), _) -> rate_of off) pairs);
+        B.metric ~name:"events_per_sec_traced" ~unit_:"events/s"
+          (List.map (fun (_, (_, _, _, _, on)) -> rate_of on) pairs);
+        (* Wall-clock slowdown of the traced run over the untraced run of
+           the same seeded simulation (1.0 = free; advisory, ~1.1x). *)
+        B.metric ~name:"fleet_trace_overhead" ~unit_:"ratio"
+          (List.map
+             (fun ((_, _, _, _, off), (_, _, _, _, on)) ->
+               snd on /. Float.max (snd off) 1e-9)
+             pairs);
+      ];
+  }
+
 (* --- trace: cost of causal tracing on the single-server hot path --- *)
 
 let trace ~quick =
@@ -607,6 +738,7 @@ let experiments =
     ("cluster_sharded", cluster_sharded);
     ("chaos_failover", chaos_failover);
     ("fleet_scale", fleet_scale);
+    ("fleet_trace_overhead", fleet_trace_overhead);
     ("trace", trace);
     ("slo_overhead", slo_overhead);
   ]

@@ -58,6 +58,8 @@ type t = {
   registry : Registry.t;
   latency : Sketch.t;
   mutable rollup : Jord_obsv.Rollup.t option;
+  mutable tracer : Jord_obsv.Ftrace.t option;
+  mutable slo_objs : Jord_obsv.Slo.objective list;  (* the "slo" keep rule *)
   mutable arrivals : int;
   mutable routed : int;
   mutable affinity_hits : int;
@@ -111,17 +113,72 @@ let entry_of_user t ~user =
   let rec go i = if i >= n - 1 || u < t.entry_cum.(i) then i else go (i + 1) in
   go 0
 
-let observe_rollup t ~at_ps ~entry ~latency_ps ~shed =
+let observe_rollup t ~at_ps ~entry ~latency_ps ~shed ~trace_id =
   match t.rollup with
   | None -> ()
   | Some r ->
-      Jord_obsv.Rollup.observe r ~at_ps ~fn:t.entry_names.(entry) ~latency_ps ~shed
+      Jord_obsv.Rollup.observe ~trace_id r ~at_ps ~fn:t.entry_names.(entry)
+        ~latency_ps ~shed
+
+(* The "slo" always-keep rule: a completed request that violated any
+   matching latency objective must survive sampling. *)
+let slo_violating t ~fn ~latency_ps =
+  List.exists
+    (fun o ->
+      o.Jord_obsv.Slo.kind = Jord_obsv.Slo.Latency
+      && (match o.Jord_obsv.Slo.fn with None -> true | Some f -> f = fn)
+      && latency_ps > o.Jord_obsv.Slo.threshold_ps)
+    t.slo_objs
+
+(* Build and record the request's span. Every phase comes from an
+   independent measurement — the wire hops from the netmodel constant, the
+   member-side split from the member's own clock, end-to-end from the
+   balancer's — so Fspan.conservation_ok genuinely cross-checks the
+   cross-shard message stamping. Returns the trace id (-1 untraced). *)
+let record_span t ~tracer ~req ~user ~entry ~server ~hit ~outcome ~submit_ps
+    ~end_ps ~queue_ps ~cold_ps ~service_ps =
+  let fn = t.entry_names.(entry) in
+  let phases = Array.make Jord_obsv.Fspan.phase_count 0 in
+  let set ph v = phases.(Jord_obsv.Fspan.phase_index ph) <- v in
+  (if outcome <> Jord_obsv.Fspan.Shed_lb then begin
+     let ow = one_way t in
+     set Jord_obsv.Fspan.Wire ow;
+     set Jord_obsv.Fspan.Response_wire ow;
+     set Jord_obsv.Fspan.Member_queue queue_ps;
+     set Jord_obsv.Fspan.Cold_start cold_ps;
+     set Jord_obsv.Fspan.Service service_ps
+   end);
+  let sp =
+    {
+      Jord_obsv.Fspan.req_id = req;
+      user;
+      fn;
+      member = server;
+      lb_hit = hit;
+      cold = cold_ps > 0;
+      outcome;
+      submit_ps;
+      end_ps;
+      phases;
+    }
+  in
+  let keep =
+    match outcome with
+    | Jord_obsv.Fspan.Shed_lb | Jord_obsv.Fspan.Shed_member -> Some "shed"
+    | Jord_obsv.Fspan.Completed ->
+        if slo_violating t ~fn ~latency_ps:(end_ps - submit_ps) then Some "slo"
+        else if cold_ps > 0 then Some "cold-start"
+        else None
+  in
+  Jord_obsv.Ftrace.record tracer ?keep sp;
+  req
 
 let finish_drain t s =
   t.state.(s) <- Down;
   Lb.forget t.lb s
 
-let complete t ~server ~entry ~submit_ps ~ok =
+let complete t ~server ~entry ~submit_ps ~req ~user ~hit ~ok ~queue_ps ~cold_ps
+    ~service_ps =
   t.outstanding.(server) <- t.outstanding.(server) - 1;
   t.outstanding_total <- t.outstanding_total - 1;
   let now = Engine.now t.engine in
@@ -129,15 +186,35 @@ let complete t ~server ~entry ~submit_ps ~ok =
     t.completed <- t.completed + 1;
     let lat = Time.( - ) now submit_ps in
     Sketch.add t.latency lat;
-    observe_rollup t ~at_ps:now ~entry ~latency_ps:lat ~shed:false
+    let trace_id =
+      match t.tracer with
+      | None -> -1
+      | Some tracer ->
+          record_span t ~tracer ~req ~user ~entry ~server ~hit
+            ~outcome:Jord_obsv.Fspan.Completed ~submit_ps ~end_ps:now ~queue_ps
+            ~cold_ps ~service_ps
+    in
+    observe_rollup t ~at_ps:now ~entry ~latency_ps:lat ~shed:false ~trace_id
   end
   else begin
     t.server_shed <- t.server_shed + 1;
-    observe_rollup t ~at_ps:now ~entry ~latency_ps:0 ~shed:true
+    (match t.tracer with
+    | None -> ()
+    | Some tracer ->
+        ignore
+          (record_span t ~tracer ~req ~user ~entry ~server ~hit
+             ~outcome:Jord_obsv.Fspan.Shed_member ~submit_ps ~end_ps:now
+             ~queue_ps:0 ~cold_ps:0 ~service_ps:0
+            : int));
+    observe_rollup t ~at_ps:now ~entry ~latency_ps:0 ~shed:true ~trace_id:(-1)
   end;
   if t.state.(server) = Draining && t.outstanding.(server) = 0 then finish_drain t server
 
 let route t ~user =
+  (* Request ids are arrival indices: arrivals are pre-scheduled on the
+     balancer engine in generation order, so the numbering is identical at
+     any shard count. *)
+  let req = t.arrivals in
   t.arrivals <- t.arrivals + 1;
   let entry = entry_of_user t ~user in
   let now = Engine.now t.engine in
@@ -145,7 +222,15 @@ let route t ~user =
   match Lb.pick t.lb view ~entry with
   | None ->
       t.lb_shed <- t.lb_shed + 1;
-      observe_rollup t ~at_ps:now ~entry ~latency_ps:0 ~shed:true
+      (match t.tracer with
+      | None -> ()
+      | Some tracer ->
+          ignore
+            (record_span t ~tracer ~req ~user ~entry ~server:(-1) ~hit:false
+               ~outcome:Jord_obsv.Fspan.Shed_lb ~submit_ps:now ~end_ps:now
+               ~queue_ps:0 ~cold_ps:0 ~service_ps:0
+              : int));
+      observe_rollup t ~at_ps:now ~entry ~latency_ps:0 ~shed:true ~trace_id:(-1)
   | Some (s, hit) ->
       if hit then t.affinity_hits <- t.affinity_hits + 1;
       t.routed <- t.routed + 1;
@@ -153,10 +238,12 @@ let route t ~user =
       t.outstanding_total <- t.outstanding_total + 1;
       let ow = one_way t in
       to_server t ~server:s ~at:(Time.( + ) now ow) (fun seng ->
-          Fserver.deliver t.members.(s) ~entry ~on_done:(fun ~ok ->
+          Fserver.deliver t.members.(s) ~entry
+            ~on_done:(fun ~ok ~queue_ps ~cold_ps ~service_ps ->
               let at = Time.( + ) (Engine.now seng) ow in
               to_lb t ~server:s ~at (fun _ ->
-                  complete t ~server:s ~entry ~submit_ps:now ~ok)))
+                  complete t ~server:s ~entry ~submit_ps:now ~req ~user ~hit ~ok
+                    ~queue_ps ~cold_ps ~service_ps)))
 
 (* --- autoscaling ------------------------------------------------------- *)
 
@@ -361,6 +448,8 @@ let create cfg ~app =
       registry = Registry.create ();
       latency = Sketch.create ();
       rollup = None;
+      tracer = None;
+      slo_objs = [];
       arrivals = 0;
       routed = 0;
       affinity_hits = 0;
@@ -392,10 +481,18 @@ let create cfg ~app =
 
 (* --- running ----------------------------------------------------------- *)
 
-let run ?(slo = []) t ~shape ~duration_us =
+let run ?(slo = []) ?tracer t ~shape ~duration_us =
   if t.ran then invalid_arg "Fleet.run: call once per fleet";
   t.ran <- true;
   if slo <> [] then t.rollup <- Some (Jord_obsv.Rollup.create slo);
+  t.tracer <- tracer;
+  t.slo_objs <- slo;
+  (* Window exemplars flow rollup -> tracer so every exemplar id a verdict
+     table names is pinned into the retained trace set. *)
+  (match (t.rollup, tracer) with
+  | Some r, Some tr ->
+      Jord_obsv.Rollup.set_exemplar_hook r (Jord_obsv.Ftrace.on_exemplar tr)
+  | _ -> ());
   t.traffic <- Some shape;
   t.duration_us <- duration_us;
   (* Pre-schedule the whole arrival stream on the balancer engine before

@@ -47,13 +47,19 @@ val create : config -> app:Jord_faas.Model.app -> t
 
 val run :
   ?slo:Jord_obsv.Slo.objective list ->
+  ?tracer:Jord_obsv.Ftrace.t ->
   t ->
   shape:Jord_workloads.Traffic.shape ->
   duration_us:float ->
   unit
 (** Pre-schedule the whole arrival stream, start the autoscaler cadence,
     and run to [3 * duration_us] (the drain horizon). With [?slo] a
-    {!Jord_obsv.Rollup} collects per-objective verdicts. Call once. *)
+    {!Jord_obsv.Rollup} collects per-objective verdicts. With [?tracer]
+    every request gets an {!Jord_obsv.Fspan} with exact phase attribution,
+    tail-sampled deterministically: request ids are arrival indices, shed /
+    SLO-violating / cold-start requests always survive, and rollup window
+    exemplars are pinned into the retained set — so the saved trace file is
+    byte-identical at any shard count. Call once. *)
 
 (** {2 Results} *)
 

@@ -12,7 +12,11 @@ type config = {
 let default_config =
   { slots = 28; queue_cap = 112; cold_start_ns = 20_000.0; jitter_sigma = 0.25; seed = 11 }
 
-type job = { entry : int; on_done : ok:bool -> unit }
+type job = {
+  entry : int;
+  enq_ps : Time.t;  (* delivery time: queueing is measured from here *)
+  on_done : ok:bool -> queue_ps:int -> cold_ps:int -> service_ps:int -> unit;
+}
 
 type t = {
   id : int;
@@ -70,28 +74,35 @@ let service_duration t ~entry ~cold =
 
 let rec start t job =
   t.busy <- t.busy + 1;
+  let queue_ps = Time.( - ) (Engine.now t.engine) job.enq_ps in
   let cold = not t.warm.(job.entry) in
   if cold then begin
     t.cold_starts <- t.cold_starts + 1;
     t.warm.(job.entry) <- true
   end;
   let dur = service_duration t ~entry:job.entry ~cold in
+  (* Phase split of [dur] for the span plane. [dur] keeps its single
+     rounding (cold + jittered service as one of_ns), so untraced behavior
+     is bit-for-bit unchanged; the split re-derives the cold share and by
+     construction sums back to [dur] exactly. *)
+  let cold_ps = if cold then Int.min dur (Time.of_ns t.cfg.cold_start_ns) else 0 in
+  let service_ps = dur - cold_ps in
   t.busy_ps <- t.busy_ps + dur;
   Engine.schedule t.engine ~after:dur (fun _ ->
       t.busy <- t.busy - 1;
       t.completed <- t.completed + 1;
-      job.on_done ~ok:true;
+      job.on_done ~ok:true ~queue_ps ~cold_ps ~service_ps;
       if (not (Queue.is_empty t.queue)) && t.busy < t.cfg.slots then
         start t (Queue.pop t.queue))
 
 let deliver t ~entry ~on_done =
   t.arrivals <- t.arrivals + 1;
-  let job = { entry; on_done } in
+  let job = { entry; enq_ps = Engine.now t.engine; on_done } in
   if t.busy < t.cfg.slots then start t job
   else if Queue.length t.queue < t.cfg.queue_cap then Queue.push job t.queue
   else begin
     t.dropped <- t.dropped + 1;
-    on_done ~ok:false
+    on_done ~ok:false ~queue_ps:0 ~cold_ps:0 ~service_ps:0
   end
 
 let power_on t = Array.fill t.warm 0 (Array.length t.warm) false

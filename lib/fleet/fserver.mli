@@ -32,11 +32,18 @@ val create :
 
 val id : t -> int
 
-val deliver : t -> entry:int -> on_done:(ok:bool -> unit) -> unit
+val deliver :
+  t ->
+  entry:int ->
+  on_done:(ok:bool -> queue_ps:int -> cold_ps:int -> service_ps:int -> unit) ->
+  unit
 (** Accept one request (runs on the member's engine). Starts service if a
     slot is free, queues it if the queue has room, otherwise sheds —
-    [on_done ~ok:false] immediately. On completion [on_done ~ok:true] runs
-    at the completion's sim time. *)
+    [on_done ~ok:false] immediately with zero phases. On completion
+    [on_done ~ok:true] runs at the completion's sim time carrying the
+    member-side phase split: time spent queued, the cold-start share and
+    the service share (the last two sum exactly to the service duration,
+    whose single rounding is unchanged from the untraced path). *)
 
 val power_on : t -> unit
 (** Cold (re)boot: every entry loses its warm state, so the next request

@@ -34,10 +34,22 @@ type t = {
   mutable sum : int;
   mutable min_v : int;
   mutable max_v : int;
+  (* Exemplar slot: the id attached to the largest observation seen (ties
+     broken toward the smallest id), so merges stay order-independent. *)
+  mutable ex_v : int;
+  mutable ex_id : int;
 }
 
 let create () =
-  { buckets = Array.make bucket_count 0; count = 0; sum = 0; min_v = max_int; max_v = -1 }
+  {
+    buckets = Array.make bucket_count 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = -1;
+    ex_v = -1;
+    ex_id = -1;
+  }
 
 let add t v =
   if v < 0 then invalid_arg "Sketch.add: negative observation";
@@ -47,6 +59,18 @@ let add t v =
   t.sum <- t.sum + v;
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
+
+let note_exemplar t v ~ex =
+  if ex >= 0 && (v > t.ex_v || (v = t.ex_v && ex < t.ex_id)) then begin
+    t.ex_v <- v;
+    t.ex_id <- ex
+  end
+
+let add_ex t v ~ex =
+  add t v;
+  note_exemplar t v ~ex
+
+let exemplar t = if t.ex_id < 0 then None else Some (t.ex_v, t.ex_id)
 
 let count t = t.count
 let sum t = t.sum
@@ -62,7 +86,8 @@ let merge_into ~into src =
   into.count <- into.count + src.count;
   into.sum <- into.sum + src.sum;
   if src.min_v < into.min_v then into.min_v <- src.min_v;
-  if src.max_v > into.max_v then into.max_v <- src.max_v
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  if src.ex_id >= 0 then note_exemplar into src.ex_v ~ex:src.ex_id
 
 let merge a b =
   let t = create () in
@@ -77,6 +102,8 @@ let copy t =
     sum = t.sum;
     min_v = t.min_v;
     max_v = t.max_v;
+    ex_v = t.ex_v;
+    ex_id = t.ex_id;
   }
 
 let quantile t q =
@@ -96,6 +123,7 @@ let quantile t q =
 let equal a b =
   a.count = b.count && a.sum = b.sum
   && min_v a = min_v b && max_v a = max_v b
+  && a.ex_v = b.ex_v && a.ex_id = b.ex_id
   && a.buckets = b.buckets
 
 let quantile_of_buckets buckets q =

@@ -22,6 +22,17 @@ val add : t -> int -> unit
 (** Record one observation. Negative values are rejected with
     [Invalid_argument]. *)
 
+val add_ex : t -> int -> ex:int -> unit
+(** [add], plus an exemplar id for the observation (a retained trace id,
+    say). The sketch keeps the id of the largest observation it has seen,
+    breaking ties toward the smallest id, so the slot — like the rest of
+    the state — is exact, associative and commutative under [merge].
+    A negative [ex] records the observation without an exemplar. *)
+
+val exemplar : t -> (int * int) option
+(** [(value, id)] of the largest exemplar-carrying observation, or [None]
+    when no [add_ex] with a non-negative id has happened. *)
+
 val count : t -> int
 val sum : t -> int
 (** Exact observation count and exact integer sum. *)

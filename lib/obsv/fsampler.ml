@@ -1,0 +1,134 @@
+(* Deterministic tail-based sampling for fleet spans.
+
+   A 10^6-request population run cannot retain every span, so retention is
+   decided per request, never per wall-clock order:
+
+   - Always-keep rules (decided by the caller at completion time): shed,
+     failed, cold-start and SLO-violating requests, plus exemplars pinned
+     by the rollup at window close.
+   - A seeded head-sample *reservoir*: the [reservoir] requests whose
+     SplitMix64 hash of (seed, req_id) is smallest (a bottom-k sketch).
+     Membership is a pure function of the id set — not of arrival or
+     completion interleaving — so the retained set is byte-identical at
+     any --shards count even though completions at equal timestamps may
+     drain in different orders. *)
+
+let default_seed = 0x6a726466 (* "jrdf" *)
+let default_reservoir = 512
+
+(* SplitMix64 finalizer over seed ⊕ id — the same mixer the traffic layer
+   uses for user hashing, giving a uniform, seed-keyed draw per request. *)
+let hash64 ~seed ~id =
+  let open Int64 in
+  let z = add (of_int (id + 1)) (mul (of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Max-heap over (hash, id) with unsigned hash order: the root is the
+   entry to evict when a smaller hash arrives. *)
+type entry = { h : int64; id : int; sp : Fspan.t }
+
+let entry_gt a b =
+  let c = Int64.unsigned_compare a.h b.h in
+  c > 0 || (c = 0 && a.id > b.id)
+
+type t = {
+  seed : int;
+  reservoir : int;
+  heap : entry array;  (* 0..size-1 live *)
+  mutable size : int;
+  pinned : (int, string * Fspan.t) Hashtbl.t;  (* req_id -> reason, span *)
+  mutable offered : int;
+}
+
+let dummy =
+  {
+    h = 0L;
+    id = -1;
+    sp =
+      {
+        Fspan.req_id = -1;
+        user = -1;
+        fn = "";
+        member = -1;
+        lb_hit = false;
+        cold = false;
+        outcome = Fspan.Completed;
+        submit_ps = 0;
+        end_ps = 0;
+        phases = Array.make Fspan.phase_count 0;
+      };
+  }
+
+let create ?(seed = default_seed) ?(reservoir = default_reservoir) () =
+  if reservoir < 0 then invalid_arg "Fsampler.create: reservoir must be >= 0";
+  {
+    seed;
+    reservoir;
+    heap = Array.make (max 1 reservoir) dummy;
+    size = 0;
+    pinned = Hashtbl.create 64;
+    offered = 0;
+  }
+
+let seed t = t.seed
+let reservoir t = t.reservoir
+let offered t = t.offered
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if entry_gt t.heap.(i) t.heap.(p) then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < t.size && entry_gt t.heap.(l) t.heap.(i) then l else i in
+  let m = if r < t.size && entry_gt t.heap.(r) t.heap.(m) then r else m in
+  if m <> i then begin
+    swap t i m;
+    sift_down t m
+  end
+
+let pin t ~reason sp =
+  let id = sp.Fspan.req_id in
+  if not (Hashtbl.mem t.pinned id) then Hashtbl.add t.pinned id (reason, sp)
+
+let offer t ?keep sp =
+  t.offered <- t.offered + 1;
+  match keep with
+  | Some reason -> pin t ~reason sp
+  | None ->
+      if t.reservoir > 0 then begin
+        let e = { h = hash64 ~seed:t.seed ~id:sp.Fspan.req_id; id = sp.Fspan.req_id; sp } in
+        if t.size < t.reservoir then begin
+          t.heap.(t.size) <- e;
+          t.size <- t.size + 1;
+          sift_up t (t.size - 1)
+        end
+        else if entry_gt t.heap.(0) e then begin
+          t.heap.(0) <- e;
+          sift_down t 0
+        end
+      end
+
+(* The final retained set, sorted by request id: pinned spans (rule keeps
+   and exemplars) first in priority, then the reservoir survivors that were
+   not pinned along the way. *)
+let retained t =
+  let out = Hashtbl.fold (fun _ (reason, sp) acc -> (reason, sp) :: acc) t.pinned [] in
+  let out = ref out in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    if not (Hashtbl.mem t.pinned e.id) then out := ("sampled", e.sp) :: !out
+  done;
+  List.sort (fun (_, a) (_, b) -> compare a.Fspan.req_id b.Fspan.req_id) !out

@@ -16,12 +16,30 @@ type transition = {
 
 type closed = { c_total : int; c_bad : int }
 
+type closed_window = {
+  cw_index : int;
+  cw_total : int;
+  cw_bad : int;
+  cw_exemplar_ps : int;  (* -1 without an exemplar *)
+  cw_exemplar : int;  (* retained trace id; -1 without one *)
+}
+
+(* Exemplar plumbing toward the fleet tracer: [Candidate] fires when an
+   observation becomes the open window's max-latency trace (the tracer
+   parks its span), [Promoted] when the window closes on it (the tracer
+   pins the parked span into the retained set). *)
+type exemplar_event =
+  | Candidate of { objective : string; id : int }
+  | Promoted of { objective : string; id : int; window : int }
+
 type obj_state = {
   obj : Slo.objective;
   mutable win_idx : int;  (* index of the currently open window *)
   mutable win_total : int;
   mutable win_bad : int;
+  mutable win_ex : (int * int) option;  (* (latency_ps, trace id) max *)
   mutable recent : closed list;  (* newest first, <= slow_windows *)
+  mutable history : closed_window list;  (* newest first, unbounded *)
   mutable firing : bool;
   mutable fired : int;
   mutable resolved : int;
@@ -33,7 +51,11 @@ type obj_state = {
   mutable trans : transition list;  (* newest first *)
 }
 
-type t = { objs : obj_state list; mutable finished : bool }
+type t = {
+  objs : obj_state list;
+  mutable on_exemplar : (exemplar_event -> unit) option;
+  mutable finished : bool;
+}
 
 let create objectives =
   {
@@ -45,7 +67,9 @@ let create objectives =
             win_idx = 0;
             win_total = 0;
             win_bad = 0;
+            win_ex = None;
             recent = [];
+            history = [];
             firing = false;
             fired = 0;
             resolved = 0;
@@ -57,10 +81,12 @@ let create objectives =
             trans = [];
           })
         objectives;
+    on_exemplar = None;
     finished = false;
   }
 
 let objectives t = List.map (fun os -> os.obj) t.objs
+let set_exemplar_hook t f = t.on_exemplar <- Some f
 
 let burn_over obj windows =
   let rec take k = function
@@ -81,8 +107,25 @@ let rec cap k = function
   | _ when k = 0 -> []
   | w :: rest -> w :: cap (k - 1) rest
 
-let close_window os =
+let close_window t os =
   os.recent <- cap os.obj.Slo.slow_windows ({ c_total = os.win_total; c_bad = os.win_bad } :: os.recent);
+  let ex_ps, ex_id = match os.win_ex with Some (v, id) -> (v, id) | None -> (-1, -1) in
+  os.history <-
+    {
+      cw_index = os.win_idx;
+      cw_total = os.win_total;
+      cw_bad = os.win_bad;
+      cw_exemplar_ps = ex_ps;
+      cw_exemplar = ex_id;
+    }
+    :: os.history;
+  (* Promote the window's max-latency trace: the tracer pins it so every
+     exemplar the reports name is present in the retained trace set. *)
+  (match (os.win_ex, t.on_exemplar) with
+  | Some (_, id), Some hook ->
+      hook (Promoted { objective = os.obj.Slo.name; id; window = os.win_idx })
+  | _ -> ());
+  os.win_ex <- None;
   let burn_fast, burn_slow = burn_over os.obj os.recent in
   let should_fire =
     burn_fast >= os.obj.Slo.burn_threshold && burn_slow >= os.obj.Slo.burn_threshold
@@ -106,21 +149,21 @@ let close_window os =
   os.win_total <- 0;
   os.win_bad <- 0
 
-let advance os ~at_ps =
+let advance t os ~at_ps =
   let idx = at_ps / os.obj.Slo.window_ps in
   while os.win_idx < idx do
-    close_window os
+    close_window t os
   done
 
 let matches obj ~fn =
   match obj.Slo.fn with None -> true | Some f -> f = fn
 
-let observe t ~at_ps ~fn ~latency_ps ~shed =
+let observe ?(trace_id = -1) t ~at_ps ~fn ~latency_ps ~shed =
   if t.finished then invalid_arg "Rollup.observe: already finished";
   List.iter
     (fun os ->
       if matches os.obj ~fn then begin
-        advance os ~at_ps;
+        advance t os ~at_ps;
         os.win_total <- os.win_total + 1;
         if shed then begin
           os.shed <- os.shed + 1;
@@ -129,7 +172,24 @@ let observe t ~at_ps ~fn ~latency_ps ~shed =
         end
         else begin
           os.completed <- os.completed + 1;
-          Jord_telemetry.Sketch.add os.sketch latency_ps;
+          Jord_telemetry.Sketch.add_ex os.sketch latency_ps ~ex:trace_id;
+          (* Max-latency exemplar of the open window, ties toward the
+             smaller id: the final candidate at close time depends only on
+             the window's observation set, not on drain order. *)
+          (if trace_id >= 0 then
+             let better =
+               match os.win_ex with
+               | None -> true
+               | Some (v, id) ->
+                   latency_ps > v || (latency_ps = v && trace_id < id)
+             in
+             if better then begin
+               os.win_ex <- Some (latency_ps, trace_id);
+               match t.on_exemplar with
+               | Some hook ->
+                   hook (Candidate { objective = os.obj.Slo.name; id = trace_id })
+               | None -> ()
+             end);
           let late =
             match os.obj.Slo.kind with
             | Slo.Latency -> latency_ps > os.obj.Slo.threshold_ps
@@ -148,9 +208,9 @@ let finish t ~now_ps =
     t.finished <- true;
     List.iter
       (fun os ->
-        advance os ~at_ps:now_ps;
+        advance t os ~at_ps:now_ps;
         (* Close the final partial window so the report covers the run. *)
-        if os.win_total > 0 then close_window os)
+        if os.win_total > 0 then close_window t os)
       t.objs
   end
 
@@ -166,6 +226,8 @@ type row = {
   r_resolved : int;
   r_firing : bool;
   r_verdict : string;
+  r_exemplar_ps : int;  (* -1 when the run carried no trace ids *)
+  r_exemplar : int;  (* max-latency retained trace id, or -1 *)
 }
 
 let rows t =
@@ -188,6 +250,11 @@ let rows t =
               if q <= o.Slo.threshold_ps && budget_used <= 100.0 then "met"
               else "VIOLATED"
       in
+      let ex_ps, ex_id =
+        match Jord_telemetry.Sketch.exemplar os.sketch with
+        | Some (v, id) -> (v, id)
+        | None -> (-1, -1)
+      in
       {
         r_objective = o;
         r_requests = total;
@@ -200,8 +267,13 @@ let rows t =
         r_resolved = os.resolved;
         r_firing = os.firing;
         r_verdict = verdict;
+        r_exemplar_ps = ex_ps;
+        r_exemplar = ex_id;
       })
     t.objs
+
+let windows t =
+  List.map (fun os -> (os.obj.Slo.name, List.rev os.history)) t.objs
 
 let transitions t =
   List.concat_map (fun os -> List.rev os.trans) t.objs
@@ -225,7 +297,7 @@ let report_text t =
        ~header:
          [
            "objective"; "fn"; "target"; "requests"; "bad"; "shed"; "measured_us";
-           "budget_used"; "windows"; "fire/res"; "state";
+           "budget_used"; "windows"; "fire/res"; "state"; "exemplar";
          ]
        ~rows:
          (List.map
@@ -257,6 +329,8 @@ let report_text t =
                 string_of_int r.r_windows_closed;
                 Printf.sprintf "%d/%d" r.r_fired r.r_resolved;
                 r.r_verdict;
+                (if r.r_exemplar < 0 then "-"
+                 else Printf.sprintf "trace=%d" r.r_exemplar);
               ])
             rs)
        ());
@@ -292,6 +366,63 @@ let report_json t =
                       ("resolved", Int r.r_resolved);
                       ("firing", Bool r.r_firing);
                       ("verdict", String r.r_verdict);
+                      ("exemplar_trace_id", Int r.r_exemplar);
+                      ("exemplar_ps", Int r.r_exemplar_ps);
                     ])
                 rs) );
        ])
+
+(* --- CSV export (the Report.blame conventions: one flat unquoted table,
+   objective-level columns repeated on every per-window row) --- *)
+
+let csv_header =
+  "objective,fn,kind,requests,bad,shed,measured_us,budget_used_pct,windows,\
+   fired,resolved,verdict,exemplar,window,w_total,w_bad,w_exemplar"
+
+let report_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter2
+    (fun r (_, wins) ->
+      let o = r.r_objective in
+      let prefix =
+        Printf.sprintf "%s,%s,%s,%d,%d,%d,%.4f,%.4f,%d,%d,%d,%s,%d" o.Slo.name
+          (match o.Slo.fn with None -> "*" | Some fn -> fn)
+          (match o.Slo.kind with Slo.Latency -> "latency" | Slo.Availability -> "availability")
+          r.r_requests r.r_bad r.r_shed (us r.r_quantile_ps) r.r_budget_used
+          r.r_windows_closed r.r_fired r.r_resolved r.r_verdict r.r_exemplar
+      in
+      match wins with
+      | [] -> Buffer.add_string buf (prefix ^ ",-1,0,0,-1\n")
+      | wins ->
+          List.iter
+            (fun cw ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%d,%d,%d,%d\n" prefix cw.cw_index cw.cw_total
+                   cw.cw_bad cw.cw_exemplar))
+            wins)
+    (rows t) (windows t);
+  Buffer.contents buf
+
+(* Parse a [report_csv] document back into header-keyed rows — the
+   round-trip check and any downstream tooling share this. No quoting: the
+   writer never emits fields containing commas. *)
+let parse_csv body =
+  match String.split_on_char '\n' (String.trim body) with
+  | [] | [ "" ] -> Error "empty CSV"
+  | header :: lines ->
+      let cols = String.split_on_char ',' header in
+      let ncols = List.length cols in
+      let rec go n acc = function
+        | [] -> Ok (List.rev acc)
+        | "" :: rest -> go (n + 1) acc rest
+        | line :: rest ->
+            let fields = String.split_on_char ',' line in
+            if List.length fields <> ncols then
+              Error
+                (Printf.sprintf "line %d: expected %d fields, got %d" n ncols
+                   (List.length fields))
+            else go (n + 1) (List.combine cols fields :: acc) rest
+      in
+      go 2 [] lines

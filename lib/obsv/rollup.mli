@@ -18,17 +18,39 @@ type transition = {
   tr_burn_slow : float;
 }
 
+type closed_window = {
+  cw_index : int;
+  cw_total : int;
+  cw_bad : int;
+  cw_exemplar_ps : int;  (** -1 when the window carried no trace ids. *)
+  cw_exemplar : int;  (** The window's max-latency trace id, or -1. *)
+}
+
+(** Exemplar plumbing toward the fleet tracer: a [Candidate] fires when an
+    observation becomes the open window's max-latency trace (park its
+    span); [Promoted] fires when the window closes on it (pin the parked
+    span into the retained trace set). *)
+type exemplar_event =
+  | Candidate of { objective : string; id : int }
+  | Promoted of { objective : string; id : int; window : int }
+
 type t
 
 val create : Slo.objective list -> t
 
 val objectives : t -> Slo.objective list
 
-val observe : t -> at_ps:int -> fn:string -> latency_ps:int -> shed:bool -> unit
+val set_exemplar_hook : t -> (exemplar_event -> unit) -> unit
+
+val observe :
+  ?trace_id:int -> t -> at_ps:int -> fn:string -> latency_ps:int -> shed:bool -> unit
 (** Record one decided request for entry function [fn] at event time
     [at_ps] (nondecreasing across calls). A shed request consumes budget
     without a latency; a completed one is bad only if the objective is
-    latency-kind and [latency_ps] exceeds its threshold. *)
+    latency-kind and [latency_ps] exceeds its threshold. [trace_id]
+    (default -1 = untraced) feeds the exemplar machinery: the window and
+    whole-run max-latency observations remember it, ties toward the
+    smaller id so exemplars are drain-order independent. *)
 
 val finish : t -> now_ps:int -> unit
 (** Close every window through [now_ps] (including a final partial one).
@@ -46,9 +68,15 @@ type row = {
   r_resolved : int;
   r_firing : bool;
   r_verdict : string;  (** ["met"], ["VIOLATED"], ["FIRING"], ["no-data"]. *)
+  r_exemplar_ps : int;  (** -1 when the run carried no trace ids. *)
+  r_exemplar : int;  (** Max-latency retained trace id, or -1. *)
 }
 
 val rows : t -> row list
+
+val windows : t -> (string * closed_window list) list
+(** Closed-window history per objective, oldest first. *)
+
 val transitions : t -> transition list
 (** Chronological, across objectives. *)
 
@@ -56,3 +84,13 @@ val report_text : t -> string
 (** Verdict table plus the alert log (same columns as the Online report). *)
 
 val report_json : t -> string
+
+val report_csv : t -> string
+(** Flat CSV in the {!Export.blame_csv} convention: a header line, then one
+    row per (objective, closed window) with the objective-level columns
+    repeated; an objective with no closed windows emits a single row with
+    [window = -1]. *)
+
+val parse_csv : string -> ((string * string) list list, string) result
+(** Inverse of {!report_csv}: each data line becomes a
+    [(column, value)] assoc list keyed by the header. *)
